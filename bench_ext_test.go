@@ -1,0 +1,126 @@
+package doacross
+
+// Extension benchmarks: the migration comparison, the bounded-signal-window
+// sweep, and the machine-code backend.
+import (
+	"testing"
+
+	"doacross/internal/core"
+	"doacross/internal/perfect"
+	"doacross/internal/tables"
+)
+
+// BenchmarkMigration runs the migration-vs-scheduling extension experiment
+// and reports the headline gains.
+func BenchmarkMigration(b *testing.B) {
+	suites := perfect.MustSuites()
+	var r *tables.MigrationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = tables.RunMigration(suites, Machine4Issue(1), core.ProgramOrder)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Total.MigPct, "migration-gain-%")
+	b.ReportMetric(r.Total.SyncPct, "new-sched-gain-%")
+	b.ReportMetric(float64(r.Total.ConvertedByMig), "LBDs-converted")
+}
+
+// BenchmarkWindowSweep measures how bounded signal hardware throttles an
+// otherwise LFD-converted loop (time at n=200 for several window sizes).
+func BenchmarkWindowSweep(b *testing.B) {
+	prog := MustCompile("DO I = 1, N\nA[I] = E[I]\nB[I+2] = A[I-3] * F[I+1]\nENDDO")
+	s, err := prog.ScheduleSync(Machine4Issue(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	windows := []int{4, 6, 8, 32, 0} // the d=3 pair is LFD, so windows must exceed 3
+	totals := make([]int, len(windows))
+	for i := 0; i < b.N; i++ {
+		for k, w := range windows {
+			t, err := SimulateOptions(s, SimOptions{Lo: 1, Hi: 200, Window: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			totals[k] = t.Total
+		}
+	}
+	b.ReportMetric(float64(totals[0]), "cycles-window4")
+	b.ReportMetric(float64(totals[2]), "cycles-window8")
+	b.ReportMetric(float64(totals[4]), "cycles-unbounded")
+}
+
+// BenchmarkUnroll reports per-element parallel time of the serialized chain
+// at unroll factors 1, 2 and 4 — the synchronization-amortization ablation.
+func BenchmarkUnroll(b *testing.B) {
+	prog := MustCompile("DO I = 1, N\nA[I] = A[I-1] + 1\nENDDO")
+	elements := 96
+	cfg := Machine2Issue(1)
+	per := make([]float64, 3)
+	for i := 0; i < b.N; i++ {
+		for k, factor := range []int{1, 2, 4} {
+			p := prog
+			if factor > 1 {
+				var err error
+				p, err = prog.Unroll(factor)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			s, err := p.ScheduleSync(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			per[k] = float64(Simulate(s, elements/factor).Total) / float64(elements)
+		}
+	}
+	b.ReportMetric(per[0], "cyc/elem-k1")
+	b.ReportMetric(per[1], "cyc/elem-k2")
+	b.ReportMetric(per[2], "cyc/elem-k4")
+}
+
+// BenchmarkISAAssemble measures assembly (selection + allocation + layout +
+// encoding) of the Fig. 1 loop.
+func BenchmarkISAAssemble(b *testing.B) {
+	prog := MustCompile(fig1)
+	for i := 0; i < b.N; i++ {
+		code, err := prog.Assemble(1-8, 108)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(code.Words) == 0 {
+			b.Fatal("empty assembly")
+		}
+	}
+}
+
+// BenchmarkISAExecute measures binary execution of 100 iterations on the
+// machine interpreter, relative to the reference interpreter's pace.
+func BenchmarkISAExecute(b *testing.B) {
+	prog := MustCompile(fig1)
+	code, err := prog.Assemble(1-8, 108)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("machine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st := prog.SeedStore(100, uint64(i))
+			b.StartTimer()
+			if err := code.Run(st, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("interpreter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st := prog.SeedStore(100, uint64(i))
+			b.StartTimer()
+			if err := prog.RunSequential(st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,101 @@
+// Command benchtab regenerates the paper's evaluation tables from the
+// synthetic Perfect suites.
+//
+// Usage:
+//
+//	benchtab                 # all three tables + observations
+//	benchtab -table 2        # a single table
+//	benchtab -baseline order # program-order baseline instead of critical path
+//	benchtab -loops          # per-loop drill-down
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"doacross/internal/core"
+	"doacross/internal/dlx"
+	"doacross/internal/perfect"
+	"doacross/internal/tables"
+)
+
+// dlxConfig is the machine configuration used by the extension experiments.
+func dlxConfig() dlx.Config { return dlx.Standard(4, 1) }
+
+func main() {
+	table := flag.Int("table", 0, "table to print (1, 2 or 3; 0 = all)")
+	baseline := flag.String("baseline", "cp", "list-scheduling baseline: cp (critical path) or order (program order)")
+	loops := flag.Bool("loops", false, "print per-loop measurements")
+	migration := flag.Bool("migration", false, "run the migration-vs-scheduling extension experiment")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+
+	pri := core.CriticalPath
+	switch *baseline {
+	case "cp", "critical-path":
+	case "order", "program-order":
+		pri = core.ProgramOrder
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: unknown baseline %q\n", *baseline)
+		os.Exit(2)
+	}
+	suites, err := perfect.Suites()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+	if *migration {
+		for _, p := range []core.ListPriority{core.ProgramOrder, core.CriticalPath} {
+			name := map[core.ListPriority]string{core.ProgramOrder: "program-order", core.CriticalPath: "critical-path"}[p]
+			mr, err := tables.RunMigration(suites, dlxConfig(), p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("-- baseline: %s list scheduling --\n", name)
+			fmt.Print(mr.Render())
+			fmt.Println()
+		}
+		return
+	}
+	r, err := tables.RunOn(suites, pri)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+	if *format == "csv" {
+		fmt.Print(r.CSV())
+		if *loops {
+			fmt.Println()
+			fmt.Print(r.LoopCSV())
+		}
+		return
+	}
+	switch *table {
+	case 1:
+		fmt.Print(r.RenderTable1())
+	case 2:
+		fmt.Print(r.RenderTable2())
+	case 3:
+		fmt.Print(r.RenderTable3())
+	case 0:
+		fmt.Println(r.Render())
+		spread, ok := r.Observation1()
+		fmt.Printf("Observation 1 (new scheduling ~flat across configs): spread %.1f%%, holds=%v\n", 100*spread, ok)
+		anoms := r.Observation2()
+		fmt.Printf("Observation 2 (list scheduling slower at 4-issue for some benchmarks): %v\n", anoms)
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: no table %d\n", *table)
+		os.Exit(2)
+	}
+	if *loops {
+		fmt.Println("\nPer-loop measurements:")
+		fmt.Printf("%-8s %5s %-16s %-16s %8s %8s %6s %6s %6s %6s\n",
+			"suite", "loop", "template", "config", "Ta", "Tb", "LBDa", "LBDb", "lenA", "lenB")
+		for _, lr := range r.Loops {
+			fmt.Printf("%-8s %5d %-16s %-16s %8d %8d %6d %6d %6d %6d\n",
+				lr.Suite, lr.Index, lr.Template, lr.Config, lr.Ta, lr.Tb, lr.LBDa, lr.LBDb, lr.LenA, lr.LenB)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command loopgen emits the synthetic Perfect benchmark suites: the loop
+// sources, their templates, and the Table 1 characteristics.
+//
+// Usage:
+//
+//	loopgen                 # characteristics of all suites
+//	loopgen -bench TRACK    # print TRACK's loops
+//	loopgen -bench ADM -doacross   # only ADM's DOACROSS loops
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"doacross/internal/perfect"
+)
+
+func main() {
+	bench := flag.String("bench", "", "print the loops of one benchmark (FLQ52, QCD, MDG, TRACK, ADM)")
+	doacrossOnly := flag.Bool("doacross", false, "with -bench: skip DOALL loops")
+	flag.Parse()
+
+	suites, err := perfect.Suites()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loopgen:", err)
+		os.Exit(1)
+	}
+	if *bench == "" {
+		fmt.Printf("%-8s %-45s %6s %6s %6s %6s %6s\n",
+			"suite", "description", "loops", "doall", "dlx", "LFD", "LBD")
+		for _, s := range suites {
+			c, err := s.Characteristics()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loopgen:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-8s %-45s %6d %6d %6d %6d %6d\n",
+				c.Name, s.Profile.Description, c.TotalLoops, c.DoallLoops, c.DLXLines, c.LFD, c.LBD)
+		}
+		return
+	}
+	for _, s := range suites {
+		if s.Profile.Name != *bench {
+			continue
+		}
+		loops := s.Loops
+		if *doacrossOnly {
+			loops = s.Doacross()
+		}
+		for i, l := range loops {
+			fmt.Printf("! %s loop %d (%s)\n%s\n", s.Profile.Name, i, l.Template, l.Source)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "loopgen: unknown benchmark %q\n", *bench)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command schedcmp compiles a DOACROSS loop and compares traditional list
+// scheduling against the paper's synchronization-aware scheduling on a
+// chosen machine, printing both schedules, the synchronization pair spans,
+// and simulated parallel execution times.
+//
+// Usage:
+//
+//	schedcmp [-issue 4] [-fu 1] [-uniform] [-n 100] [-baseline cp] [file]
+//
+// With no file, the loop is read from standard input. Example loop:
+//
+//	DO I = 1, N
+//	  S1: B[I] = A[I-2] + E[I+1]
+//	  S2: G[I-3] = A[I-1] * E[I+2]
+//	  S3: A[I] = B[I] + C[I+3]
+//	ENDDO
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"doacross"
+)
+
+func main() {
+	issue := flag.Int("issue", 4, "issue width")
+	fu := flag.Int("fu", 1, "function units per class")
+	uniform := flag.Bool("uniform", false, "use single-cycle latencies everywhere (Fig. 4 setting)")
+	n := flag.Int("n", 100, "loop trip count (one processor per iteration)")
+	baseline := flag.String("baseline", "cp", "baseline priority: cp (critical path) or order (program order)")
+	gantt := flag.Bool("gantt", false, "print per-cycle function-unit occupancy charts")
+	dot := flag.Bool("dot", false, "print the data-flow graph in Graphviz DOT format and exit")
+	window := flag.Int("window", 0, "signal hardware window (0 = unbounded)")
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	prog, err := doacross.Compile(src)
+	if err != nil {
+		fail(err)
+	}
+	var m doacross.Machine
+	if *uniform {
+		m = doacross.UniformMachine(*issue, *fu)
+	} else {
+		m = doacross.NewMachine(*issue, *fu)
+	}
+
+	fmt.Println("== Synchronized DOACROSS form ==")
+	fmt.Print(prog.DoacrossSource())
+	fmt.Println("\n== Three-address code ==")
+	fmt.Print(prog.Listing())
+	fmt.Println("\n== Data-flow graph ==")
+	fmt.Println(prog.GraphInfo())
+	if *dot {
+		fmt.Print(prog.Graph.DOT())
+		return
+	}
+
+	var list *doacross.Schedule
+	switch *baseline {
+	case "cp":
+		list, err = prog.ScheduleList(m)
+	case "order":
+		list, err = prog.ScheduleListProgramOrder(m)
+	default:
+		fail(fmt.Errorf("unknown baseline %q", *baseline))
+	}
+	if err != nil {
+		fail(err)
+	}
+	syn, err := prog.ScheduleSync(m)
+	if err != nil {
+		fail(err)
+	}
+	for _, s := range []*doacross.Schedule{list, syn} {
+		if err := s.Validate(); err != nil {
+			fail(fmt.Errorf("%s schedule invalid: %w", s.Method, err))
+		}
+		fmt.Printf("\n== %s schedule (%s, %d rows) ==\n", s.Method, m.Name, s.Length())
+		fmt.Print(s.String())
+		if *gantt {
+			fmt.Println()
+			fmt.Print(s.Gantt())
+		}
+		printSpans(s)
+		t, err := doacross.SimulateOptions(s, doacross.SimOptions{Lo: 1, Hi: *n, Window: *window})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("register pressure (max live temps): %d\n", s.MaxLive())
+		fmt.Printf("parallel execution time (n=%d): %d cycles, %d stall cycles\n",
+			*n, t.Total, t.StallCycles)
+	}
+	lt, err := doacross.SimulateOptions(list, doacross.SimOptions{Lo: 1, Hi: *n, Window: *window})
+	if err != nil {
+		fail(err)
+	}
+	st, err := doacross.SimulateOptions(syn, doacross.SimOptions{Lo: 1, Hi: *n, Window: *window})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nimprovement: %.2f%%\n", doacross.Speedup(lt.Total, st.Total))
+}
+
+func printSpans(s *doacross.Schedule) {
+	for _, p := range s.PairSpans() {
+		kind := "LFD"
+		if p.LBD() {
+			kind = "LBD"
+		}
+		fmt.Printf("  pair %s d=%d: wait@%d send@%d  %s (span %d)\n",
+			p.Signal, p.Distance, p.WaitCycle, p.SendCycle, kind, p.Span())
+	}
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "schedcmp:", err)
+	os.Exit(1)
+}

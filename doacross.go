@@ -1,0 +1,373 @@
+// Package doacross reproduces Rong-Yuh Hwang's IPPS 1997 paper "An
+// Efficient Technique of Instruction Scheduling on a Superscalar-Based
+// Multiprocessor": synchronization-aware instruction scheduling for DOACROSS
+// loops executing one iteration per superscalar processor.
+//
+// The package is a facade over the full pipeline:
+//
+//	source loop ─lang→ AST ─dep→ dependences ─syncop→ DOACROSS+Send/Wait
+//	  ─tac→ DLX-style code ─dfg→ data-flow graph (Sig/Wat/Sigwat partition)
+//	  ─core→ schedule (list baseline or the paper's technique)
+//	  ─sim→ parallel execution time on n processors
+//
+// Quick start:
+//
+//	prog, err := doacross.Compile(`
+//	DO I = 1, N
+//	  S1: B[I] = A[I-2] + E[I+1]
+//	  S2: G[I-3] = A[I-1] * E[I+2]
+//	  S3: A[I] = B[I] + C[I+3]
+//	ENDDO`)
+//	m := doacross.Machine4Issue(1)
+//	list, _ := prog.ScheduleList(m)
+//	sync, _ := prog.ScheduleSync(m)
+//	fmt.Println(doacross.Simulate(list, 100).Total) // paper's T_a-4-1
+//	fmt.Println(doacross.Simulate(sync, 100).Total) // paper's T_b-4-1
+package doacross
+
+import (
+	"fmt"
+	"strings"
+
+	"doacross/internal/core"
+	"doacross/internal/dep"
+	"doacross/internal/dfg"
+	"doacross/internal/dlx"
+	"doacross/internal/dlxisa"
+	"doacross/internal/lang"
+	"doacross/internal/migrate"
+	"doacross/internal/model"
+	"doacross/internal/sim"
+	"doacross/internal/syncop"
+	"doacross/internal/tac"
+	"doacross/internal/unroll"
+)
+
+// Re-exported pipeline types. The implementation lives in internal packages;
+// these aliases are the public names.
+type (
+	// Loop is a parsed DO/DOACROSS loop.
+	Loop = lang.Loop
+	// Store is the shared-memory state simulations execute against.
+	Store = lang.Store
+	// Machine is a superscalar processor configuration.
+	Machine = dlx.Config
+	// Schedule is a cycle-by-cycle issue assignment for one iteration.
+	Schedule = core.Schedule
+	// PairSpan describes one synchronization pair's placement.
+	PairSpan = core.PairSpan
+	// Timing is a simulation result.
+	Timing = sim.Timing
+	// SimOptions configures a simulation run.
+	SimOptions = sim.Options
+	// Dependence is one data dependence of a loop.
+	Dependence = dep.Dependence
+	// SyncOptions holds ablation knobs for the new scheduler.
+	SyncOptions = core.SyncOptions
+)
+
+// Machine constructors mirroring the paper's configurations.
+
+// NewMachine returns the paper's machine with the given issue width and
+// function units of each class (multiplier 3 cycles, divider 6, others 1).
+func NewMachine(issue, fuCount int) Machine { return dlx.Standard(issue, fuCount) }
+
+// Machine2Issue returns the 2-issue configuration with fuCount units each.
+func Machine2Issue(fuCount int) Machine { return dlx.Standard(2, fuCount) }
+
+// Machine4Issue returns the 4-issue configuration with fuCount units each.
+func Machine4Issue(fuCount int) Machine { return dlx.Standard(4, fuCount) }
+
+// UniformMachine returns a machine with single-cycle latencies everywhere
+// (the paper's Fig. 4 setting).
+func UniformMachine(issue, fuCount int) Machine { return dlx.Uniform(issue, fuCount) }
+
+// PaperMachines returns the four Table 2 configurations.
+func PaperMachines() []Machine { return dlx.PaperConfigs() }
+
+// Program is a fully analyzed and compiled DOACROSS loop.
+type Program struct {
+	// Loop is the parsed source loop.
+	Loop *Loop
+	// Analysis holds its data dependences.
+	Analysis *dep.Analysis
+	// Sync is the DOACROSS form with Send_Signal/Wait_Signal inserted.
+	Sync *syncop.Loop
+	// Code is the compiled three-address body of one iteration.
+	Code *tac.Program
+	// Graph is the synchronization-augmented data-flow graph.
+	Graph *dfg.Graph
+}
+
+// Parse parses loop source without compiling it.
+func Parse(src string) (*Loop, error) { return lang.Parse(src) }
+
+// Compile parses and compiles a loop through the whole analysis pipeline.
+func Compile(src string) (*Program, error) {
+	loop, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileLoop(loop)
+}
+
+// CompileLoop compiles an already parsed loop.
+func CompileLoop(loop *Loop) (*Program, error) {
+	a := dep.Analyze(loop)
+	sl := syncop.Insert(a, syncop.Options{})
+	code, err := tac.Generate(sl)
+	if err != nil {
+		return nil, err
+	}
+	g, err := dfg.Build(code, a)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Loop: loop, Analysis: a, Sync: sl, Code: code, Graph: g}, nil
+}
+
+// MustCompile is Compile panicking on error, for tests and examples.
+func MustCompile(src string) *Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// IsDoall reports whether the loop has no loop-carried dependences.
+func (p *Program) IsDoall() bool { return p.Analysis.IsDoall() }
+
+// Dependences returns the loop-carried dependences requiring
+// synchronization.
+func (p *Program) Dependences() []Dependence { return p.Analysis.Carried() }
+
+// CountLexical returns how many carried dependences are lexically forward
+// (LFD) and backward (LBD).
+func (p *Program) CountLexical() (lfd, lbd int) { return p.Analysis.CountLexical() }
+
+// DoacrossSource renders the synchronized loop (the paper's Fig. 1(b) view).
+func (p *Program) DoacrossSource() string { return p.Sync.String() }
+
+// Listing renders the compiled three-address code (the Fig. 2 view).
+func (p *Program) Listing() string { return tac.Listing(p.Code.Instrs) }
+
+// GraphInfo summarizes the data-flow graph partition (the Fig. 3 view).
+func (p *Program) GraphInfo() string { return p.Graph.SyncInfo() }
+
+// ScheduleList builds the baseline list schedule with critical-path
+// priority (traditional list scheduling).
+func (p *Program) ScheduleList(m Machine) (*Schedule, error) {
+	return core.List(p.Graph, m, core.CriticalPath)
+}
+
+// ScheduleListProgramOrder builds the baseline with program-order priority
+// (the construction of the paper's Fig. 4(a)).
+func (p *Program) ScheduleListProgramOrder(m Machine) (*Schedule, error) {
+	return core.List(p.Graph, m, core.ProgramOrder)
+}
+
+// ScheduleSync builds the paper's synchronization-aware schedule.
+func (p *Program) ScheduleSync(m Machine) (*Schedule, error) {
+	return core.Sync(p.Graph, m)
+}
+
+// ScheduleSyncWithOptions builds the new schedule with ablation knobs.
+func (p *Program) ScheduleSyncWithOptions(m Machine, opt SyncOptions) (*Schedule, error) {
+	return core.SyncWithOptions(p.Graph, m, opt)
+}
+
+// ScheduleBest builds both schedules and returns the better one, realizing
+// the paper's never-degrades guarantee.
+func (p *Program) ScheduleBest(m Machine) (*Schedule, error) {
+	return core.Best(p.Graph, m)
+}
+
+// Simulate computes the parallel execution time of n iterations on n
+// processors (the paper's setting) using the recurrence simulator.
+func Simulate(s *Schedule, n int) Timing {
+	return sim.MustTime(s, sim.Options{Lo: 1, Hi: n})
+}
+
+// SimulateOptions computes the parallel execution time with explicit bounds
+// and processor count.
+func SimulateOptions(s *Schedule, opt SimOptions) (Timing, error) {
+	return sim.Time(s, opt)
+}
+
+// Execute runs the detailed simulator against the store (mutating it) and
+// returns the timing. The store must define the loop bounds' scalars (e.g.
+// N); use SeedStore for synthetic data.
+func Execute(s *Schedule, st *Store, opt SimOptions) (Timing, error) {
+	return sim.Run(s, st, opt)
+}
+
+// SeedStore builds a deterministic pseudo-random store covering the loop's
+// arrays for n iterations.
+func (p *Program) SeedStore(n int, seed uint64) *Store {
+	st := p.Loop.SeedStore(n, marginFor(p.Loop, n), seed)
+	return st
+}
+
+// marginFor picks a safe subscript margin from the loop's affine offsets.
+func marginFor(l *Loop, n int) int {
+	margin := 8
+	for _, st := range l.Body {
+		for _, r := range append(lang.ArrayRefs(st.LHS), lang.ArrayRefs(st.RHS)...) {
+			if _, off, ok := lang.AffineIndex(r.Index, l.Var); ok {
+				if off < 0 {
+					off = -off
+				}
+				if off+2 > margin {
+					margin = off + 2
+				}
+			}
+		}
+	}
+	return margin
+}
+
+// RunSequential executes the loop sequentially (reference semantics).
+func (p *Program) RunSequential(st *Store) error { return p.Loop.Run(st) }
+
+// Predict applies the paper's LBD loop theorem to a schedule.
+func Predict(s *Schedule, n int) int { return model.Predict(s, n) }
+
+// Speedup returns the Table 3 improvement percentage between two times.
+func Speedup(ta, tb int) float64 { return model.Speedup(ta, tb) }
+
+// Compare schedules a program both ways on a machine and reports the paper's
+// headline numbers for n iterations.
+type Comparison struct {
+	Machine  string
+	N        int
+	ListTime int
+	SyncTime int
+	// Improvement is the Table 3 percentage.
+	Improvement float64
+	// ListLBD and SyncLBD count remaining lexically backward pairs.
+	ListLBD, SyncLBD int
+	List, Sync       *Schedule
+}
+
+// Compare runs the full experiment for one loop on one machine.
+func (p *Program) Compare(m Machine, n int) (Comparison, error) {
+	list, err := p.ScheduleList(m)
+	if err != nil {
+		return Comparison{}, err
+	}
+	syn, err := p.ScheduleSync(m)
+	if err != nil {
+		return Comparison{}, err
+	}
+	lt, err := sim.Time(list, sim.Options{Lo: 1, Hi: n})
+	if err != nil {
+		return Comparison{}, err
+	}
+	st, err := sim.Time(syn, sim.Options{Lo: 1, Hi: n})
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{
+		Machine:     m.Name,
+		N:           n,
+		ListTime:    lt.Total,
+		SyncTime:    st.Total,
+		Improvement: model.Speedup(lt.Total, st.Total),
+		ListLBD:     list.NumLBD(),
+		SyncLBD:     syn.NumLBD(),
+		List:        list,
+		Sync:        syn,
+	}, nil
+}
+
+// Migration is the result of source-level synchronization migration.
+type Migration = migrate.Result
+
+// Migrate applies the cited statement-reordering baseline (synchronization
+// migration) to the program's loop, returning the reordered loop and
+// before/after LBD counts. Compile the result to measure its effect:
+//
+//	mig, _ := prog.Migrate()
+//	prog2, _ := doacross.CompileLoop(mig.Loop)
+func (p *Program) Migrate() (*Migration, error) {
+	return migrate.Migrate(p.Analysis)
+}
+
+// SourceFile is a parsed multi-loop source file.
+type SourceFile = lang.File
+
+// ParseSource parses a source file containing one or more loops.
+func ParseSource(src string) (*SourceFile, error) { return lang.ParseFile(src) }
+
+// CompileFile parses and compiles every loop of a multi-loop source file.
+func CompileFile(src string) ([]*Program, error) {
+	f, err := lang.ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Program, 0, len(f.Loops))
+	for i, l := range f.Loops {
+		p, err := CompileLoop(l)
+		if err != nil {
+			return nil, fmt.Errorf("loop %d: %w", i+1, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// CompareFile runs the full list-vs-new experiment over every loop of a
+// source file and returns the summed times (the per-benchmark rows of the
+// paper's Table 2 are exactly this, applied to each extracted suite).
+func CompareFile(src string, m Machine, n int) (Comparison, error) {
+	progs, err := CompileFile(src)
+	if err != nil {
+		return Comparison{}, err
+	}
+	total := Comparison{Machine: m.Name, N: n}
+	for _, p := range progs {
+		c, err := p.Compare(m, n)
+		if err != nil {
+			return Comparison{}, err
+		}
+		total.ListTime += c.ListTime
+		total.SyncTime += c.SyncTime
+		total.ListLBD += c.ListLBD
+		total.SyncLBD += c.SyncLBD
+	}
+	total.Improvement = model.Speedup(total.ListTime, total.SyncTime)
+	return total, nil
+}
+
+// Unroll unrolls the program's loop by factor k and recompiles it. One
+// Send/Wait pair then covers k original iterations, amortizing
+// synchronization overhead. The unrolled loop is equivalent to the original
+// when the trip count divides by k.
+func (p *Program) Unroll(k int) (*Program, error) {
+	r, err := unroll.Unroll(p.Loop, k)
+	if err != nil {
+		return nil, err
+	}
+	return CompileLoop(r.Loop)
+}
+
+// MachineCode is an assembled DLX-like binary of one iteration body.
+type MachineCode = dlxisa.Program
+
+// Assemble lowers the program's three-address code to DLX-like machine code
+// (register allocation, constant pool, binary encoding). The generated code
+// may address array elements in [minIdx, maxIdx].
+func (p *Program) Assemble(minIdx, maxIdx int) (*MachineCode, error) {
+	return dlxisa.Assemble(p.Code, minIdx, maxIdx)
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "machine %s, n=%d:\n", c.Machine, c.N)
+	fmt.Fprintf(&sb, "  list scheduling: %6d cycles (%d LBD pairs)\n", c.ListTime, c.ListLBD)
+	fmt.Fprintf(&sb, "  new  scheduling: %6d cycles (%d LBD pairs)\n", c.SyncTime, c.SyncLBD)
+	fmt.Fprintf(&sb, "  improvement:     %6.2f%%\n", c.Improvement)
+	return sb.String()
+}

@@ -1,0 +1,165 @@
+package doacross
+
+import (
+	"strings"
+	"testing"
+)
+
+const fig1 = `
+DO I = 1, N
+  S1: B[I] = A[I-2] + E[I+1]
+  S2: G[I-3] = A[I-1] * E[I+2]
+  S3: A[I] = B[I] + C[I+3]
+ENDDO
+`
+
+func TestCompilePipeline(t *testing.T) {
+	p, err := Compile(fig1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IsDoall() {
+		t.Error("fig1 loop is not DOALL")
+	}
+	lfd, lbd := p.CountLexical()
+	if lfd != 0 || lbd != 2 {
+		t.Errorf("lexical = (%d,%d), want (0,2)", lfd, lbd)
+	}
+	if !strings.Contains(p.DoacrossSource(), "Send_Signal(S3)") {
+		t.Error("DoacrossSource missing send")
+	}
+	if !strings.Contains(p.Listing(), "Wait_Signal(S3, I-2)") {
+		t.Error("Listing missing wait")
+	}
+	if !strings.Contains(p.GraphInfo(), "Sigwat") {
+		t.Errorf("GraphInfo = %q", p.GraphInfo())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("not a loop"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestEndToEndComparison(t *testing.T) {
+	p := MustCompile(fig1)
+	c, err := p.Compare(Machine4Issue(1), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SyncTime >= c.ListTime {
+		t.Errorf("no improvement: %+v", c)
+	}
+	if c.Improvement <= 0 {
+		t.Error("non-positive improvement")
+	}
+	if c.SyncLBD >= c.ListLBD {
+		t.Errorf("LBD count not reduced: %d vs %d", c.SyncLBD, c.ListLBD)
+	}
+	s := c.String()
+	for _, want := range []string{"list scheduling", "new  scheduling", "improvement"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("comparison rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExecuteMatchesSequential(t *testing.T) {
+	p := MustCompile(fig1)
+	s, err := p.ScheduleSync(Machine2Issue(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 10
+	seq := p.SeedStore(n, 7)
+	par := seq.Clone()
+	if err := p.RunSequential(seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(s, par, SimOptions{Lo: 1, Hi: n}); err != nil {
+		t.Fatal(err)
+	}
+	if d := seq.Diff(par); d != "" {
+		t.Errorf("parallel execution diverges: %s", d)
+	}
+}
+
+func TestScheduleBestNeverWorse(t *testing.T) {
+	p := MustCompile(fig1)
+	for _, m := range PaperMachines() {
+		list, err := p.ScheduleList(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := p.ScheduleBest(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 100
+		if Simulate(best, n).Total > Simulate(list, n).Total {
+			t.Errorf("%s: best slower than list", m.Name)
+		}
+	}
+}
+
+func TestPredictFacade(t *testing.T) {
+	p := MustCompile("DO I = 1, N\nA[I] = A[I-1] + 1\nENDDO")
+	s, err := p.ScheduleSync(UniformMachine(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 50
+	if got, want := Predict(s, n), Simulate(s, n).Total; got != want {
+		t.Errorf("Predict = %d, simulated = %d", got, want)
+	}
+}
+
+func TestSpeedupFacade(t *testing.T) {
+	if Speedup(100, 25) != 75 {
+		t.Error("Speedup(100,25) != 75")
+	}
+}
+
+func TestSimulateOptionsProcs(t *testing.T) {
+	p := MustCompile(fig1)
+	s, err := p.ScheduleSync(Machine4Issue(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := SimulateOptions(s, SimOptions{Lo: 1, Hi: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := SimulateOptions(s, SimOptions{Lo: 1, Hi: 32, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Total < full.Total {
+		t.Error("2 processors cannot beat 32")
+	}
+}
+
+func TestAblationFacade(t *testing.T) {
+	p := MustCompile(fig1)
+	s, err := p.ScheduleSyncWithOptions(Machine4Issue(1), SyncOptions{NoLazyWaits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeedStoreMarginCoversOffsets(t *testing.T) {
+	p := MustCompile("DO I = 1, N\nA[I] = B[I-7] + C[I+9]\nENDDO")
+	st := p.SeedStore(5, 3)
+	// Elements up to offset 9 beyond the range must be seeded (non-zero with
+	// high probability under the generator; check presence in the map).
+	if _, ok := st.Arrays["C"][5+9]; !ok {
+		t.Error("seed store does not cover C[I+9]")
+	}
+	if _, ok := st.Arrays["B"][1-7]; !ok {
+		t.Error("seed store does not cover B[I-7]")
+	}
+}

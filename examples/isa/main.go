@@ -1,0 +1,64 @@
+// Isa demonstrates the machine-code backend: the Fig. 1 loop is lowered all
+// the way to encoded DLX-like binary (register allocation, constant pool,
+// 32-bit words), executed on the machine interpreter, and cross-checked
+// against the reference interpreter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doacross"
+)
+
+const fig1 = `
+DO I = 1, N
+  S1: B[I] = A[I-2] + E[I+1]
+  S2: G[I-3] = A[I-1] * E[I+2]
+  S3: A[I] = B[I] + C[I+3]
+ENDDO
+`
+
+func main() {
+	prog, err := doacross.Compile(fig1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 20
+	code, err := prog.Assemble(1-8, n+8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== three-address internal form ===")
+	fmt.Print(prog.Listing())
+
+	fmt.Println("\n=== assembled DLX-like machine code ===")
+	fmt.Print(code.Listing())
+	fmt.Printf("\n%d instructions, %d spill slots, %d memory cells, signals %v\n",
+		len(code.Insts), code.NumSpills, code.Layout.Cells, code.Signals)
+
+	// Execute the *encoded binary* for all iterations and compare against
+	// the reference interpreter.
+	ref := prog.SeedStore(n, 1234)
+	got := ref.Clone()
+	if err := prog.RunSequential(ref); err != nil {
+		log.Fatal(err)
+	}
+	if err := code.Run(got, true); err != nil {
+		log.Fatal(err)
+	}
+	mismatch := false
+	for _, name := range prog.Loop.Arrays() {
+		for i := 1; i <= n; i++ {
+			if ref.Elem(name, i) != got.Elem(name, i) {
+				fmt.Printf("MISMATCH %s[%d]: %v vs %v\n", name, i, ref.Elem(name, i), got.Elem(name, i))
+				mismatch = true
+			}
+		}
+	}
+	if mismatch {
+		log.Fatal("binary execution diverged")
+	}
+	fmt.Printf("\nexecuted %d iterations from the encoded binary; memory matches the reference interpreter\n", n)
+}

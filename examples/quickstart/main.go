@@ -1,0 +1,58 @@
+// Quickstart: compile a DOACROSS loop, schedule it both ways, and compare
+// parallel execution times — the library's three-call workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doacross"
+)
+
+func main() {
+	// A loop with a loop-carried flow dependence: iteration I reads the
+	// value iteration I-1 wrote into A.
+	prog, err := doacross.Compile(`
+DO I = 1, N
+  S1: T[I] = A[I-1] * E[I]
+  S2: U[I+4] = F[I] + G[I-2]
+  S3: V[I+5] = F[I+1] - G[I-3]
+  S4: A[I] = T[I] + C[I]
+ENDDO`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lfd, lbd := prog.CountLexical()
+	fmt.Printf("loop-carried dependences: %d forward (LFD), %d backward (LBD)\n", lfd, lbd)
+	fmt.Println("\nsynchronized DOACROSS form:")
+	fmt.Print(prog.DoacrossSource())
+
+	// The paper's 4-issue machine with one unit of each class.
+	m := doacross.Machine4Issue(1)
+	cmp, err := prog.Compare(m, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(cmp)
+
+	// The detailed simulator executes real data and double-checks that the
+	// parallel schedule computes exactly what sequential execution does.
+	sched, err := prog.ScheduleSync(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq := prog.SeedStore(100, 42)
+	par := seq.Clone()
+	if err := prog.RunSequential(seq); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := doacross.Execute(sched, par, doacross.SimOptions{Lo: 1, Hi: 100}); err != nil {
+		log.Fatal(err)
+	}
+	if d := seq.Diff(par); d != "" {
+		log.Fatalf("parallel result differs: %s", d)
+	}
+	fmt.Println("\ndetailed simulation matches sequential execution bit for bit")
+}

@@ -1,0 +1,76 @@
+// Sweep explores the Table 2 axes beyond the paper's four points: issue
+// width x function-unit count x trip count, printing a data series per
+// scheduler that shows where the two techniques diverge and where extra
+// hardware stops helping (the new schedule is bound by the synchronization
+// path, not by issue width — §4.2 observation 1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doacross"
+)
+
+const loopSrc = `
+DO I = 1, N
+  S1: P[I+4] = E[I+5] + F[I-6]
+  S2: Q[I+4] = G[I+6] * H[I-5]
+  S3: B[I] = A[I-2] + E[I+1]
+  S4: R[I+4] = F[I+7] - G[I-7]
+  S5: A[I] = B[I] + C[I+3]
+  S6: T[I+4] = H[I+8] + E[I-8]
+ENDDO
+`
+
+func main() {
+	prog, err := doacross.Compile(loopSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 100
+
+	fmt.Println("=== issue width x unit count sweep (n=100) ===")
+	fmt.Printf("%8s %5s %10s %10s %12s\n", "issue", "FUs", "T_list", "T_new", "improvement")
+	for _, issue := range []int{1, 2, 4, 8} {
+		for _, fu := range []int{1, 2, 4} {
+			m := doacross.NewMachine(issue, fu)
+			cmp, err := prog.Compare(m, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8d %5d %10d %10d %11.2f%%\n",
+				issue, fu, cmp.ListTime, cmp.SyncTime, cmp.Improvement)
+		}
+	}
+
+	fmt.Println("\n=== trip-count scaling at 4-issue(#FU=1) ===")
+	m := doacross.Machine4Issue(1)
+	list, err := prog.ScheduleList(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	syn, err := prog.ScheduleSync(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%8s %10s %10s\n", "n", "T_list", "T_new")
+	for _, n := range []int{1, 10, 50, 100, 500, 1000} {
+		fmt.Printf("%8d %10d %10d\n", n,
+			doacross.Simulate(list, n).Total, doacross.Simulate(syn, n).Total)
+	}
+
+	fmt.Println("\n=== processor scaling, n=256 iterations, new scheduling ===")
+	fmt.Printf("%8s %10s %10s\n", "procs", "T_new", "speedup")
+	base := 0
+	for _, procs := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		t, err := doacross.SimulateOptions(syn, doacross.SimOptions{Lo: 1, Hi: 256, Procs: procs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = t.Total
+		}
+		fmt.Printf("%8d %10d %9.2fx\n", procs, t.Total, float64(base)/float64(t.Total))
+	}
+}

@@ -1,0 +1,163 @@
+package doacross
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeMigrate(t *testing.T) {
+	prog := MustCompile("DO I = 1, N\nB[I+1] = A[I-2] + E[I-1]\nA[I] = F[I] * 2\nENDDO")
+	mig, err := prog.Migrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Before != 1 || mig.After != 0 {
+		t.Errorf("migration %d -> %d, want 1 -> 0", mig.Before, mig.After)
+	}
+	// The migrated loop compiles and runs.
+	prog2, err := CompileLoop(mig.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 8
+	a := prog.SeedStore(n, 2)
+	b := a.Clone()
+	if err := prog.RunSequential(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog2.RunSequential(b); err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Diff(b); d != "" {
+		t.Errorf("migration semantics: %s", d)
+	}
+}
+
+func TestFacadeAssemble(t *testing.T) {
+	prog := MustCompile(fig1)
+	n := 10
+	code, err := prog.Assemble(1-8, n+8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code.Listing(), "sends") {
+		t.Error("assembly missing sends")
+	}
+	ref := prog.SeedStore(n, 5)
+	got := ref.Clone()
+	if err := prog.RunSequential(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := code.Run(got, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range prog.Loop.Arrays() {
+		for i := 1; i <= n; i++ {
+			if ref.Elem(name, i) != got.Elem(name, i) {
+				t.Fatalf("%s[%d] differs after binary execution", name, i)
+			}
+		}
+	}
+}
+
+func TestFacadeWindowOption(t *testing.T) {
+	prog := MustCompile("DO I = 1, N\nA[I] = E[I]\nB[I+2] = A[I-3] * F[I+1]\nENDDO")
+	s, err := prog.ScheduleSync(Machine4Issue(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbounded, err := SimulateOptions(s, SimOptions{Lo: 1, Hi: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := SimulateOptions(s, SimOptions{Lo: 1, Hi: 100, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Total <= unbounded.Total {
+		t.Errorf("window 4 (%d) should be slower than unbounded (%d)", tight.Total, unbounded.Total)
+	}
+}
+
+func TestFacadeUnroll(t *testing.T) {
+	prog := MustCompile("DO I = 1, N\nA[I] = A[I-1] + 1\nENDDO")
+	un, err := prog.Unroll(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(un.Loop.Body) != 4 {
+		t.Fatalf("unrolled body = %d statements", len(un.Loop.Body))
+	}
+	// Same elements, fewer compressed iterations: per-element time improves.
+	elements := 64
+	s1, err := prog.ScheduleSync(Machine2Issue(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := un.ScheduleSync(Machine2Issue(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := Simulate(s1, elements).Total
+	t4 := Simulate(s4, elements/4).Total
+	if t4 >= t1 {
+		t.Errorf("unroll-4 (%d cycles) not faster than original (%d cycles)", t4, t1)
+	}
+	// Parallel execution of the unrolled schedule stays correct.
+	ref := un.SeedStore(elements, 5)
+	got := ref.Clone()
+	if err := un.RunSequential(ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(s4, got, SimOptions{Lo: 1, Hi: elements / 4}); err != nil {
+		t.Fatal(err)
+	}
+	if d := ref.Diff(got); d != "" {
+		t.Errorf("unrolled parallel execution wrong: %s", d)
+	}
+}
+
+func TestFacadeGantt(t *testing.T) {
+	prog := MustCompile(fig1)
+	s, err := prog.ScheduleSync(Machine4Issue(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.Gantt(), "cycle") {
+		t.Error("gantt missing header")
+	}
+}
+
+func TestFacadeSmallSurfaces(t *testing.T) {
+	if m := NewMachine(3, 2); m.Issue != 3 || m.Units[0] != 2 {
+		t.Errorf("NewMachine = %+v", m)
+	}
+	loop, err := Parse("DO I = 1, N\nA[I] = 1\nENDDO")
+	if err != nil || loop.Var != "I" {
+		t.Errorf("Parse: %v %v", loop, err)
+	}
+	prog := MustCompile(fig1)
+	if len(prog.Dependences()) != 2 {
+		t.Errorf("Dependences = %v", prog.Dependences())
+	}
+}
+
+func TestFacadeCompareFile(t *testing.T) {
+	src := `DO I = 1, N
+A[I] = A[I-1] + E[I]
+ENDDO
+
+DO I = 1, N
+B[I] = A[I] * 2
+ENDDO`
+	c, err := CompareFile(src, Machine4Issue(1), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SyncTime <= 0 || c.ListTime < c.SyncTime {
+		t.Errorf("CompareFile = %+v", c)
+	}
+	if c.Improvement <= 0 {
+		t.Errorf("improvement = %v", c.Improvement)
+	}
+}

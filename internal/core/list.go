@@ -1,0 +1,49 @@
+package core
+
+import (
+	"doacross/internal/dfg"
+	"doacross/internal/dlx"
+	"doacross/internal/tac"
+)
+
+// ListPriority selects the tie-breaking priority of the baseline list
+// scheduler.
+type ListPriority int
+
+// Baseline priorities.
+const (
+	// ProgramOrder prioritizes by original instruction position, matching the
+	// paper's Fig. 4(a) construction ("nodes 1, 2, 3 are arranged in an
+	// instruction" — lowest-numbered ready nodes first).
+	ProgramOrder ListPriority = iota
+	// CriticalPath prioritizes by longest latency-weighted path to a sink,
+	// the textbook list-scheduling heuristic. For DOACROSS loops it fails in
+	// exactly the way the paper describes: waits are always ready (no data
+	// predecessors) and head long chains, so they hoist to cycle 0 and
+	// stretch the wait→send span.
+	CriticalPath
+)
+
+// List builds the baseline list schedule.
+func List(g *dfg.Graph, cfg dlx.Config, pri ListPriority) (*Schedule, error) {
+	n := g.N()
+	priority := make([]int, n)
+	switch pri {
+	case ProgramOrder:
+		for i := range priority {
+			priority[i] = i
+		}
+	case CriticalPath:
+		cp, err := g.CriticalPathLengths(func(in *tac.Instr) int {
+			return cfg.Latency[in.Class()]
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range priority {
+			// Longer critical path = higher priority = lower rank value.
+			priority[i] = -cp[i]
+		}
+	}
+	return engine(g, cfg, nil, priority, "list")
+}

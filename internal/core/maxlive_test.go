@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"doacross/internal/dlx"
+)
+
+func TestMaxLiveBounds(t *testing.T) {
+	g := buildGraph(t, fig1Source)
+	for _, mk := range []func() (*Schedule, error){
+		func() (*Schedule, error) { return List(g, dlx.Standard(4, 1), ProgramOrder) },
+		func() (*Schedule, error) { return Sync(g, dlx.Standard(4, 1)) },
+	} {
+		s, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := s.MaxLive()
+		if live < 1 {
+			t.Errorf("%s: MaxLive = %d, want >= 1", s.Method, live)
+		}
+		if live > s.Prog.NumTemps {
+			t.Errorf("%s: MaxLive = %d exceeds total temps %d", s.Method, live, s.Prog.NumTemps)
+		}
+	}
+}
+
+func TestMaxLiveSerialChainIsSmall(t *testing.T) {
+	// A pure value chain a->b->c->... keeps at most a couple of temps live.
+	g := buildGraph(t, "DO I = 1, N\nA[I] = ((E[I] + 1) * 2 - 3) / 4\nENDDO")
+	s, err := List(g, dlx.Standard(1, 1), ProgramOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live := s.MaxLive(); live > 3 {
+		t.Errorf("serial chain MaxLive = %d, want <= 3\n%s", live, s.Listing())
+	}
+}
+
+func TestMaxLiveWideExpressionIsLarge(t *testing.T) {
+	// A balanced sum of 8 loads at high issue width keeps many temps live.
+	g := buildGraph(t, "DO I = 1, N\nA[I] = (E[I] + F[I]) + (G[I] + H[I]) + ((P[I] + Q[I]) + (R[I] + T[I]))\nENDDO")
+	wide, err := List(g, dlx.Standard(8, 8), ProgramOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := List(g, dlx.Standard(1, 1), ProgramOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.MaxLive() < narrow.MaxLive() {
+		t.Errorf("wider issue should not reduce pressure: %d vs %d", wide.MaxLive(), narrow.MaxLive())
+	}
+	if wide.MaxLive() < 4 {
+		t.Errorf("8-wide sum pressure = %d, want >= 4", wide.MaxLive())
+	}
+}

@@ -1,0 +1,465 @@
+// Package dep implements the data-dependence analysis the paper obtains from
+// Parafrase: for a single DO loop it finds every flow, anti and output
+// dependence between statement pairs, computes loop-carried dependence
+// distances for affine subscripts, and classifies each dependence as
+// lexically forward (LFD) or lexically backward (LBD).
+//
+// Terminology follows the paper (§2):
+//
+//   - Src / Snk: dependence source and sink statements.
+//   - Si bef Sj: Si occurs textually before Sj.
+//   - A dependence Si δ Sj is *forward* iff Si bef Sj; otherwise *backward*.
+//   - Distance d: the sink iteration reads/writes the element the source
+//     touched d iterations earlier. d = 0 is loop-independent.
+package dep
+
+import (
+	"fmt"
+	"sort"
+
+	"doacross/internal/lang"
+)
+
+// Kind is the data-dependence class.
+type Kind int
+
+// Dependence kinds.
+const (
+	Flow   Kind = iota // write → read (true dependence)
+	Anti               // read → write
+	Output             // write → write
+)
+
+// String names the dependence kind.
+func (k Kind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Ref identifies one memory reference inside the loop body.
+type Ref struct {
+	// Stmt is the 0-based statement index.
+	Stmt int
+	// Write reports whether the reference stores (LHS) or loads (RHS).
+	Write bool
+	// Array is the referenced array ref node, nil for scalar references.
+	// Node identity ties the dependence to the load/store instruction the
+	// code generator emits for it.
+	Array *lang.ArrayRef
+	// ScalarName is set for scalar references.
+	ScalarName string
+	// Pos is the ordinal of the reference within its statement (guard reads
+	// first, then LHS, then RHS references left to right); used only for
+	// deterministic ordering.
+	Pos int
+	// Merge marks the implicit read of a *conditionally* written location:
+	// if-conversion lowers `IF (c) A[I] = v` to a load of the old element, a
+	// select, and an unconditional store, so the statement reads what it may
+	// overwrite. The flag lets the code generator map the reference to that
+	// merge load.
+	Merge bool
+}
+
+// Name returns the variable name referenced.
+func (r Ref) Name() string {
+	if r.Array != nil {
+		return r.Array.Name
+	}
+	return r.ScalarName
+}
+
+// Dependence is one data dependence of the loop.
+type Dependence struct {
+	Kind Kind
+	// Src and Snk are the dependence endpoints. Execution must preserve
+	// Src-before-Snk (offset by Distance iterations).
+	Src, Snk Ref
+	// Distance is the dependence distance in iterations; 0 means
+	// loop-independent (within one iteration).
+	Distance int
+	// Conservative marks dependences assumed (distance 1) because the
+	// subscript pair was not analyzable (non-affine, coefficient mismatch,
+	// or coefficient zero).
+	Conservative bool
+}
+
+// Carried reports whether the dependence crosses iterations.
+func (d Dependence) Carried() bool { return d.Distance > 0 }
+
+// LexForward reports whether the dependence is an LFD: the source statement
+// occurs textually strictly before the sink statement. Per the paper,
+// everything else — including same-statement dependences such as reductions —
+// is an LBD.
+func (d Dependence) LexForward() bool { return d.Src.Stmt < d.Snk.Stmt }
+
+// String renders the dependence for diagnostics, e.g.
+// "flow S3->S1 dist 2 (A)".
+func (d Dependence) String() string {
+	carried := ""
+	if d.Conservative {
+		carried = " (conservative)"
+	}
+	return fmt.Sprintf("%s S%d->S%d dist %d (%s)%s",
+		d.Kind, d.Src.Stmt+1, d.Snk.Stmt+1, d.Distance, d.Src.Name(), carried)
+}
+
+// Analysis holds the dependence analysis result for one loop.
+type Analysis struct {
+	Loop *lang.Loop
+	// Deps lists every dependence, deterministic order.
+	Deps []Dependence
+}
+
+// Analyze computes all dependences of the loop.
+func Analyze(loop *lang.Loop) *Analysis {
+	refs := collectRefs(loop)
+	a := &Analysis{Loop: loop}
+	// Group references by variable name, splitting scalar and array spaces.
+	byName := map[string][]Ref{}
+	for _, r := range refs {
+		key := r.Name()
+		if r.Array == nil {
+			key = "$" + key // scalar namespace
+		}
+		byName[key] = append(byName[key], r)
+	}
+	names := make([]string, 0, len(byName))
+	for k := range byName {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		group := byName[name]
+		for i := 0; i < len(group); i++ {
+			for j := 0; j < len(group); j++ {
+				w, x := group[i], group[j]
+				if !w.Write {
+					continue
+				}
+				// Pair each write with every read (flow/anti) and with later
+				// writes (output). The write/write case is handled once per
+				// unordered pair by requiring i <= j.
+				if x.Write {
+					if i > j {
+						continue
+					}
+					a.addWriteWrite(loop, w, x)
+				} else {
+					a.addWriteRead(loop, w, x)
+				}
+			}
+		}
+	}
+	sortDeps(a.Deps)
+	return a
+}
+
+// subscript classification for a pair of references.
+type pairClass int
+
+const (
+	pairExact        pairClass = iota // distance computed exactly
+	pairNone                          // provably independent
+	pairConservative                  // unknown; assume distance 1
+)
+
+// classify computes the iteration gap between two affine references to the
+// same array: how many iterations after the iteration executing `a` does the
+// iteration executing `b` touch the same element. gap>0 means b later,
+// gap<0 means b earlier, gap==0 same iteration.
+func classify(loop *lang.Loop, a, b Ref) (gap int, cls pairClass) {
+	if a.Array == nil {
+		// Scalar: every iteration touches the same location; handled by the
+		// caller with distance-1 loop-carried plus distance-0 rules.
+		return 0, pairExact
+	}
+	ca, oa, oka := lang.AffineIndex(a.Array.Index, loop.Var)
+	cb, ob, okb := lang.AffineIndex(b.Array.Index, loop.Var)
+	if !oka || !okb {
+		return 0, pairConservative
+	}
+	if ca != cb {
+		// Different strides (e.g. A[I] vs A[2*I]) — a full test (GCD/Banerjee)
+		// is overkill for the paper's loop shapes; be conservative unless a
+		// cheap GCD disproof applies.
+		if !mayOverlap(ca, oa, cb, ob) {
+			return 0, pairNone
+		}
+		return 0, pairConservative
+	}
+	if ca == 0 {
+		// Same fixed element every iteration (A[3] vs A[3]) or provably
+		// different elements (A[3] vs A[5]).
+		if oa == ob {
+			return 0, pairConservative
+		}
+		return 0, pairNone
+	}
+	diff := oa - ob
+	if diff%ca != 0 {
+		return 0, pairNone
+	}
+	return diff / ca, pairExact
+}
+
+// mayOverlap is a cheap GCD-style disproof for differing strides over the
+// iteration ranges the paper uses. It errs on the side of overlap.
+func mayOverlap(ca, oa, cb, ob int) bool {
+	g := gcd(abs(ca), abs(cb))
+	if g == 0 {
+		return oa == ob
+	}
+	return (oa-ob)%g == 0
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func (a *Analysis) addWriteRead(loop *lang.Loop, w, r Ref) {
+	if w.Array == nil {
+		// Scalar write/read.
+		if w.Stmt < r.Stmt {
+			a.Deps = append(a.Deps, Dependence{Kind: Flow, Src: w, Snk: r, Distance: 0})
+			// The read in the *next* iteration still sees this write unless
+			// rewritten, but the textually-later same-iteration flow carries
+			// the constraint; adding the carried one too is harmless and
+			// matches conservative scalar handling.
+			a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: 1})
+		} else {
+			// Read at or before the write within an iteration: the read sees
+			// the previous iteration's write (loop-carried flow), and
+			// anti-depends on this iteration's write.
+			a.Deps = append(a.Deps, Dependence{Kind: Flow, Src: w, Snk: r, Distance: 1})
+			if r.Stmt < w.Stmt {
+				a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: 0})
+			} else if r.Stmt == w.Stmt {
+				// Same statement: RHS read precedes LHS write (reduction).
+				a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: 0})
+			}
+		}
+		return
+	}
+	gap, cls := classify(loop, w, r)
+	switch cls {
+	case pairNone:
+		return
+	case pairConservative:
+		a.Deps = append(a.Deps,
+			Dependence{Kind: Flow, Src: w, Snk: r, Distance: 1, Conservative: true},
+			Dependence{Kind: Anti, Src: r, Snk: w, Distance: 1, Conservative: true})
+		if w.Stmt < r.Stmt {
+			a.Deps = append(a.Deps, Dependence{Kind: Flow, Src: w, Snk: r, Distance: 0, Conservative: true})
+		} else if r.Stmt <= w.Stmt {
+			a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: 0, Conservative: true})
+		}
+		return
+	}
+	switch {
+	case gap > 0:
+		// Read gap iterations after the write: loop-carried flow dependence.
+		a.Deps = append(a.Deps, Dependence{Kind: Flow, Src: w, Snk: r, Distance: gap})
+	case gap < 0:
+		// Read earlier than the write: anti dependence read → write.
+		a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: -gap})
+	default:
+		// Same iteration: textual order decides.
+		if w.Stmt < r.Stmt {
+			a.Deps = append(a.Deps, Dependence{Kind: Flow, Src: w, Snk: r, Distance: 0})
+		} else {
+			// Read first (including same statement: RHS evaluates before the
+			// LHS store).
+			a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: 0})
+		}
+	}
+}
+
+func (a *Analysis) addWriteWrite(loop *lang.Loop, w1, w2 Ref) {
+	if w1 == w2 {
+		return
+	}
+	if w1.Array == nil {
+		// Scalar output dependences: same location every iteration.
+		if w1.Stmt < w2.Stmt {
+			a.Deps = append(a.Deps,
+				Dependence{Kind: Output, Src: w1, Snk: w2, Distance: 0},
+				Dependence{Kind: Output, Src: w2, Snk: w1, Distance: 1})
+		} else {
+			a.Deps = append(a.Deps,
+				Dependence{Kind: Output, Src: w2, Snk: w1, Distance: 0},
+				Dependence{Kind: Output, Src: w1, Snk: w2, Distance: 1})
+		}
+		return
+	}
+	gap, cls := classify(loop, w1, w2)
+	switch cls {
+	case pairNone:
+		return
+	case pairConservative:
+		a.Deps = append(a.Deps,
+			Dependence{Kind: Output, Src: w1, Snk: w2, Distance: 1, Conservative: true},
+			Dependence{Kind: Output, Src: w2, Snk: w1, Distance: 1, Conservative: true})
+		if w1.Stmt != w2.Stmt {
+			src, snk := w1, w2
+			if w2.Stmt < w1.Stmt {
+				src, snk = w2, w1
+			}
+			a.Deps = append(a.Deps, Dependence{Kind: Output, Src: src, Snk: snk, Distance: 0, Conservative: true})
+		}
+		return
+	}
+	switch {
+	case gap > 0:
+		a.Deps = append(a.Deps, Dependence{Kind: Output, Src: w1, Snk: w2, Distance: gap})
+	case gap < 0:
+		a.Deps = append(a.Deps, Dependence{Kind: Output, Src: w2, Snk: w1, Distance: -gap})
+	default:
+		if w1.Stmt == w2.Stmt {
+			return
+		}
+		src, snk := w1, w2
+		if w2.Stmt < w1.Stmt {
+			src, snk = w2, w1
+		}
+		a.Deps = append(a.Deps, Dependence{Kind: Output, Src: src, Snk: snk, Distance: 0})
+	}
+}
+
+// collectRefs enumerates all memory references of the loop body in textual
+// order. The induction variable is not a memory reference (it lives in a
+// register on every processor).
+func collectRefs(loop *lang.Loop) []Ref {
+	var refs []Ref
+	for si, st := range loop.Body {
+		pos := 0
+		if st.Cond != nil {
+			refs = append(refs, rhsRefs(loop, st.Cond.L, si, &pos)...)
+			refs = append(refs, rhsRefs(loop, st.Cond.R, si, &pos)...)
+		}
+		switch lhs := st.LHS.(type) {
+		case *lang.ArrayRef:
+			refs = append(refs, Ref{Stmt: si, Write: true, Array: lhs, Pos: pos})
+			pos++
+			if st.Cond != nil {
+				// Conditional write also reads the old element (merge load).
+				refs = append(refs, Ref{Stmt: si, Write: false, Array: lhs, Pos: pos, Merge: true})
+				pos++
+			}
+			// Subscript reads of scalars other than the induction variable.
+			for _, s := range lang.ScalarRefs(lhs.Index) {
+				if s.Name != loop.Var {
+					refs = append(refs, Ref{Stmt: si, Write: false, ScalarName: s.Name, Pos: pos})
+					pos++
+				}
+			}
+		case *lang.Scalar:
+			refs = append(refs, Ref{Stmt: si, Write: true, ScalarName: lhs.Name, Pos: pos})
+			pos++
+			if st.Cond != nil {
+				refs = append(refs, Ref{Stmt: si, Write: false, ScalarName: lhs.Name, Pos: pos, Merge: true})
+				pos++
+			}
+		}
+		refs = append(refs, rhsRefs(loop, st.RHS, si, &pos)...)
+	}
+	return refs
+}
+
+func rhsRefs(loop *lang.Loop, e lang.Expr, si int, pos *int) []Ref {
+	var refs []Ref
+	lang.Walk(e, func(x lang.Expr) {
+		switch v := x.(type) {
+		case *lang.ArrayRef:
+			refs = append(refs, Ref{Stmt: si, Write: false, Array: v, Pos: *pos})
+			*pos++
+		case *lang.Scalar:
+			if v.Name != loop.Var {
+				refs = append(refs, Ref{Stmt: si, Write: false, ScalarName: v.Name, Pos: *pos})
+				*pos++
+			}
+		}
+	})
+	return refs
+}
+
+// Carried returns the loop-carried dependences (distance > 0).
+func (a *Analysis) Carried() []Dependence {
+	var out []Dependence
+	for _, d := range a.Deps {
+		if d.Carried() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CarriedFlow returns loop-carried flow dependences — the ones requiring
+// explicit synchronization in a DOACROSS execution where each iteration's
+// statements execute in program order on its own processor. (Anti and output
+// loop-carried dependences on arrays are also synchronized by callers that
+// request full coverage; the paper's benchmarks are dominated by flow LBDs.)
+func (a *Analysis) CarriedFlow() []Dependence {
+	var out []Dependence
+	for _, d := range a.Deps {
+		if d.Carried() && d.Kind == Flow {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// IsDoall reports whether the loop has no loop-carried dependence at all and
+// can run fully parallel without synchronization.
+func (a *Analysis) IsDoall() bool { return len(a.Carried()) == 0 }
+
+// CountLexical returns how many loop-carried dependences are LFD and LBD —
+// the paper's Table 1 statistics.
+func (a *Analysis) CountLexical() (lfd, lbd int) {
+	for _, d := range a.Carried() {
+		if d.LexForward() {
+			lfd++
+		} else {
+			lbd++
+		}
+	}
+	return lfd, lbd
+}
+
+func sortDeps(deps []Dependence) {
+	sort.SliceStable(deps, func(i, j int) bool {
+		a, b := deps[i], deps[j]
+		if a.Src.Stmt != b.Src.Stmt {
+			return a.Src.Stmt < b.Src.Stmt
+		}
+		if a.Snk.Stmt != b.Snk.Stmt {
+			return a.Snk.Stmt < b.Snk.Stmt
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Distance != b.Distance {
+			return a.Distance < b.Distance
+		}
+		if a.Src.Pos != b.Src.Pos {
+			return a.Src.Pos < b.Src.Pos
+		}
+		return a.Snk.Pos < b.Snk.Pos
+	})
+}

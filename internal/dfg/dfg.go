@@ -1,0 +1,502 @@
+// Package dfg builds the data-flow graph of §3.1: the dependence graph of
+// one compiled DOACROSS iteration, augmented with the extra synchronization
+// arcs that make the two synchronization conditions structural:
+//
+//   - an arc from each dependence-source store to its Send_Signal (a Sig can
+//     not precede the corresponding Src), and
+//   - an arc from each Wait_Signal to its dependence-sink load/store (a Wat
+//     can not be behind the corresponding Snk).
+//
+// On top of the graph the package computes the paper's partition into Sig,
+// Wat, Sigwat and plain components, and the synchronization paths
+// SP(Wat, Sig) — shortest directed paths from a wait to its paired send
+// inside a Sigwat component.
+package dfg
+
+import (
+	"fmt"
+	"sort"
+
+	"doacross/internal/dep"
+	"doacross/internal/tac"
+)
+
+// ArcKind classifies a dependence arc.
+type ArcKind int
+
+// Arc kinds.
+const (
+	// Data is a register def-use arc.
+	Data ArcKind = iota
+	// Mem is a loop-independent memory dependence arc (flow/anti/output at
+	// distance 0 within the iteration).
+	Mem
+	// SrcToSend is the synchronization-condition arc source-store → send.
+	SrcToSend
+	// WaitToSnk is the synchronization-condition arc wait → sink.
+	WaitToSnk
+)
+
+// String names the arc kind.
+func (k ArcKind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Mem:
+		return "mem"
+	case SrcToSend:
+		return "src->send"
+	case WaitToSnk:
+		return "wait->snk"
+	}
+	return fmt.Sprintf("ArcKind(%d)", int(k))
+}
+
+// Arc is one directed dependence arc between instruction indices.
+type Arc struct {
+	From, To int
+	Kind     ArcKind
+}
+
+// CompKind classifies a weakly connected component per §3.1.
+type CompKind int
+
+// Component kinds.
+const (
+	Plain  CompKind = iota
+	Sig             // contains sends only
+	Wat             // contains waits only
+	Sigwat          // contains both
+)
+
+// String names the component kind.
+func (k CompKind) String() string {
+	switch k {
+	case Plain:
+		return "plain"
+	case Sig:
+		return "Sig"
+	case Wat:
+		return "Wat"
+	case Sigwat:
+		return "Sigwat"
+	}
+	return fmt.Sprintf("CompKind(%d)", int(k))
+}
+
+// Component is one weakly connected component of the graph.
+type Component struct {
+	ID    int
+	Kind  CompKind
+	Nodes []int // instruction indices, ascending
+	Waits []int
+	Sends []int
+}
+
+// SyncPath is a synchronization path SP(Wat, Sig): the shortest directed
+// path from a wait to its corresponding send within a Sigwat component.
+type SyncPath struct {
+	// Wait and Send are the endpoint instruction indices.
+	Wait, Send int
+	// Nodes is the path, wait first, send last.
+	Nodes []int
+	// Distance is the dependence distance d of the pair.
+	Distance int
+	// Signal is the signal name.
+	Signal string
+	// Comp is the owning component ID.
+	Comp int
+}
+
+// Weight is the paper's ordering key (n/d)·|SP| divided by n: |SP|/d. Paths
+// are scheduled in descending Weight order.
+func (p SyncPath) Weight() float64 { return float64(len(p.Nodes)) / float64(p.Distance) }
+
+// Graph is the augmented data-flow graph of one iteration.
+type Graph struct {
+	Prog *tac.Program
+	// Succ and Pred are adjacency lists over instruction indices
+	// (0-based positions in Prog.Instrs).
+	Succ, Pred [][]int
+	// Arcs lists every arc with its kind.
+	Arcs []Arc
+
+	comps []Component
+	// compOf maps node -> component ID.
+	compOf []int
+	paths  []SyncPath
+}
+
+// Build constructs the graph for a compiled program. The dependence analysis
+// must be the one the program's synchronized loop was built from.
+func Build(p *tac.Program, a *dep.Analysis) (*Graph, error) {
+	n := len(p.Instrs)
+	g := &Graph{Prog: p, Succ: make([][]int, n), Pred: make([][]int, n)}
+	seen := map[[2]int]bool{}
+	addArc := func(from, to int, kind ArcKind) {
+		if from == to {
+			return
+		}
+		key := [2]int{from, to}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		g.Succ[from] = append(g.Succ[from], to)
+		g.Pred[to] = append(g.Pred[to], from)
+		g.Arcs = append(g.Arcs, Arc{From: from, To: to, Kind: kind})
+	}
+
+	// 1. Register def-use arcs. Each temp has exactly one definition.
+	defOf := make(map[int]int) // temp -> defining node
+	for i, in := range p.Instrs {
+		if in.Dst != 0 {
+			if prev, dup := defOf[in.Dst]; dup {
+				return nil, fmt.Errorf("dfg: temp t%d defined twice (instrs %d and %d)", in.Dst, prev+1, i+1)
+			}
+			defOf[in.Dst] = i
+		}
+	}
+	for i, in := range p.Instrs {
+		for _, t := range in.Uses() {
+			d, ok := defOf[t]
+			if !ok {
+				return nil, fmt.Errorf("dfg: instr %d uses undefined temp t%d", i+1, t)
+			}
+			if d >= i {
+				return nil, fmt.Errorf("dfg: instr %d uses temp t%d defined later (instr %d)", i+1, t, d+1)
+			}
+			addArc(d, i, Data)
+		}
+	}
+
+	// 2. Loop-independent memory dependence arcs from the analysis.
+	refInstr := func(r dep.Ref) (*tac.Instr, bool) {
+		if r.Array != nil {
+			if r.Merge {
+				in, ok := p.MergeLoad[r.Array]
+				return in, ok
+			}
+			in, ok := p.ArrayInstr[r.Array]
+			return in, ok
+		}
+		in, ok := p.ScalarInstr[tac.ScalarKey{Stmt: r.Stmt, Name: r.ScalarName, Write: r.Write}]
+		return in, ok
+	}
+	for _, d := range a.Deps {
+		if d.Distance != 0 {
+			continue
+		}
+		src, ok1 := refInstr(d.Src)
+		snk, ok2 := refInstr(d.Snk)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("dfg: dependence %v has unmapped reference", d)
+		}
+		addArc(src.ID-1, snk.ID-1, Mem)
+	}
+
+	// 3. Synchronization-condition arcs for every synchronized dependence.
+	waitIdx := func(stmt int, signal string, dist int) (int, bool) {
+		for i, in := range p.Instrs {
+			if in.Op == tac.Wait && in.Stmt == stmt && in.Signal == signal && in.SigDist == dist {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	for _, d := range p.Sync.Synced {
+		label := p.Sync.Base.Body[d.Src.Stmt].Label
+		send := p.SendFor(label)
+		if send == nil {
+			return nil, fmt.Errorf("dfg: missing send for signal %s", label)
+		}
+		srcIn, ok := refInstr(d.Src)
+		if !ok {
+			return nil, fmt.Errorf("dfg: dependence %v source unmapped", d)
+		}
+		addArc(srcIn.ID-1, send.ID-1, SrcToSend)
+		wi, ok := waitIdx(d.Snk.Stmt, label, d.Distance)
+		if !ok {
+			return nil, fmt.Errorf("dfg: missing wait for %v", d)
+		}
+		snkIn, ok := refInstr(d.Snk)
+		if !ok {
+			return nil, fmt.Errorf("dfg: dependence %v sink unmapped", d)
+		}
+		addArc(wi, snkIn.ID-1, WaitToSnk)
+	}
+
+	g.computeComponents()
+	g.computePaths()
+	return g, nil
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.Succ) }
+
+// computeComponents finds weakly connected components (union-find) and
+// classifies them.
+func (g *Graph) computeComponents() {
+	n := g.N()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, a := range g.Arcs {
+		union(a.From, a.To)
+	}
+	rootToComp := map[int]int{}
+	g.compOf = make([]int, n)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		id, ok := rootToComp[r]
+		if !ok {
+			id = len(g.comps)
+			rootToComp[r] = id
+			g.comps = append(g.comps, Component{ID: id})
+		}
+		c := &g.comps[id]
+		c.Nodes = append(c.Nodes, i)
+		g.compOf[i] = id
+		switch g.Prog.Instrs[i].Op {
+		case tac.Wait:
+			c.Waits = append(c.Waits, i)
+		case tac.Send:
+			c.Sends = append(c.Sends, i)
+		}
+	}
+	for i := range g.comps {
+		c := &g.comps[i]
+		switch {
+		case len(c.Waits) > 0 && len(c.Sends) > 0:
+			c.Kind = Sigwat
+		case len(c.Sends) > 0:
+			c.Kind = Sig
+		case len(c.Waits) > 0:
+			c.Kind = Wat
+		default:
+			c.Kind = Plain
+		}
+	}
+}
+
+// computePaths finds SP(Wat, Sig) for every synchronization pair whose wait
+// and send fall in the same Sigwat component and are connected by a directed
+// path. Paths are sorted by descending weight |SP|/d (the paper's
+// (n/d)·|SP| with the common factor n dropped), ties broken by wait index.
+func (g *Graph) computePaths() {
+	for _, c := range g.comps {
+		if c.Kind != Sigwat {
+			continue
+		}
+		for _, w := range c.Waits {
+			win := g.Prog.Instrs[w]
+			for _, s := range c.Sends {
+				sin := g.Prog.Instrs[s]
+				if sin.Signal != win.Signal {
+					continue
+				}
+				if nodes := g.shortestPath(w, s); nodes != nil {
+					g.paths = append(g.paths, SyncPath{
+						Wait: w, Send: s, Nodes: nodes,
+						Distance: win.SigDist, Signal: win.Signal, Comp: c.ID,
+					})
+				}
+			}
+		}
+	}
+	sort.SliceStable(g.paths, func(i, j int) bool {
+		wi, wj := g.paths[i].Weight(), g.paths[j].Weight()
+		if wi != wj {
+			return wi > wj
+		}
+		return g.paths[i].Wait < g.paths[j].Wait
+	})
+}
+
+// shortestPath returns the node sequence of a shortest directed path from
+// src to dst, or nil if none exists.
+func (g *Graph) shortestPath(src, dst int) []int {
+	prev := make([]int, g.N())
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == dst {
+			var path []int
+			for x := dst; ; x = prev[x] {
+				path = append(path, x)
+				if x == src {
+					break
+				}
+			}
+			// Reverse.
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path
+		}
+		for _, w := range g.Succ[v] {
+			if prev[w] == -1 {
+				prev[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Components returns the weakly connected components.
+func (g *Graph) Components() []Component { return g.comps }
+
+// ComponentOf returns the component ID of a node.
+func (g *Graph) ComponentOf(node int) int { return g.compOf[node] }
+
+// Component returns the component with the given ID.
+func (g *Graph) Component(id int) Component { return g.comps[id] }
+
+// SyncPaths returns the synchronization paths in scheduling order
+// (descending |SP|/d).
+func (g *Graph) SyncPaths() []SyncPath { return g.paths }
+
+// Topological returns a topological order of all nodes (by Kahn's algorithm,
+// smallest instruction index first among ready nodes, so program order is a
+// fixpoint). An error is returned if the graph has a cycle, which would
+// indicate a builder bug.
+func (g *Graph) Topological() ([]int, error) {
+	n := g.N()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.Pred[i])
+	}
+	// Min-heap replaced by simple ordered scan: n is small (loop bodies).
+	var order []int
+	used := make([]bool, n)
+	for len(order) < n {
+		picked := -1
+		for i := 0; i < n; i++ {
+			if !used[i] && indeg[i] == 0 {
+				picked = i
+				break
+			}
+		}
+		if picked == -1 {
+			return nil, fmt.Errorf("dfg: dependence cycle detected")
+		}
+		used[picked] = true
+		order = append(order, picked)
+		for _, w := range g.Succ[picked] {
+			indeg[w]--
+		}
+	}
+	return order, nil
+}
+
+// CriticalPathLengths returns, for every node, the length (in latency-
+// weighted cycles) of the longest path from the node to any sink, using the
+// supplied latency function. Classic list-scheduling priority.
+func (g *Graph) CriticalPathLengths(latency func(*tac.Instr) int) ([]int, error) {
+	order, err := g.Topological()
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	dist := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		lat := latency(g.Prog.Instrs[v])
+		best := 0
+		for _, w := range g.Succ[v] {
+			if dist[w] > best {
+				best = dist[w]
+			}
+		}
+		dist[v] = lat + best
+	}
+	return dist, nil
+}
+
+// Ancestors returns the set of nodes from which the given node is reachable
+// (excluding the node itself).
+func (g *Graph) Ancestors(node int) map[int]bool {
+	out := map[int]bool{}
+	var stack []int
+	for _, p := range g.Pred[node] {
+		stack = append(stack, p)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if out[v] {
+			continue
+		}
+		out[v] = true
+		for _, p := range g.Pred[v] {
+			if !out[p] {
+				stack = append(stack, p)
+			}
+		}
+	}
+	return out
+}
+
+// PairArcs returns the artificial send→wait arcs the new scheduler adds to
+// convert cross-component synchronization pairs to LFD (§3.2: Sig graphs are
+// scheduled before, and Wat graphs after, all Sigwat graphs). Following the
+// paper, an arc is added exactly when the wait lives in a Wat component or
+// the send lives in a Sig component. This is provably acyclic: an added arc
+// can only leave a component that contains a send and enter one that
+// contains a wait, Sig components contain no waits and Wat components no
+// sends, so every added-arc chain is Sig → Sigwat → Wat and terminates.
+// Sigwat↔Sigwat cross pairs (which can be mutually recursive) are left to
+// the priority heuristic.
+func (g *Graph) PairArcs() []Arc {
+	var out []Arc
+	for i, in := range g.Prog.Instrs {
+		if in.Op != tac.Wait {
+			continue
+		}
+		send := g.Prog.SendFor(in.Signal)
+		if send == nil {
+			continue
+		}
+		s := send.ID - 1
+		if g.compOf[s] == g.compOf[i] {
+			continue
+		}
+		waitComp := g.comps[g.compOf[i]].Kind
+		sendComp := g.comps[g.compOf[s]].Kind
+		if waitComp == Wat || sendComp == Sig {
+			out = append(out, Arc{From: s, To: i, Kind: SrcToSend})
+		}
+	}
+	return out
+}
+
+// SyncInfo summarizes the graph for reports.
+func (g *Graph) SyncInfo() string {
+	counts := map[CompKind]int{}
+	for _, c := range g.comps {
+		counts[c.Kind]++
+	}
+	return fmt.Sprintf("%d nodes, %d arcs, components: %d Sigwat, %d Sig, %d Wat, %d plain; %d sync paths",
+		g.N(), len(g.Arcs), counts[Sigwat], counts[Sig], counts[Wat], counts[Plain], len(g.paths))
+}

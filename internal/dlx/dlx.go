@@ -1,0 +1,128 @@
+// Package dlx describes the DLX-like superscalar target machine of the
+// paper's evaluation: an in-order multi-issue processor with typed function
+// units. Section 4 of the paper fixes the unit mix — load/store, integer,
+// floating-point, multiplier, divider and shifter units — with the
+// multiplier taking 3 cycles, the divider 6, and everything else 1, and
+// evaluates four configurations: {2,4}-issue × {1,2} units of each type.
+package dlx
+
+import "fmt"
+
+// Class identifies a function-unit class.
+type Class int
+
+// Function-unit classes. Sync is the pseudo-class for Send_Signal /
+// Wait_Signal operations: they consume an issue slot but no function unit
+// (the synchronization hardware is a shared signal vector, not a pipeline).
+const (
+	LoadStore Class = iota
+	Integer
+	Float
+	Multiplier
+	Divider
+	Shifter
+	Sync
+	NumClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case LoadStore:
+		return "load/store"
+	case Integer:
+		return "integer"
+	case Float:
+		return "float"
+	case Multiplier:
+		return "multiplier"
+	case Divider:
+		return "divider"
+	case Shifter:
+		return "shifter"
+	case Sync:
+		return "sync"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Config is one superscalar machine configuration.
+type Config struct {
+	// Name identifies the configuration in reports (e.g. "4-issue(#FU=2)").
+	Name string
+	// Issue is the number of instructions issued per cycle.
+	Issue int
+	// Units[c] is the number of function units of class c. Units[Sync] is
+	// ignored: sync operations never contend for a unit.
+	Units [NumClasses]int
+	// Latency[c] is the result latency in cycles of class c.
+	Latency [NumClasses]int
+}
+
+// Standard returns the paper's configuration with the given issue width and
+// per-class function-unit count.
+func Standard(issue, fuCount int) Config {
+	if issue < 1 {
+		panic(fmt.Sprintf("dlx: invalid issue width %d", issue))
+	}
+	if fuCount < 1 {
+		panic(fmt.Sprintf("dlx: invalid FU count %d", fuCount))
+	}
+	c := Config{
+		Name:  fmt.Sprintf("%d-issue(#FU=%d)", issue, fuCount),
+		Issue: issue,
+	}
+	for cls := Class(0); cls < NumClasses; cls++ {
+		c.Units[cls] = fuCount
+		c.Latency[cls] = 1
+	}
+	c.Latency[Multiplier] = 3
+	c.Latency[Divider] = 6
+	c.Units[Sync] = 0 // unused
+	return c
+}
+
+// Uniform returns a configuration where every unit has single-cycle latency
+// (the setting of the paper's Fig. 4 worked example, which packs multiply
+// results into the very next row).
+func Uniform(issue, fuCount int) Config {
+	c := Standard(issue, fuCount)
+	c.Name = fmt.Sprintf("%d-issue(#FU=%d,uniform)", issue, fuCount)
+	c.Latency[Multiplier] = 1
+	c.Latency[Divider] = 1
+	return c
+}
+
+// PaperConfigs returns the four machine configurations of Table 2 in
+// presentation order: 2-issue(#FU=1), 2-issue(#FU=2), 4-issue(#FU=1),
+// 4-issue(#FU=2).
+func PaperConfigs() []Config {
+	return []Config{
+		Standard(2, 1),
+		Standard(2, 2),
+		Standard(4, 1),
+		Standard(4, 2),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Issue < 1 {
+		return fmt.Errorf("dlx: issue width %d < 1", c.Issue)
+	}
+	for cls := Class(0); cls < NumClasses; cls++ {
+		if cls == Sync {
+			continue
+		}
+		if c.Units[cls] < 1 {
+			return fmt.Errorf("dlx: no %s unit", cls)
+		}
+		if c.Latency[cls] < 1 {
+			return fmt.Errorf("dlx: %s latency %d < 1", cls, c.Latency[cls])
+		}
+	}
+	return nil
+}
+
+// NeedsUnit reports whether instructions of class c occupy a function unit.
+func NeedsUnit(c Class) bool { return c != Sync }

@@ -1,0 +1,108 @@
+package dlx
+
+import "testing"
+
+func TestStandardConfig(t *testing.T) {
+	c := Standard(4, 2)
+	if c.Issue != 4 {
+		t.Errorf("issue = %d", c.Issue)
+	}
+	if c.Units[LoadStore] != 2 || c.Units[Divider] != 2 {
+		t.Errorf("units = %v", c.Units)
+	}
+	if c.Latency[Multiplier] != 3 {
+		t.Errorf("mul latency = %d, want 3", c.Latency[Multiplier])
+	}
+	if c.Latency[Divider] != 6 {
+		t.Errorf("div latency = %d, want 6", c.Latency[Divider])
+	}
+	if c.Latency[LoadStore] != 1 || c.Latency[Integer] != 1 || c.Latency[Shifter] != 1 {
+		t.Error("single-cycle units must have latency 1")
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformConfig(t *testing.T) {
+	c := Uniform(4, 1)
+	if c.Latency[Multiplier] != 1 || c.Latency[Divider] != 1 {
+		t.Error("uniform config must have all-1 latencies")
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	cs := PaperConfigs()
+	if len(cs) != 4 {
+		t.Fatalf("got %d configs, want 4", len(cs))
+	}
+	wantNames := []string{"2-issue(#FU=1)", "2-issue(#FU=2)", "4-issue(#FU=1)", "4-issue(#FU=2)"}
+	for i, c := range cs {
+		if c.Name != wantNames[i] {
+			t.Errorf("config %d name = %q, want %q", i, c.Name, wantNames[i])
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %d: %v", i, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	c := Standard(2, 1)
+	c.Issue = 0
+	if err := c.Validate(); err == nil {
+		t.Error("issue=0 should fail validation")
+	}
+	c = Standard(2, 1)
+	c.Units[Float] = 0
+	if err := c.Validate(); err == nil {
+		t.Error("no float unit should fail validation")
+	}
+	c = Standard(2, 1)
+	c.Latency[Integer] = 0
+	if err := c.Validate(); err == nil {
+		t.Error("latency 0 should fail validation")
+	}
+}
+
+func TestSyncNeedsNoUnit(t *testing.T) {
+	if NeedsUnit(Sync) {
+		t.Error("sync ops must not occupy a function unit")
+	}
+	for _, cls := range []Class{LoadStore, Integer, Float, Multiplier, Divider, Shifter} {
+		if !NeedsUnit(cls) {
+			t.Errorf("%v should need a unit", cls)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	names := map[Class]string{
+		LoadStore: "load/store", Integer: "integer", Float: "float",
+		Multiplier: "multiplier", Divider: "divider", Shifter: "shifter", Sync: "sync",
+	}
+	for cls, want := range names {
+		if cls.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(cls), cls.String(), want)
+		}
+	}
+}
+
+func TestStandardPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { Standard(0, 1) },
+		func() { Standard(2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,488 @@
+package dlxisa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"doacross/internal/dep"
+	"doacross/internal/lang"
+	"doacross/internal/syncop"
+	"doacross/internal/tac"
+)
+
+const fig1Source = `
+DO I = 1, N
+  S1: B[I] = A[I-2] + E[I+1]
+  S2: G[I-3] = A[I-1] * E[I+2]
+  S3: A[I] = B[I] + C[I+3]
+ENDDO
+`
+
+func assemble(t testing.TB, src string, n int) (*lang.Loop, *Program) {
+	t.Helper()
+	loop := lang.MustParse(src)
+	a := dep.Analyze(loop)
+	p, err := tac.Generate(syncop.Insert(a, syncop.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Assemble(p, 1-16, n+16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loop, prog
+}
+
+func TestEncodeDecodeRoundTripAll(t *testing.T) {
+	cases := []Inst{
+		{Op: NOP},
+		{Op: ADD, Rd: 3, Rs1: 4, Rs2: 5},
+		{Op: SUB, Rd: 31, Rs1: 0, Rs2: 1},
+		{Op: ADDI, Rd: 7, Rs1: 1, Imm: -32768},
+		{Op: SLLI, Rd: 2, Rs1: 3, Imm: 2},
+		{Op: LD, Rd: 12, Rs1: 9, Imm: 32767},
+		{Op: SD, Rs1: 9, Rs2: 13, Imm: -4},
+		{Op: LWI, Rd: 8, Rs1: 0, Imm: 400},
+		{Op: SWI, Rs1: 0, Rs2: 8, Imm: 404},
+		{Op: ADDD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: MULTD, Rd: 31, Rs1: 30, Rs2: 29},
+		{Op: CVTI2D, Rd: 5, Rs1: 6},
+		{Op: CVTD2I, Rd: 6, Rs1: 5},
+		{Op: CLTD, Rd: 4, Rs1: 1, Rs2: 2},
+		{Op: CMOVD, Rd: 1, Rs1: 2, Rs2: 3, Rs3: 4},
+		{Op: SENDS, Imm: 3},
+		{Op: WAITS, Rd: 2, Imm: 7},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if got != in {
+			t.Errorf("round trip: %v -> %#x -> %v", in, w, got)
+		}
+	}
+}
+
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := Inst{Op: Op(r.Intn(int(numOps)))}
+		if hasImm(in.Op) {
+			in.Imm = int16(r.Intn(1 << 16))
+			switch in.Op {
+			case SD, SWI:
+				in.Rs1 = uint8(r.Intn(32))
+				in.Rs2 = uint8(r.Intn(32))
+			default:
+				in.Rd = uint8(r.Intn(32))
+				in.Rs1 = uint8(r.Intn(32))
+			}
+		} else {
+			in.Rd = uint8(r.Intn(32))
+			in.Rs1 = uint8(r.Intn(32))
+			in.Rs2 = uint8(r.Intn(32))
+			in.Rs3 = uint8(r.Intn(32))
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	if _, err := Decode(uint32(numOps) << 26); err == nil {
+		t.Error("expected decode error for invalid opcode")
+	}
+}
+
+func TestAssembleFig1(t *testing.T) {
+	_, prog := assemble(t, fig1Source, 20)
+	if len(prog.Insts) == 0 {
+		t.Fatal("no instructions")
+	}
+	if len(prog.Words) != len(prog.Insts) {
+		t.Fatal("encoding length mismatch")
+	}
+	ls := prog.Listing()
+	for _, want := range []string{"slli", "ld", "sd", "multd", "sends", "waits"} {
+		if !strings.Contains(ls, want) {
+			t.Errorf("listing missing %s:\n%s", want, ls)
+		}
+	}
+	if len(prog.Signals) != 1 || prog.Signal(0) != "S3" {
+		t.Errorf("signals = %v", prog.Signals)
+	}
+}
+
+func TestRunMatchesInterpreter(t *testing.T) {
+	n := 12
+	loop, prog := assemble(t, fig1Source, n)
+	ref := loop.SeedStore(n, 8, 77)
+	got := ref.Clone()
+	if err := loop.Run(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Run(got, false); err != nil {
+		t.Fatal(err)
+	}
+	// The flat arena only covers the index window; compare within it.
+	if d := diffWithin(ref, got, prog.Layout); d != "" {
+		t.Errorf("DLX execution diverges: %s\n%s", d, prog.Listing())
+	}
+}
+
+func TestRunEncodedMatchesDecoded(t *testing.T) {
+	n := 8
+	loop, prog := assemble(t, fig1Source, n)
+	a := loop.SeedStore(n, 8, 3)
+	b := a.Clone()
+	if err := prog.Run(a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Run(b, true); err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Diff(b); d != "" {
+		t.Errorf("encoded vs decoded execution differ: %s", d)
+	}
+}
+
+// diffWithin compares two stores on the arrays/scalars and index window the
+// layout covers.
+func diffWithin(ref, got *lang.Store, l *Layout) string {
+	for name := range l.ArrayBase {
+		for i := l.MinIndex; i <= l.MaxIndex; i++ {
+			a, b := ref.Elem(name, i), got.Elem(name, i)
+			if a != b && !(a != a && b != b) {
+				return name + "[" + itoa(i) + "]"
+			}
+		}
+	}
+	for name := range l.ScalarAddr {
+		if ref.Scalar(name) != got.Scalar(name) {
+			return "scalar " + name
+		}
+	}
+	return ""
+}
+
+func itoa(i int) string {
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b []byte
+	for {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+		if i == 0 {
+			break
+		}
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+func TestConditionalLoopOnISA(t *testing.T) {
+	n := 10
+	src := "DO I = 1, N\nIF (E[I] > 0) A[I] = A[I-1] + E[I]\nENDDO"
+	loop, prog := assemble(t, src, n)
+	ref := loop.SeedStore(n, 6, 5)
+	got := ref.Clone()
+	if err := loop.Run(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Run(got, true); err != nil {
+		t.Fatal(err)
+	}
+	if d := diffWithin(ref, got, prog.Layout); d != "" {
+		t.Errorf("conditional ISA execution diverges at %s", d)
+	}
+	ls := prog.Listing()
+	if !strings.Contains(ls, "cgtd") || !strings.Contains(ls, "cmovd") {
+		t.Errorf("expected compare+cmov in listing:\n%s", ls)
+	}
+}
+
+func TestReductionOnISA(t *testing.T) {
+	n := 9
+	src := "DO I = 1, N\nS = S + A[I] * B[I]\nENDDO"
+	loop, prog := assemble(t, src, n)
+	ref := loop.SeedStore(n, 4, 8)
+	got := ref.Clone()
+	if err := loop.Run(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Run(got, true); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Scalar("S") != got.Scalar("S") {
+		t.Errorf("S = %v, want %v", got.Scalar("S"), ref.Scalar("S"))
+	}
+}
+
+// TestSpillPressure forces more live values than registers and checks
+// correctness survives spilling.
+func TestSpillPressure(t *testing.T) {
+	// A right-nested product keeps every operand live until the recursion
+	// unwinds: ~40 simultaneously live FP values against 32 registers.
+	var sb strings.Builder
+	sb.WriteString("DO I = 1, N\nX[I] = E[I+1]")
+	depth := 40
+	for k := 2; k <= depth; k++ {
+		sb.WriteString(" + (E[I+" + itoa(k) + "]")
+	}
+	sb.WriteString(" + F[I]")
+	sb.WriteString(strings.Repeat(")", depth-1))
+	sb.WriteString("\nENDDO")
+	n := 4
+	loop, prog := assemble(t, sb.String(), n+50)
+	if prog.NumSpills == 0 {
+		t.Fatalf("expected spills for 40 live products, got none")
+	}
+	ref := loop.SeedStore(n, 60, 21)
+	got := ref.Clone()
+	if err := loop.Run(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Run(got, true); err != nil {
+		t.Fatal(err)
+	}
+	if d := diffWithin(ref, got, prog.Layout); d != "" {
+		t.Errorf("spilled execution diverges at %s", d)
+	}
+}
+
+func TestQuickISAMatchesInterpreter(t *testing.T) {
+	arrays := []string{"A", "B", "C"}
+	cfg := &quick.Config{MaxCount: 80}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		loop := &lang.Loop{Var: "I", Lo: &lang.Const{Value: 1}, Hi: &lang.Scalar{Name: "N"}}
+		nst := 1 + r.Intn(4)
+		ref := func() lang.Expr {
+			return &lang.ArrayRef{Name: arrays[r.Intn(3)], Index: &lang.Binary{
+				Op: lang.OpAdd, L: &lang.Scalar{Name: "I"}, R: &lang.Const{Value: float64(r.Intn(7) - 3)}}}
+		}
+		for k := 0; k < nst; k++ {
+			st := &lang.Assign{
+				Label: "S" + itoa(k+1),
+				LHS:   &lang.ArrayRef{Name: arrays[r.Intn(3)], Index: &lang.Binary{Op: lang.OpAdd, L: &lang.Scalar{Name: "I"}, R: &lang.Const{Value: float64(r.Intn(3))}}},
+				RHS:   &lang.Binary{Op: lang.BinOp(r.Intn(3)), L: ref(), R: ref()},
+			}
+			if r.Intn(3) == 0 {
+				st.Cond = &lang.Cond{Op: lang.RelOp(r.Intn(6)), L: ref(), R: &lang.Const{Value: float64(r.Intn(5) - 2)}}
+			}
+			loop.Body = append(loop.Body, st)
+		}
+		a := dep.Analyze(loop)
+		p, err := tac.Generate(syncop.Insert(a, syncop.Options{}))
+		if err != nil {
+			return false
+		}
+		n := 6
+		prog, err := Assemble(p, 1-12, n+12)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		refSt := loop.SeedStore(n, 10, uint64(seed))
+		gotSt := refSt.Clone()
+		if err := loop.Run(refSt); err != nil {
+			return true
+		}
+		if err := prog.Run(gotSt, true); err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, loop)
+			return false
+		}
+		if d := diffWithin(refSt, gotSt, prog.Layout); d != "" {
+			t.Logf("seed %d: diverges at %s\n%s\n%s", seed, d, loop, prog.Listing())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutAddressing(t *testing.T) {
+	loop := lang.MustParse(fig1Source)
+	l, err := NewLayout(loop, -5, 25, []float64{1.5, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct arrays never overlap.
+	type span struct{ lo, hi int32 }
+	var spans []span
+	for name := range l.ArrayBase {
+		lo, err := l.ElemAddr(name, -5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := l.ElemAddr(name, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans = append(spans, span{lo, hi})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo <= spans[j].hi && spans[j].lo <= spans[i].hi {
+				t.Errorf("array spans overlap: %v vs %v", spans[i], spans[j])
+			}
+		}
+	}
+	if _, err := l.ElemAddr("A", 26); err == nil {
+		t.Error("expected out-of-window error")
+	}
+	if _, err := l.ElemAddr("NOPE", 0); err == nil {
+		t.Error("expected unknown-array error")
+	}
+}
+
+func TestLayoutStoreRoundTrip(t *testing.T) {
+	loop := lang.MustParse(fig1Source)
+	l, err := NewLayout(loop, -8, 20, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := loop.SeedStore(12, 8, 4)
+	mem, err := l.LoadStore(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := lang.NewStore()
+	if err := l.StoreBack(mem, back); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range loop.Arrays() {
+		for i := -8 + 1; i <= 20; i++ {
+			if st.Elem(name, i) != back.Elem(name, i) {
+				t.Fatalf("%s[%d]: %v vs %v", name, i, st.Elem(name, i), back.Elem(name, i))
+			}
+		}
+	}
+	if back.Scalar("N") != st.Scalar("N") {
+		t.Error("scalar N lost in round trip")
+	}
+}
+
+func TestLayoutTooBig(t *testing.T) {
+	loop := lang.MustParse(fig1Source)
+	if _, err := NewLayout(loop, 0, 10000, nil, 0); err == nil {
+		t.Error("expected 16-bit window overflow error")
+	}
+}
+
+func TestMachineFaults(t *testing.T) {
+	m := NewMachine(make([]float64, 8))
+	if err := m.Step(Inst{Op: LD, Rd: 1, Rs1: 0, Imm: 400}); err == nil {
+		t.Error("expected out-of-bounds fault")
+	}
+	m.R[2] = 3
+	if err := m.Step(Inst{Op: LD, Rd: 1, Rs1: 2, Imm: 0}); err == nil {
+		t.Error("expected misalignment fault")
+	}
+	m.R[3] = 0
+	if err := m.Step(Inst{Op: DIV, Rd: 1, Rs1: 2, Rs2: 3}); err == nil {
+		t.Error("expected divide-by-zero fault")
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	m := NewMachine(make([]float64, 8))
+	if err := m.Step(Inst{Op: ADDI, Rd: 0, Rs1: 0, Imm: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if m.R[0] != 0 {
+		t.Error("R0 must stay zero")
+	}
+}
+
+func TestSyncHooks(t *testing.T) {
+	n := 4
+	loop, prog := assemble(t, "DO I = 1, N\nA[I] = A[I-1] + 1\nENDDO", n)
+	_ = loop
+	mem := prog.Layout.NewMemory()
+	m := NewMachine(mem)
+	var sends, waits int
+	m.Hooks.Send = func(sig int) { sends++ }
+	m.Hooks.Wait = func(sig, dist int) error {
+		waits++
+		if dist != 1 {
+			t.Errorf("wait distance = %d, want 1", dist)
+		}
+		return nil
+	}
+	if err := prog.RunIteration(m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if sends != 1 || waits != 1 {
+		t.Errorf("sends=%d waits=%d, want 1/1", sends, waits)
+	}
+}
+
+func TestAssembleScalarSubscriptAndDivision(t *testing.T) {
+	// Exercises: scalar load in index position (asInt of an FP temp ->
+	// CVTD2I), float constants in value arithmetic (pool loads), division,
+	// and a guarded statement mixing IV into the compare (CVTI2D).
+	n := 6
+	src := "DO I = 1, N\nB[I] = A[J+1] / 2.5\nIF (E[I] > I) C[I] = 0.5 * E[I]\nENDDO"
+	loop, prog := assemble(t, src, n)
+	ref := loop.SeedStore(n, 10, 9)
+	ref.SetScalar("J", 3)
+	got := ref.Clone()
+	if err := loop.Run(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Run(got, true); err != nil {
+		t.Fatal(err)
+	}
+	if d := diffWithin(ref, got, prog.Layout); d != "" {
+		t.Errorf("mixed-class execution diverges at %s\n%s", d, prog.Listing())
+	}
+	ls := prog.Listing()
+	for _, want := range []string{"cvtd2i", "cvti2d", "divd"} {
+		if !strings.Contains(ls, want) {
+			t.Errorf("expected %s in listing:\n%s", want, ls)
+		}
+	}
+}
+
+func TestAssembleRejectsHugeIntImmediate(t *testing.T) {
+	loop := lang.MustParse("DO I = 1, N\nA[I+40000] = 1\nENDDO")
+	a := dep.Analyze(loop)
+	p, err := tac.Generate(syncop.Insert(a, syncop.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Assemble(p, 1, 8); err == nil {
+		t.Error("expected immediate-range or layout error for subscript offset 40000")
+	}
+}
+
+func TestInstStringsAllOps(t *testing.T) {
+	for op := NOP; op < numOps; op++ {
+		s := Inst{Op: op, Rd: 1, Rs1: 2, Rs2: 3, Rs3: 4, Imm: 5}.String()
+		if s == "" || strings.Contains(s, "?") {
+			t.Errorf("op %v renders %q", op, s)
+		}
+	}
+}

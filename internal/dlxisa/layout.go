@@ -1,0 +1,153 @@
+package dlxisa
+
+import (
+	"fmt"
+	"sort"
+
+	"doacross/internal/lang"
+)
+
+// Layout assigns flat byte addresses to every array, scalar, constant-pool
+// entry and spill slot a compiled loop touches. Addresses are multiples of 4
+// (one 64-bit cell per 4-byte "word", matching the front end's scale-by-4
+// subscripts).
+type Layout struct {
+	// ArrayBase maps array name -> byte address of element 0. Element i
+	// lives at ArrayBase + 4*i, so bases are chosen so the supported index
+	// window [MinIndex, MaxIndex] stays inside the arena.
+	ArrayBase map[string]int32
+	// ScalarAddr maps scalar name -> byte address.
+	ScalarAddr map[string]int32
+	// Pool maps float constants to their byte addresses.
+	Pool map[float64]int32
+	// SpillBase is the byte address of the spill area; slot k lives at
+	// SpillBase + 4*k.
+	SpillBase int32
+	// SpillSlots is the number of reserved spill slots.
+	SpillSlots int
+	// MinIndex and MaxIndex bound the supported array subscripts.
+	MinIndex, MaxIndex int
+	// Cells is the total memory size in 64-bit cells.
+	Cells int
+}
+
+// NewLayout builds a layout for the loop covering subscripts in
+// [minIdx, maxIdx], with room for the given float constants and spill slots.
+func NewLayout(loop *lang.Loop, minIdx, maxIdx int, consts []float64, spillSlots int) (*Layout, error) {
+	if minIdx > maxIdx {
+		return nil, fmt.Errorf("dlxisa: bad index window [%d, %d]", minIdx, maxIdx)
+	}
+	l := &Layout{
+		ArrayBase:  map[string]int32{},
+		ScalarAddr: map[string]int32{},
+		Pool:       map[float64]int32{},
+		MinIndex:   minIdx,
+		MaxIndex:   maxIdx,
+		SpillSlots: spillSlots,
+	}
+	next := int32(4) // cell 0 reserved (null)
+	window := int32(maxIdx - minIdx + 1)
+	for _, name := range loop.Arrays() {
+		// base + 4*minIdx == next  =>  base = next - 4*minIdx.
+		l.ArrayBase[name] = next - 4*int32(minIdx)
+		next += 4 * window
+	}
+	for _, name := range loop.Scalars() {
+		l.ScalarAddr[name] = next
+		next += 4
+	}
+	seen := map[float64]bool{}
+	ordered := append([]float64(nil), consts...)
+	sort.Float64s(ordered)
+	for _, c := range ordered {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		l.Pool[c] = next
+		next += 4
+	}
+	l.SpillBase = next
+	next += 4 * int32(spillSlots)
+	l.Cells = int(next/4) + 1
+	// All absolute addresses are used as signed 16-bit immediates off R0.
+	if next > 32000 {
+		return nil, fmt.Errorf("dlxisa: layout of %d bytes exceeds the 16-bit addressing window", next)
+	}
+	return l, nil
+}
+
+// ElemAddr returns the byte address of an array element.
+func (l *Layout) ElemAddr(name string, idx int) (int32, error) {
+	base, ok := l.ArrayBase[name]
+	if !ok {
+		return 0, fmt.Errorf("dlxisa: unknown array %s", name)
+	}
+	if idx < l.MinIndex || idx > l.MaxIndex {
+		return 0, fmt.Errorf("dlxisa: index %d outside window [%d, %d]", idx, l.MinIndex, l.MaxIndex)
+	}
+	return base + 4*int32(idx), nil
+}
+
+// NewMemory allocates a zeroed memory arena for the layout.
+func (l *Layout) NewMemory() []float64 {
+	return make([]float64, l.Cells)
+}
+
+// LoadStore copies a symbolic store into a flat memory arena. Elements
+// outside the index window are rejected.
+func (l *Layout) LoadStore(st *lang.Store) ([]float64, error) {
+	mem := l.NewMemory()
+	for name, arr := range st.Arrays {
+		if _, ok := l.ArrayBase[name]; !ok {
+			// Arrays the loop never touches can't affect execution.
+			continue
+		}
+		for idx, v := range arr {
+			if idx < l.MinIndex || idx > l.MaxIndex {
+				// Seeded data outside the arena window is ignored; a real
+				// access outside the window faults in the machine instead.
+				continue
+			}
+			a, err := l.ElemAddr(name, idx)
+			if err != nil {
+				return nil, err
+			}
+			mem[a/4] = v
+		}
+	}
+	for name, v := range st.Scalars {
+		a, ok := l.ScalarAddr[name]
+		if !ok {
+			// Scalars not referenced by the loop (e.g. stray inputs) are
+			// simply dropped; they cannot affect execution.
+			continue
+		}
+		mem[a/4] = v
+	}
+	for c, a := range l.Pool {
+		mem[a/4] = c
+	}
+	return mem, nil
+}
+
+// StoreBack copies a flat memory arena into a symbolic store (overwriting
+// the loop's arrays and scalars; other entries are preserved).
+func (l *Layout) StoreBack(mem []float64, st *lang.Store) error {
+	if len(mem) < l.Cells {
+		return fmt.Errorf("dlxisa: memory too small (%d < %d cells)", len(mem), l.Cells)
+	}
+	for name := range l.ArrayBase {
+		for idx := l.MinIndex; idx <= l.MaxIndex; idx++ {
+			a, err := l.ElemAddr(name, idx)
+			if err != nil {
+				return err
+			}
+			st.SetElem(name, idx, mem[a/4])
+		}
+	}
+	for name, a := range l.ScalarAddr {
+		st.SetScalar(name, mem[a/4])
+	}
+	return nil
+}

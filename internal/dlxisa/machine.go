@@ -1,0 +1,201 @@
+package dlxisa
+
+import (
+	"fmt"
+	"math"
+
+	"doacross/internal/lang"
+)
+
+// Machine is one DLX-like processor: 32 integer registers, 32 FP registers,
+// and a (shared) flat memory of 64-bit cells addressed in 4-byte words.
+type Machine struct {
+	R   [32]int64
+	F   [32]float64
+	Mem []float64
+	// Hooks intercept synchronization instructions. Nil hooks make SENDS /
+	// WAITS no-ops (sequential execution).
+	Hooks Hooks
+}
+
+// Hooks connect the machine to a synchronization substrate.
+type Hooks struct {
+	// Send is called with the signal id when SENDS executes.
+	Send func(sig int)
+	// Wait is called with the signal id and distance; it may block (in a
+	// simulation sense) or return an error.
+	Wait func(sig, dist int) error
+}
+
+// NewMachine returns a machine over the given memory.
+func NewMachine(mem []float64) *Machine {
+	return &Machine{Mem: mem}
+}
+
+func (m *Machine) cell(addr int64) (int, error) {
+	if addr%4 != 0 {
+		return 0, fmt.Errorf("dlxisa: misaligned address %d", addr)
+	}
+	c := int(addr / 4)
+	if c < 0 || c >= len(m.Mem) {
+		return 0, fmt.Errorf("dlxisa: address %d out of bounds (%d cells)", addr, len(m.Mem))
+	}
+	return c, nil
+}
+
+// Step executes one decoded instruction.
+func (m *Machine) Step(in Inst) error {
+	m.R[0] = 0
+	switch in.Op {
+	case NOP:
+	case ADD:
+		m.R[in.Rd] = m.R[in.Rs1] + m.R[in.Rs2]
+	case SUB:
+		m.R[in.Rd] = m.R[in.Rs1] - m.R[in.Rs2]
+	case MUL:
+		m.R[in.Rd] = m.R[in.Rs1] * m.R[in.Rs2]
+	case DIV:
+		if m.R[in.Rs2] == 0 {
+			return fmt.Errorf("dlxisa: integer division by zero")
+		}
+		m.R[in.Rd] = m.R[in.Rs1] / m.R[in.Rs2]
+	case ADDI:
+		m.R[in.Rd] = m.R[in.Rs1] + int64(in.Imm)
+	case SLLI:
+		m.R[in.Rd] = m.R[in.Rs1] << uint(in.Imm)
+	case LD:
+		c, err := m.cell(m.R[in.Rs1] + int64(in.Imm))
+		if err != nil {
+			return err
+		}
+		m.F[in.Rd] = m.Mem[c]
+	case SD:
+		c, err := m.cell(m.R[in.Rs1] + int64(in.Imm))
+		if err != nil {
+			return err
+		}
+		m.Mem[c] = m.F[in.Rs2]
+	case LWI:
+		c, err := m.cell(m.R[in.Rs1] + int64(in.Imm))
+		if err != nil {
+			return err
+		}
+		m.R[in.Rd] = int64(m.Mem[c])
+	case SWI:
+		c, err := m.cell(m.R[in.Rs1] + int64(in.Imm))
+		if err != nil {
+			return err
+		}
+		m.Mem[c] = float64(m.R[in.Rs2])
+	case ADDD:
+		m.F[in.Rd] = m.F[in.Rs1] + m.F[in.Rs2]
+	case SUBD:
+		m.F[in.Rd] = m.F[in.Rs1] - m.F[in.Rs2]
+	case MULTD:
+		m.F[in.Rd] = m.F[in.Rs1] * m.F[in.Rs2]
+	case DIVD:
+		m.F[in.Rd] = m.F[in.Rs1] / m.F[in.Rs2]
+	case CVTI2D:
+		m.F[in.Rd] = float64(m.R[in.Rs1])
+	case CVTD2I:
+		v := m.F[in.Rs1]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dlxisa: converting non-finite %v to integer", v)
+		}
+		m.R[in.Rd] = int64(math.Trunc(v))
+	case CLTD, CLED, CGTD, CGED, CEQD, CNED:
+		a, b := m.F[in.Rs1], m.F[in.Rs2]
+		var holds bool
+		switch in.Op {
+		case CLTD:
+			holds = a < b
+		case CLED:
+			holds = a <= b
+		case CGTD:
+			holds = a > b
+		case CGED:
+			holds = a >= b
+		case CEQD:
+			holds = a == b
+		case CNED:
+			holds = a != b
+		}
+		if holds {
+			m.R[in.Rd] = 1
+		} else {
+			m.R[in.Rd] = 0
+		}
+	case CMOVD:
+		if m.R[in.Rs3] != 0 {
+			m.F[in.Rd] = m.F[in.Rs1]
+		} else {
+			m.F[in.Rd] = m.F[in.Rs2]
+		}
+	case SENDS:
+		if m.Hooks.Send != nil {
+			m.Hooks.Send(int(in.Imm))
+		}
+	case WAITS:
+		if m.Hooks.Wait != nil {
+			return m.Hooks.Wait(int(in.Rd), int(in.Imm))
+		}
+	default:
+		return fmt.Errorf("dlxisa: cannot execute %v", in)
+	}
+	m.R[0] = 0
+	return nil
+}
+
+// RunIteration executes the program body once with the induction variable
+// set to i.
+func (p *Program) RunIteration(m *Machine, i int) error {
+	m.R[1] = int64(i)
+	for idx, in := range p.Insts {
+		if err := m.Step(in); err != nil {
+			return fmt.Errorf("dlxisa: pc %d (%v): %w", idx, in, err)
+		}
+	}
+	return nil
+}
+
+// RunEncoded decodes and executes the binary words — the strictest check
+// that the encoding is faithful.
+func (p *Program) RunEncoded(m *Machine, i int) error {
+	insts, err := DecodeAll(p.Words)
+	if err != nil {
+		return err
+	}
+	m.R[1] = int64(i)
+	for idx, in := range insts {
+		if err := m.Step(in); err != nil {
+			return fmt.Errorf("dlxisa: pc %d (%v): %w", idx, in, err)
+		}
+	}
+	return nil
+}
+
+// Run executes the compiled loop sequentially against a symbolic store:
+// the store is marshalled into flat memory, all iterations execute on one
+// machine, and the results are marshalled back.
+func (p *Program) Run(st *lang.Store, encoded bool) error {
+	lo, hi, err := p.TAC.Sync.Base.Bounds(st)
+	if err != nil {
+		return err
+	}
+	mem, err := p.Layout.LoadStore(st)
+	if err != nil {
+		return err
+	}
+	m := NewMachine(mem)
+	for i := lo; i <= hi; i++ {
+		if encoded {
+			err = p.RunEncoded(m, i)
+		} else {
+			err = p.RunIteration(m, i)
+		}
+		if err != nil {
+			return fmt.Errorf("dlxisa: iteration %d: %w", i, err)
+		}
+	}
+	return p.Layout.StoreBack(mem, st)
+}

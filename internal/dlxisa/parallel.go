@@ -1,0 +1,121 @@
+package dlxisa
+
+import (
+	"fmt"
+
+	"doacross/internal/lang"
+)
+
+// ParallelResult reports an ISA-level parallel run.
+type ParallelResult struct {
+	// Cycles is the total execution time: one instruction per processor per
+	// cycle (scalar in-order pipelines), waits busy-stall.
+	Cycles int
+	// Stalls counts processor-cycles spent blocked in WAITS.
+	Stalls int
+}
+
+// RunParallel executes the assembled loop as a DOACROSS at the machine
+// level: iterations lo..hi are distributed round-robin over procs scalar
+// processors (procs <= 0 means one per iteration) sharing one memory and a
+// signal table. Each processor executes its body in order, one instruction
+// per cycle; WAITS stalls until the producing iteration's SENDS has
+// executed in an earlier cycle.
+//
+// This is the unscheduled baseline the paper's superscalar schedules are
+// measured against, and it validates the synchronization semantics all the
+// way down at the encoded-instruction level: final memory must equal
+// sequential execution, which the differential tests assert.
+func (p *Program) RunParallel(st *lang.Store, procs int) (ParallelResult, error) {
+	if p.NumSpills > 0 {
+		// The spill area is a single R0-addressed region; concurrent
+		// iterations would clobber each other's slots. Real systems give
+		// each thread a private stack — out of scope for this backend.
+		return ParallelResult{}, fmt.Errorf("dlxisa: parallel execution requires spill-free code (%d spill slots in use)", p.NumSpills)
+	}
+	lo, hi, err := p.TAC.Sync.Base.Bounds(st)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	n := hi - lo + 1
+	if n <= 0 {
+		return ParallelResult{}, nil
+	}
+	if procs <= 0 || procs > n {
+		procs = n
+	}
+	mem, err := p.Layout.LoadStore(st)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	// sent[sig][iterIdx] = cycle the send executed, -1 otherwise.
+	sent := make([][]int, len(p.Signals))
+	for s := range sent {
+		sent[s] = make([]int, n)
+		for i := range sent[s] {
+			sent[s][i] = -1
+		}
+	}
+	type pstate struct {
+		iterIdx int // current iteration index, -1 idle
+		pc      int
+		m       *Machine
+	}
+	ps := make([]*pstate, procs)
+	nextIter := 0
+	for i := range ps {
+		ps[i] = &pstate{iterIdx: -1, m: NewMachine(mem)}
+		if nextIter < n {
+			ps[i].iterIdx = nextIter
+			ps[i].m.R[1] = int64(lo + nextIter)
+			nextIter++
+		}
+	}
+	res := ParallelResult{}
+	remaining := n
+	for cycle := 0; remaining > 0; cycle++ {
+		if cycle > (n+2)*(len(p.Insts)+4)*4+1024 {
+			return ParallelResult{}, fmt.Errorf("dlxisa: parallel deadlock at cycle %d", cycle)
+		}
+		for _, s := range ps {
+			if s.iterIdx < 0 {
+				continue
+			}
+			in := p.Insts[s.pc]
+			switch in.Op {
+			case WAITS:
+				srcIdx := s.iterIdx - int(in.Imm)
+				if srcIdx >= 0 {
+					t := sent[in.Rd][srcIdx]
+					if t == -1 || t >= cycle {
+						res.Stalls++
+						continue // stall this cycle
+					}
+				}
+			case SENDS:
+				sent[in.Imm][s.iterIdx] = cycle
+			}
+			if in.Op != SENDS { // SENDS handled above; everything else executes
+				if err := s.m.Step(in); err != nil {
+					return ParallelResult{}, fmt.Errorf("dlxisa: iteration %d pc %d: %w", lo+s.iterIdx, s.pc, err)
+				}
+			}
+			s.pc++
+			if s.pc == len(p.Insts) {
+				remaining--
+				res.Cycles = cycle + 1
+				s.pc = 0
+				s.iterIdx = -1
+				if nextIter < n {
+					s.iterIdx = nextIter
+					s.m.R[1] = int64(lo + nextIter)
+					nextIter++
+				}
+			}
+		}
+	}
+	if err := p.Layout.StoreBack(mem, st); err != nil {
+		return ParallelResult{}, err
+	}
+	return res, nil
+}

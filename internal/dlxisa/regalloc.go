@@ -1,0 +1,260 @@
+package dlxisa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Register allocation: the loop body is straight-line code (if-converted
+// upstream), so a local Belady allocator is near-optimal: registers are
+// assigned on demand, and when none is free the live value whose next use is
+// farthest away is evicted — spilled to a dedicated slot if it is still
+// needed, dropped otherwise. Every virtual register has a single definition,
+// so spilled values are reloaded from their slot without write-back
+// bookkeeping.
+//
+// Conventions: R0 = 0, R1 = induction variable (pinned), R2..R31 and
+// F0..F31 allocatable.
+
+const (
+	firstIntPhys = 2
+	numIntPhys   = 30 // R2..R31
+	numFpPhys    = 32 // F0..F31
+)
+
+// vkey flattens (class, id) for map keys.
+func vkey(c regClass, id int) int { return int(c)<<24 | id }
+
+// allocator state for one class.
+type classAlloc struct {
+	class  regClass
+	base   int         // first physical register number
+	n      int         // number of physical registers
+	regOf  map[int]int // vreg id -> physical
+	vregIn []int       // physical slot (0-based) -> vreg id, -1 free
+	slotOf map[int]int // vreg id -> spill slot
+}
+
+type allocator struct {
+	vs      []vinst
+	out     []vinst
+	uses    map[int][]int // vkey -> ordered instruction indices of uses
+	lastUse map[int]int
+	cls     [2]*classAlloc
+	spills  int
+}
+
+// allocate rewrites virtual registers to physical ones, inserting spill
+// code. Returns the rewritten instructions and the number of spill slots.
+func allocate(vs []vinst, counts [2]int) ([]vinst, int, error) {
+	al := &allocator{
+		vs:      vs,
+		uses:    map[int][]int{},
+		lastUse: map[int]int{},
+	}
+	al.cls[intReg] = &classAlloc{class: intReg, base: firstIntPhys, n: numIntPhys,
+		regOf: map[int]int{}, vregIn: make([]int, numIntPhys), slotOf: map[int]int{}}
+	al.cls[fpReg] = &classAlloc{class: fpReg, base: 0, n: numFpPhys,
+		regOf: map[int]int{}, vregIn: make([]int, numFpPhys), slotOf: map[int]int{}}
+	for c := range al.cls {
+		for i := range al.cls[c].vregIn {
+			al.cls[c].vregIn[i] = -1
+		}
+	}
+	// Collect use positions.
+	for i, v := range vs {
+		for _, f := range sourceFields(v) {
+			if f.id <= 0 { // R0 (-1) and IV (0) are pinned
+				continue
+			}
+			k := vkey(f.class, f.id)
+			al.uses[k] = append(al.uses[k], i)
+			al.lastUse[k] = i
+		}
+	}
+	for i := range vs {
+		if err := al.rewrite(i); err != nil {
+			return nil, 0, err
+		}
+	}
+	return al.out, al.spills, nil
+}
+
+// field describes one register field of a vinst.
+type field struct {
+	class regClass
+	id    int
+	set   func(v *vinst, phys int)
+}
+
+func sourceFields(v vinst) []field {
+	_, ca, cb, cc, _, hasA, hasB, hasC := fieldClasses(v.op)
+	var out []field
+	if hasA {
+		out = append(out, field{class: ca, id: v.s1, set: func(x *vinst, p int) { x.s1 = p }})
+	}
+	if hasB {
+		out = append(out, field{class: cb, id: v.s2, set: func(x *vinst, p int) { x.s2 = p }})
+	}
+	if hasC {
+		out = append(out, field{class: cc, id: v.s3, set: func(x *vinst, p int) { x.s3 = p }})
+	}
+	return out
+}
+
+// nextUseAfter returns the next use index of vreg strictly after i, or MaxInt.
+func (al *allocator) nextUseAfter(k, i int) int {
+	for _, u := range al.uses[k] {
+		if u > i {
+			return u
+		}
+	}
+	return math.MaxInt
+}
+
+// physFor resolves a source vreg to a physical register at instruction i,
+// reloading from its spill slot if needed. locked prevents evicting
+// registers already claimed by the current instruction.
+func (al *allocator) physFor(c regClass, id, i int, locked map[int]bool) (int, error) {
+	if id == -1 {
+		return 0, nil // R0
+	}
+	if c == intReg && id == ivID {
+		return 1, nil // pinned induction variable
+	}
+	ca := al.cls[c]
+	if p, ok := ca.regOf[id]; ok {
+		locked[int(c)<<8|p] = true
+		return p, nil
+	}
+	slot, ok := ca.slotOf[id]
+	if !ok {
+		return 0, fmt.Errorf("dlxisa: vreg %d/%d used before definition", c, id)
+	}
+	p, err := al.claim(c, i, locked)
+	if err != nil {
+		return 0, err
+	}
+	reload := vinst{addr: "spill", slot: slot}
+	if c == intReg {
+		reload.op = LWI
+		reload.rd = p
+		reload.s1 = 0 // R0 base — physical now
+	} else {
+		reload.op = LD
+		reload.rd = p
+		reload.s1 = 0
+	}
+	al.out = append(al.out, reload)
+	ca.regOf[id] = p
+	ca.vregIn[p-ca.base] = id
+	locked[int(c)<<8|p] = true
+	return p, nil
+}
+
+// claim returns a free physical register of the class, evicting if needed.
+func (al *allocator) claim(c regClass, i int, locked map[int]bool) (int, error) {
+	ca := al.cls[c]
+	// Free register?
+	for s := 0; s < ca.n; s++ {
+		if ca.vregIn[s] == -1 && !locked[int(c)<<8|(ca.base+s)] {
+			return ca.base + s, nil
+		}
+	}
+	// Evict the unlocked vreg with the farthest next use.
+	victimSlot, victimNext := -1, -1
+	for s := 0; s < ca.n; s++ {
+		p := ca.base + s
+		if locked[int(c)<<8|p] {
+			continue
+		}
+		id := ca.vregIn[s]
+		if id == -1 {
+			continue
+		}
+		nu := al.nextUseAfter(vkey(c, id), i-1)
+		if nu > victimNext {
+			victimNext = nu
+			victimSlot = s
+		}
+	}
+	if victimSlot == -1 {
+		return 0, fmt.Errorf("dlxisa: register pressure exceeds pool (all %d %v registers locked)", ca.n, c)
+	}
+	id := ca.vregIn[victimSlot]
+	p := ca.base + victimSlot
+	if victimNext != math.MaxInt {
+		// Still live: store to its spill slot (assign one if new).
+		slot, ok := ca.slotOf[id]
+		if !ok {
+			slot = al.spills
+			al.spills++
+			ca.slotOf[id] = slot
+		}
+		st := vinst{addr: "spill", slot: slot}
+		if c == intReg {
+			st.op = SWI
+			st.s1 = 0
+			st.s2 = p
+		} else {
+			st.op = SD
+			st.s1 = 0
+			st.s2 = p
+		}
+		al.out = append(al.out, st)
+	}
+	delete(ca.regOf, id)
+	ca.vregIn[victimSlot] = -1
+	return p, nil
+}
+
+// rewrite processes instruction i.
+func (al *allocator) rewrite(i int) error {
+	v := al.vs[i]
+	locked := map[int]bool{}
+	cd, _, _, _, hasD, _, _, _ := fieldClasses(v.op)
+	// Sources first.
+	for _, f := range sourceFields(v) {
+		p, err := al.physFor(f.class, f.id, i, locked)
+		if err != nil {
+			return err
+		}
+		f.set(&v, p)
+	}
+	// Destination.
+	if hasD {
+		ca := al.cls[cd]
+		if v.rd <= 0 {
+			return fmt.Errorf("dlxisa: instruction %d defines invalid vreg %d", i, v.rd)
+		}
+		id := v.rd
+		p, err := al.claim(cd, i, locked)
+		if err != nil {
+			return err
+		}
+		ca.regOf[id] = p
+		ca.vregIn[p-ca.base] = id
+		v.rd = p
+	}
+	al.out = append(al.out, v)
+	// Release vregs whose last use was here.
+	for c := range al.cls {
+		ca := al.cls[c]
+		for s := 0; s < ca.n; s++ {
+			id := ca.vregIn[s]
+			if id == -1 {
+				continue
+			}
+			k := vkey(regClass(c), id)
+			if lu, ok := al.lastUse[k]; !ok || lu <= i {
+				// Defined but never used later (dead) or fully consumed.
+				// Keep just-defined values alive until their first use.
+				if al.nextUseAfter(k, i) == math.MaxInt {
+					delete(ca.regOf, id)
+					ca.vregIn[s] = -1
+				}
+			}
+		}
+	}
+	return nil
+}

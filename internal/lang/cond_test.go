@@ -1,0 +1,160 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseGuardedStatement(t *testing.T) {
+	loop := MustParse("DO I = 1, N\nIF (E[I] > 0) A[I] = A[I-1] + 1\nENDDO")
+	st := loop.Body[0]
+	if st.Cond == nil {
+		t.Fatal("guard not parsed")
+	}
+	if st.Cond.Op != RelGT {
+		t.Errorf("relop = %v, want >", st.Cond.Op)
+	}
+	if _, ok := st.Cond.L.(*ArrayRef); !ok {
+		t.Errorf("guard LHS = %T, want array ref", st.Cond.L)
+	}
+}
+
+func TestParseAllRelops(t *testing.T) {
+	cases := map[string]RelOp{
+		"<": RelLT, "<=": RelLE, ">": RelGT, ">=": RelGE, "==": RelEQ, "!=": RelNE,
+	}
+	for text, want := range cases {
+		loop, err := Parse("DO I = 1, N\nIF (X " + text + " 3) A[I] = 1\nENDDO")
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		if got := loop.Body[0].Cond.Op; got != want {
+			t.Errorf("%s parsed as %v", text, got)
+		}
+	}
+}
+
+func TestGuardPrintRoundTrip(t *testing.T) {
+	src := "DO I = 1, N\n  S1: IF (E[I] >= Q+1) A[I] = A[I-1]*2\nENDDO\n"
+	loop := MustParse(src)
+	reparsed, err := Parse(loop.String())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, loop)
+	}
+	if loop.String() != reparsed.String() {
+		t.Errorf("not a fixpoint:\n%s\nvs\n%s", loop, reparsed)
+	}
+	if !strings.Contains(loop.String(), "IF (E[I] >= Q+1)") {
+		t.Errorf("guard not printed: %s", loop)
+	}
+}
+
+func TestGuardedExecution(t *testing.T) {
+	// Clamp-style loop: only positive E[I] update A.
+	loop := MustParse("DO I = 1, N\nIF (E[I] > 0) A[I] = E[I]\nENDDO")
+	st := NewStore()
+	st.SetScalar("N", 4)
+	for i := 1; i <= 4; i++ {
+		v := float64(i)
+		if i%2 == 0 {
+			v = -v
+		}
+		st.SetElem("E", i, v)
+		st.SetElem("A", i, 99)
+	}
+	if err := loop.Run(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		want := 99.0
+		if i%2 == 1 {
+			want = float64(i)
+		}
+		if got := st.Elem("A", i); got != want {
+			t.Errorf("A[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCondHoldsAllOps(t *testing.T) {
+	st := NewStore()
+	cases := []struct {
+		op   RelOp
+		l, r float64
+		want bool
+	}{
+		{RelLT, 1, 2, true}, {RelLT, 2, 2, false},
+		{RelLE, 2, 2, true}, {RelLE, 3, 2, false},
+		{RelGT, 3, 2, true}, {RelGT, 2, 2, false},
+		{RelGE, 2, 2, true}, {RelGE, 1, 2, false},
+		{RelEQ, 2, 2, true}, {RelEQ, 1, 2, false},
+		{RelNE, 1, 2, true}, {RelNE, 2, 2, false},
+	}
+	for _, c := range cases {
+		cond := &Cond{Op: c.op, L: &Const{Value: c.l}, R: &Const{Value: c.r}}
+		got, err := cond.Holds(st, "I", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestGuardRefsInArraysAndScalars(t *testing.T) {
+	loop := MustParse("DO I = 1, N\nIF (Z[I] > Q) A[I] = 1\nENDDO")
+	arrays := loop.Arrays()
+	found := false
+	for _, a := range arrays {
+		if a == "Z" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("guard array Z missing from Arrays(): %v", arrays)
+	}
+	scalars := loop.Scalars()
+	foundQ := false
+	for _, s := range scalars {
+		if s == "Q" {
+			foundQ = true
+		}
+	}
+	if !foundQ {
+		t.Errorf("guard scalar Q missing from Scalars(): %v", scalars)
+	}
+}
+
+func TestGuardCloneIndependent(t *testing.T) {
+	loop := MustParse("DO I = 1, N\nIF (E[I] > 0) A[I] = 1\nENDDO")
+	cl := loop.Clone()
+	cl.Body[0].Cond.Op = RelLT
+	if loop.Body[0].Cond.Op != RelGT {
+		t.Error("Clone shares guard with original")
+	}
+}
+
+func TestBangStillComments(t *testing.T) {
+	loop, err := Parse("DO I = 1, N\nA[I] = 1 ! trailing comment with != inside is fine\nENDDO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loop.Body) != 1 {
+		t.Errorf("comment mishandled: %d statements", len(loop.Body))
+	}
+}
+
+func TestGuardParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"DO I = 1, N\nIF E[I] > 0 A[I] = 1\nENDDO",        // missing parens
+		"DO I = 1, N\nIF (E[I]) A[I] = 1\nENDDO",          // missing relop
+		"DO I = 1, N\nIF (E[I] > ) A[I] = 1\nENDDO",       // missing rhs
+		"DO I = 1, N\nIF (E[I] > 0 A[I] = 1\nENDDO",       // unclosed paren
+		"DO I = 1, N\nIF (A < B) IF (C < D) X = 1\nENDDO", // double guard
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// File is a parsed source file: a sequence of DO/DOACROSS loops executed one
+// after another, sharing the same store — the shape of the paper's
+// benchmark programs, where Parafrase extracts many loops from one source.
+type File struct {
+	Loops []*Loop
+}
+
+// ParseFile parses a sequence of loops. Loops follow each other separated by
+// newlines; comments and blank lines are allowed anywhere.
+func ParseFile(src string) (*File, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for {
+		p.skipNewlines()
+		if p.peek().Kind == TokEOF {
+			break
+		}
+		loop, err := p.parseLoop()
+		if err != nil {
+			return nil, fmt.Errorf("loop %d: %w", len(f.Loops)+1, err)
+		}
+		f.Loops = append(f.Loops, loop)
+	}
+	if len(f.Loops) == 0 {
+		return nil, fmt.Errorf("lang: file contains no loops")
+	}
+	return f, nil
+}
+
+// MustParseFile is ParseFile panicking on error.
+func MustParseFile(src string) *File {
+	f, err := ParseFile(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// String renders the file as source text.
+func (f *File) String() string {
+	var sb strings.Builder
+	for i, l := range f.Loops {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(l.String())
+	}
+	return sb.String()
+}
+
+// Run executes all loops sequentially against the store.
+func (f *File) Run(st *Store) error {
+	for i, l := range f.Loops {
+		if err := l.Run(st); err != nil {
+			return fmt.Errorf("lang: loop %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// Arrays returns the sorted union of array names across all loops.
+func (f *File) Arrays() []string {
+	set := map[string]bool{}
+	for _, l := range f.Loops {
+		for _, a := range l.Arrays() {
+			set[a] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Scalars returns the sorted union of scalar names across all loops.
+func (f *File) Scalars() []string {
+	set := map[string]bool{}
+	for _, l := range f.Loops {
+		for _, s := range l.Scalars() {
+			set[s] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// SeedStore seeds data for every loop in the file, covering subscripts
+// within margin of [1, n].
+func (f *File) SeedStore(n, margin int, seed uint64) *Store {
+	st := NewStore()
+	x := seed*2862933555777941757 + 3037000493
+	next := func() float64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(int64(x%2048) - 1024)
+	}
+	for _, name := range f.Scalars() {
+		st.SetScalar(name, next())
+	}
+	st.SetScalar("N", float64(n))
+	for _, name := range f.Arrays() {
+		for i := 1 - margin; i <= n+margin; i++ {
+			st.SetElem(name, i, next())
+		}
+	}
+	return st
+}

@@ -1,0 +1,110 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const twoLoops = `
+! first loop: recurrence
+DO I = 1, N
+  A[I] = A[I-1] + E[I]
+ENDDO
+
+! second loop: consumes the first loop's output
+DO I = 1, N
+  B[I] = A[I] * 2
+ENDDO
+`
+
+func TestParseFileTwoLoops(t *testing.T) {
+	f, err := ParseFile(twoLoops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Loops) != 2 {
+		t.Fatalf("got %d loops, want 2", len(f.Loops))
+	}
+	if f.Loops[0].Body[0].LHS.(*ArrayRef).Name != "A" {
+		t.Error("first loop should write A")
+	}
+}
+
+func TestParseFileSingleLoopCompatible(t *testing.T) {
+	f, err := ParseFile("DO I = 1, N\nA[I] = 1\nENDDO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Loops) != 1 {
+		t.Errorf("got %d loops", len(f.Loops))
+	}
+}
+
+func TestParseFileErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"! only a comment\n",
+		"DO I = 1, N\nA[I] = 1\nENDDO\ngarbage",
+		"DO I = 1, N\nA[I] = 1\n", // missing ENDDO
+	} {
+		if _, err := ParseFile(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestFileRunChainsLoops(t *testing.T) {
+	f := MustParseFile(twoLoops)
+	st := NewStore()
+	st.SetScalar("N", 5)
+	st.SetElem("A", 0, 0)
+	for i := 1; i <= 5; i++ {
+		st.SetElem("E", i, 1)
+	}
+	if err := f.Run(st); err != nil {
+		t.Fatal(err)
+	}
+	// A[i] = i (prefix sum of ones), B[i] = 2i.
+	for i := 1; i <= 5; i++ {
+		if st.Elem("A", i) != float64(i) {
+			t.Errorf("A[%d] = %v", i, st.Elem("A", i))
+		}
+		if st.Elem("B", i) != float64(2*i) {
+			t.Errorf("B[%d] = %v", i, st.Elem("B", i))
+		}
+	}
+}
+
+func TestFileStringRoundTrip(t *testing.T) {
+	f := MustParseFile(twoLoops)
+	again, err := ParseFile(f.String())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, f)
+	}
+	if again.String() != f.String() {
+		t.Error("file print/parse not a fixpoint")
+	}
+}
+
+func TestFileArraysScalars(t *testing.T) {
+	f := MustParseFile(twoLoops)
+	arrays := strings.Join(f.Arrays(), ",")
+	if arrays != "A,B,E" {
+		t.Errorf("arrays = %s", arrays)
+	}
+	scalars := strings.Join(f.Scalars(), ",")
+	if scalars != "N" {
+		t.Errorf("scalars = %s", scalars)
+	}
+}
+
+func TestFileSeedStoreCoversAllLoops(t *testing.T) {
+	f := MustParseFile(twoLoops)
+	st := f.SeedStore(6, 4, 1)
+	if _, ok := st.Arrays["B"]; !ok {
+		t.Error("seed store missing second loop's array")
+	}
+	if st.Scalar("N") != 6 {
+		t.Error("N not set")
+	}
+}

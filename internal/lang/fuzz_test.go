@@ -1,0 +1,39 @@
+package lang
+
+import "testing"
+
+// FuzzParse exercises the lexer/parser with arbitrary input: it must never
+// panic, and anything it accepts must print to source it accepts again with
+// the same rendering (print∘parse is a fixpoint).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"DO I = 1, N\nA[I] = A[I-1] + 1\nENDDO",
+		"DOACROSS I = 1, 10\n S3: A[I] = B[I]*C[I+3]\nEND_DOACROSS",
+		"DO I = 1, N\nIF (E[I] > 0) A[I] = A[I-1]\nENDDO",
+		"DO I = 1, N\nS = S + A(I)\nENDDO",
+		"DO I = 1, N\nX = (1 + 2) * -3.5 / Q\nENDDO",
+		"DO I = 1, N\nA[2*I-4] = B[I] ! comment\nENDDO",
+		"do i = 1, n\na[i] = 1; b[i] = 2\nenddo",
+		"DO I = 1, N\nIF (A[I] != B[I]) C[I] = 0\nENDDO",
+		"",
+		"DO",
+		"DO I = 1, N\nA[I] = \nENDDO",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		loop, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := loop.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted input prints to rejected source:\ninput: %q\nprinted:\n%s\nerror: %v", src, printed, err)
+		}
+		if again.String() != printed {
+			t.Fatalf("print/parse not a fixpoint:\n%s\nvs\n%s", printed, again.String())
+		}
+	})
+}

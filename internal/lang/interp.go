@@ -1,0 +1,339 @@
+package lang
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Store is the memory state the interpreter (and the simulators) operate on:
+// named scalars plus named arrays with arbitrary (possibly negative) integer
+// indices. Sparse maps are used because paper-style subscripts like G[I-3]
+// step outside any fixed bound.
+type Store struct {
+	Scalars map[string]float64
+	Arrays  map[string]map[int]float64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{Scalars: map[string]float64{}, Arrays: map[string]map[int]float64{}}
+}
+
+// Clone deep-copies the store.
+func (s *Store) Clone() *Store {
+	out := NewStore()
+	for k, v := range s.Scalars {
+		out.Scalars[k] = v
+	}
+	for name, arr := range s.Arrays {
+		m := make(map[int]float64, len(arr))
+		for i, v := range arr {
+			m[i] = v
+		}
+		out.Arrays[name] = m
+	}
+	return out
+}
+
+// SetScalar stores a scalar value.
+func (s *Store) SetScalar(name string, v float64) { s.Scalars[name] = v }
+
+// Scalar loads a scalar, defaulting to 0.
+func (s *Store) Scalar(name string) float64 { return s.Scalars[name] }
+
+// SetElem stores an array element.
+func (s *Store) SetElem(name string, idx int, v float64) {
+	arr := s.Arrays[name]
+	if arr == nil {
+		arr = map[int]float64{}
+		s.Arrays[name] = arr
+	}
+	arr[idx] = v
+}
+
+// Elem loads an array element, defaulting to 0.
+func (s *Store) Elem(name string, idx int) float64 { return s.Arrays[name][idx] }
+
+// Equal reports whether two stores hold identical values. NaNs compare equal
+// to themselves so that division artifacts do not produce spurious
+// mismatches in differential tests.
+func (s *Store) Equal(o *Store) bool {
+	return s.Diff(o) == ""
+}
+
+// Diff returns a human-readable description of the first few differences
+// between two stores, or "" when they are identical.
+func (s *Store) Diff(o *Store) string {
+	var diffs []string
+	names := map[string]bool{}
+	for k := range s.Scalars {
+		names[k] = true
+	}
+	for k := range o.Scalars {
+		names[k] = true
+	}
+	for _, k := range sortedKeys(names) {
+		a, b := s.Scalars[k], o.Scalars[k]
+		if !sameFloat(a, b) {
+			diffs = append(diffs, fmt.Sprintf("scalar %s: %g vs %g", k, a, b))
+		}
+	}
+	arrNames := map[string]bool{}
+	for k := range s.Arrays {
+		arrNames[k] = true
+	}
+	for k := range o.Arrays {
+		arrNames[k] = true
+	}
+	for _, name := range sortedKeys(arrNames) {
+		idxs := map[int]bool{}
+		for i := range s.Arrays[name] {
+			idxs[i] = true
+		}
+		for i := range o.Arrays[name] {
+			idxs[i] = true
+		}
+		var sortedIdx []int
+		for i := range idxs {
+			sortedIdx = append(sortedIdx, i)
+		}
+		sort.Ints(sortedIdx)
+		for _, i := range sortedIdx {
+			a, b := s.Arrays[name][i], o.Arrays[name][i]
+			if !sameFloat(a, b) {
+				diffs = append(diffs, fmt.Sprintf("%s[%d]: %g vs %g", name, i, a, b))
+				if len(diffs) >= 8 {
+					return joinDiffs(diffs) + "; ..."
+				}
+			}
+		}
+	}
+	return joinDiffs(diffs)
+}
+
+func joinDiffs(d []string) string {
+	out := ""
+	for i, s := range d {
+		if i > 0 {
+			out += "; "
+		}
+		out += s
+	}
+	return out
+}
+
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EvalExpr evaluates e against the store with the induction variable iv
+// bound to i. Array subscripts are truncated toward zero after evaluation,
+// matching FORTRAN integer subscript semantics.
+func EvalExpr(e Expr, st *Store, iv string, i int) (float64, error) {
+	switch v := e.(type) {
+	case *Const:
+		return v.Value, nil
+	case *Scalar:
+		if v.Name == iv {
+			return float64(i), nil
+		}
+		return st.Scalar(v.Name), nil
+	case *ArrayRef:
+		idx, err := EvalIndex(v.Index, st, iv, i)
+		if err != nil {
+			return 0, err
+		}
+		return st.Elem(v.Name, idx), nil
+	case *Neg:
+		x, err := EvalExpr(v.X, st, iv, i)
+		return -x, err
+	case *Binary:
+		l, err := EvalExpr(v.L, st, iv, i)
+		if err != nil {
+			return 0, err
+		}
+		r, err := EvalExpr(v.R, st, iv, i)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case OpAdd:
+			return l + r, nil
+		case OpSub:
+			return l - r, nil
+		case OpMul:
+			return l * r, nil
+		case OpDiv:
+			return l / r, nil
+		}
+	}
+	return 0, fmt.Errorf("lang: cannot evaluate expression %T", e)
+}
+
+// EvalIndex evaluates an array subscript to an integer index.
+func EvalIndex(e Expr, st *Store, iv string, i int) (int, error) {
+	v, err := EvalExpr(e, st, iv, i)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("lang: non-finite array subscript %v", v)
+	}
+	return int(v), nil
+}
+
+// Bounds evaluates the loop's trip bounds against the store. The bounds may
+// reference scalars (typically N).
+func (l *Loop) Bounds(st *Store) (lo, hi int, err error) {
+	lov, err := EvalExpr(l.Lo, st, l.Var, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	hiv, err := EvalExpr(l.Hi, st, l.Var, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(lov), int(hiv), nil
+}
+
+// Run executes the loop sequentially against st — the reference semantics
+// every scheduler and simulator output is compared to.
+func (l *Loop) Run(st *Store) error {
+	lo, hi, err := l.Bounds(st)
+	if err != nil {
+		return err
+	}
+	for i := lo; i <= hi; i++ {
+		for _, stmt := range l.Body {
+			if err := execAssign(stmt, st, l.Var, i); err != nil {
+				return fmt.Errorf("lang: iteration %d, statement %s: %w", i, stmt.Label, err)
+			}
+		}
+	}
+	return nil
+}
+
+// RunIteration executes a single iteration i of the loop body.
+func (l *Loop) RunIteration(st *Store, i int) error {
+	for _, stmt := range l.Body {
+		if err := execAssign(stmt, st, l.Var, i); err != nil {
+			return fmt.Errorf("lang: iteration %d, statement %s: %w", i, stmt.Label, err)
+		}
+	}
+	return nil
+}
+
+func execAssign(a *Assign, st *Store, iv string, i int) error {
+	if a.Cond != nil {
+		holds, err := a.Cond.Holds(st, iv, i)
+		if err != nil {
+			return err
+		}
+		if !holds {
+			return nil
+		}
+	}
+	val, err := EvalExpr(a.RHS, st, iv, i)
+	if err != nil {
+		return err
+	}
+	switch lhs := a.LHS.(type) {
+	case *Scalar:
+		if lhs.Name == iv {
+			return fmt.Errorf("assignment to induction variable %s", iv)
+		}
+		st.SetScalar(lhs.Name, val)
+		return nil
+	case *ArrayRef:
+		idx, err := EvalIndex(lhs.Index, st, iv, i)
+		if err != nil {
+			return err
+		}
+		st.SetElem(lhs.Name, idx, val)
+		return nil
+	}
+	return fmt.Errorf("invalid assignment target %T", a.LHS)
+}
+
+// Arrays returns the sorted set of array names referenced by the loop.
+func (l *Loop) Arrays() []string {
+	set := map[string]bool{}
+	for _, st := range l.Body {
+		for _, r := range ArrayRefs(st.LHS) {
+			set[r.Name] = true
+		}
+		for _, r := range ArrayRefs(st.RHS) {
+			set[r.Name] = true
+		}
+		if st.Cond != nil {
+			for _, r := range append(ArrayRefs(st.Cond.L), ArrayRefs(st.Cond.R)...) {
+				set[r.Name] = true
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Scalars returns the sorted set of scalar names referenced by the loop,
+// excluding the induction variable.
+func (l *Loop) Scalars() []string {
+	set := map[string]bool{}
+	add := func(e Expr) {
+		for _, r := range ScalarRefs(e) {
+			if r.Name != l.Var {
+				set[r.Name] = true
+			}
+		}
+	}
+	add(l.Lo)
+	add(l.Hi)
+	for _, st := range l.Body {
+		add(st.LHS)
+		add(st.RHS)
+		if st.Cond != nil {
+			add(st.Cond.L)
+			add(st.Cond.R)
+		}
+	}
+	return sortedKeys(set)
+}
+
+// SeedStore returns a store with deterministic pseudo-random contents for
+// every array and scalar the loop touches, covering subscript offsets within
+// margin of the iteration range [1, n]. Used by differential tests.
+func (l *Loop) SeedStore(n, margin int, seed uint64) *Store {
+	st := NewStore()
+	x := seed*2862933555777941757 + 3037000493
+	next := func() float64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		// Small magnitudes keep float64 arithmetic exact enough for == checks
+		// across different evaluation orders of the *same* dependence-honoring
+		// schedule.
+		return float64(int64(x%2048) - 1024)
+	}
+	for _, name := range l.Scalars() {
+		st.SetScalar(name, next())
+	}
+	st.SetScalar("N", float64(n))
+	for _, name := range l.Arrays() {
+		for i := 1 - margin; i <= n+margin; i++ {
+			st.SetElem(name, i, next())
+		}
+	}
+	return st
+}

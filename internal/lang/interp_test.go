@@ -1,0 +1,207 @@
+package lang
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunRecurrence(t *testing.T) {
+	// A[I] = A[I-1] + 1, A[0] = 0  =>  A[i] = i.
+	loop := MustParse("DO I = 1, N\nA[I] = A[I-1] + 1\nENDDO")
+	st := NewStore()
+	st.SetScalar("N", 10)
+	if err := loop.Run(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if got := st.Elem("A", i); got != float64(i) {
+			t.Errorf("A[%d] = %v, want %d", i, got, i)
+		}
+	}
+}
+
+func TestRunReduction(t *testing.T) {
+	loop := MustParse("DO I = 1, N\nS = S + A[I]\nENDDO")
+	st := NewStore()
+	st.SetScalar("N", 5)
+	for i := 1; i <= 5; i++ {
+		st.SetElem("A", i, float64(i))
+	}
+	if err := loop.Run(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Scalar("S"); got != 15 {
+		t.Errorf("S = %v, want 15", got)
+	}
+}
+
+func TestRunFig1MatchesManual(t *testing.T) {
+	loop := MustParse(fig1Source)
+	st := loop.SeedStore(8, 8, 42)
+	ref := st.Clone()
+	if err := loop.Run(st); err != nil {
+		t.Fatal(err)
+	}
+	// Manual execution of the same semantics.
+	for i := 1; i <= 8; i++ {
+		b := ref.Elem("A", i-2) + ref.Elem("E", i+1)
+		ref.SetElem("B", i, b)
+		ref.SetElem("G", i-3, ref.Elem("A", i-1)*ref.Elem("E", i+2))
+		ref.SetElem("A", i, ref.Elem("B", i)+ref.Elem("C", i+3))
+	}
+	if d := st.Diff(ref); d != "" {
+		t.Errorf("interpreter mismatch: %s", d)
+	}
+}
+
+func TestRunIterationMatchesRun(t *testing.T) {
+	loop := MustParse(fig1Source)
+	whole := loop.SeedStore(6, 8, 7)
+	stepwise := whole.Clone()
+	if err := loop.Run(whole); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if err := loop.RunIteration(stepwise, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := whole.Diff(stepwise); d != "" {
+		t.Errorf("Run vs RunIteration: %s", d)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	loop := MustParse("DO I = 2, N\nA[I] = 0\nENDDO")
+	st := NewStore()
+	st.SetScalar("N", 9)
+	lo, hi, err := loop.Bounds(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 2 || hi != 9 {
+		t.Errorf("bounds = (%d,%d), want (2,9)", lo, hi)
+	}
+}
+
+func TestZeroTripLoop(t *testing.T) {
+	loop := MustParse("DO I = 5, N\nA[I] = 99\nENDDO")
+	st := NewStore()
+	st.SetScalar("N", 2)
+	before := st.Clone()
+	if err := loop.Run(st); err != nil {
+		t.Fatal(err)
+	}
+	if d := st.Diff(before); d != "" {
+		t.Errorf("zero-trip loop modified store: %s", d)
+	}
+}
+
+func TestAssignToInductionVarFails(t *testing.T) {
+	loop := MustParse("DO I = 1, N\nI = 3\nENDDO")
+	st := NewStore()
+	st.SetScalar("N", 1)
+	if err := loop.Run(st); err == nil {
+		t.Error("expected error assigning to induction variable")
+	}
+}
+
+func TestStoreCloneIndependence(t *testing.T) {
+	st := NewStore()
+	st.SetElem("A", 1, 5)
+	st.SetScalar("X", 7)
+	cl := st.Clone()
+	cl.SetElem("A", 1, 99)
+	cl.SetScalar("X", 0)
+	if st.Elem("A", 1) != 5 || st.Scalar("X") != 7 {
+		t.Error("Clone is not independent of original")
+	}
+}
+
+func TestStoreDiffNaN(t *testing.T) {
+	a := NewStore()
+	b := NewStore()
+	a.SetScalar("X", math.NaN())
+	b.SetScalar("X", math.NaN())
+	if d := a.Diff(b); d != "" {
+		t.Errorf("NaN should equal NaN in Diff, got %q", d)
+	}
+	b.SetScalar("X", 1)
+	if d := a.Diff(b); d == "" {
+		t.Error("NaN vs 1 should differ")
+	}
+}
+
+func TestAffineIndex(t *testing.T) {
+	cases := []struct {
+		src       string
+		coef, off int
+		ok        bool
+	}{
+		{"I", 1, 0, true},
+		{"I-2", 1, -2, true},
+		{"I+3", 1, 3, true},
+		{"2*I+1", 2, 1, true},
+		{"I*3-4", 3, -4, true},
+		{"-I", -1, 0, true},
+		{"5", 0, 5, true},
+		{"I*I", 0, 0, false},
+		{"J", 0, 0, false},
+		{"I/2", 0, 0, false},
+		{"(I+1)*2", 2, 2, true},
+	}
+	for _, c := range cases {
+		loop, err := Parse("DO I = 1, N\nA[" + c.src + "] = 0\nENDDO")
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		idx := loop.Body[0].LHS.(*ArrayRef).Index
+		coef, off, ok := AffineIndex(idx, "I")
+		if ok != c.ok || (ok && (coef != c.coef || off != c.off)) {
+			t.Errorf("AffineIndex(%q) = (%d,%d,%v), want (%d,%d,%v)", c.src, coef, off, ok, c.coef, c.off, c.ok)
+		}
+	}
+}
+
+func TestArraysAndScalars(t *testing.T) {
+	loop := MustParse(fig1Source)
+	arrays := loop.Arrays()
+	want := []string{"A", "B", "C", "E", "G"}
+	if len(arrays) != len(want) {
+		t.Fatalf("arrays = %v, want %v", arrays, want)
+	}
+	for i := range want {
+		if arrays[i] != want[i] {
+			t.Errorf("arrays[%d] = %q, want %q", i, arrays[i], want[i])
+		}
+	}
+	scalars := loop.Scalars()
+	if len(scalars) != 1 || scalars[0] != "N" {
+		t.Errorf("scalars = %v, want [N]", scalars)
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	loop := MustParse(fig1Source)
+	cl := loop.Clone()
+	cl.Body[0].LHS.(*ArrayRef).Name = "Z"
+	if loop.Body[0].LHS.(*ArrayRef).Name != "B" {
+		t.Error("Clone shares expression nodes with original")
+	}
+	if cl.String() == loop.String() {
+		t.Error("mutation of clone should change its rendering")
+	}
+}
+
+func TestSeedStoreDeterministic(t *testing.T) {
+	loop := MustParse(fig1Source)
+	a := loop.SeedStore(10, 8, 3)
+	b := loop.SeedStore(10, 8, 3)
+	if d := a.Diff(b); d != "" {
+		t.Errorf("SeedStore not deterministic: %s", d)
+	}
+	c := loop.SeedStore(10, 8, 4)
+	if a.Diff(c) == "" {
+		t.Error("different seeds should give different stores")
+	}
+}

@@ -1,0 +1,398 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError describes a syntax error with its source position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("lang: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a single DO/DOACROSS loop from src. Statements without an
+// explicit label get S<k> labels in textual order (matching the paper's
+// S1..S3 convention).
+func Parse(src string) (*Loop, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	p.skipNewlines()
+	loop, err := p.parseLoop()
+	if err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+	if t := p.peek(); t.Kind != TokEOF {
+		return nil, p.errorf(t, "unexpected %s after ENDDO", t.Kind)
+	}
+	return loop, nil
+}
+
+// MustParse parses src and panics on error. Intended for tests and for
+// compile-time-constant loop literals in examples.
+func MustParse(src string) *Loop {
+	l, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) peekN(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(t Token, format string, args ...any) error {
+	return &ParseError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k TokenKind) (Token, error) {
+	t := p.next()
+	if t.Kind != k {
+		return t, p.errorf(t, "expected %s, found %s %q", k, t.Kind, t.Text)
+	}
+	return t, nil
+}
+
+func (p *parser) skipNewlines() {
+	for p.peek().Kind == TokNewline {
+		p.next()
+	}
+}
+
+func (p *parser) parseLoop() (*Loop, error) {
+	kw := p.next()
+	if kw.Kind != TokIdent {
+		return nil, p.errorf(kw, "expected DO or DOACROSS, found %s %q", kw.Kind, kw.Text)
+	}
+	var doacross bool
+	switch keywordOf(kw.Text) {
+	case "DO":
+	case "DOACROSS":
+		doacross = true
+	default:
+		return nil, p.errorf(kw, "expected DO or DOACROSS, found %q", kw.Text)
+	}
+	ivTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if keywordOf(ivTok.Text) != "" {
+		return nil, p.errorf(ivTok, "keyword %q cannot be an induction variable", ivTok.Text)
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	lo, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind != TokNewline && t.Kind != TokEOF {
+		return nil, p.errorf(t, "expected end of line after loop header, found %s %q", t.Kind, t.Text)
+	}
+	loop := &Loop{Doacross: doacross, Var: ivTok.Text, Lo: lo, Hi: hi}
+	used := map[string]bool{}
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		if t.Kind == TokEOF {
+			return nil, p.errorf(t, "missing ENDDO")
+		}
+		if t.Kind == TokIdent {
+			switch keywordOf(t.Text) {
+			case "ENDDO", "END_DOACROSS":
+				p.next()
+				p.normalizeLabels(loop, used)
+				return loop, nil
+			case "DO", "DOACROSS":
+				return nil, p.errorf(t, "nested loops are not supported by this subset")
+			}
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if st.Label != "" {
+			if used[st.Label] {
+				return nil, p.errorf(t, "duplicate statement label %q", st.Label)
+			}
+			used[st.Label] = true
+		}
+		loop.Body = append(loop.Body, st)
+	}
+}
+
+// normalizeLabels assigns S<k> to unlabeled statements, skipping labels that
+// were used explicitly.
+func (p *parser) normalizeLabels(loop *Loop, used map[string]bool) {
+	k := 1
+	for _, st := range loop.Body {
+		if st.Label != "" {
+			continue
+		}
+		for {
+			cand := fmt.Sprintf("S%d", k)
+			k++
+			if !used[cand] {
+				st.Label = cand
+				used[cand] = true
+				break
+			}
+		}
+	}
+}
+
+func (p *parser) parseStmt() (*Assign, error) {
+	label := ""
+	// Optional label: IDENT ':'.
+	if p.peek().Kind == TokIdent && p.peekN(1).Kind == TokColon {
+		label = p.next().Text
+		p.next() // colon
+	}
+	// Optional guard: IF ( expr relop expr ).
+	var cond *Cond
+	if t := p.peek(); t.Kind == TokIdent && keywordOf(t.Text) == "IF" {
+		p.next()
+		open, err := p.expect(TokLBracket)
+		if err != nil {
+			return nil, err
+		}
+		if !open.Paren {
+			return nil, p.errorf(open, "IF guard requires parentheses")
+		}
+		cond, err = p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		cl, err := p.expect(TokRBracket)
+		if err != nil {
+			return nil, err
+		}
+		if !cl.Paren {
+			return nil, p.errorf(cl, "IF guard requires parentheses")
+		}
+	}
+	lhs, err := p.parseRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind != TokNewline && t.Kind != TokEOF {
+		return nil, p.errorf(t, "expected end of statement, found %s %q", t.Kind, t.Text)
+	}
+	return &Assign{Label: label, Cond: cond, LHS: lhs, RHS: rhs}, nil
+}
+
+// parseCond parses the relational guard body: expr relop expr.
+func (p *parser) parseCond() (*Cond, error) {
+	l, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	rel, err := p.expect(TokRel)
+	if err != nil {
+		return nil, err
+	}
+	var op RelOp
+	switch rel.Text {
+	case "<":
+		op = RelLT
+	case "<=":
+		op = RelLE
+	case ">":
+		op = RelGT
+	case ">=":
+		op = RelGE
+	case "==":
+		op = RelEQ
+	case "!=":
+		op = RelNE
+	default:
+		return nil, p.errorf(rel, "unknown relational operator %q", rel.Text)
+	}
+	r, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{Op: op, L: l, R: r}, nil
+}
+
+// parseRef parses an assignable reference: a scalar or a subscripted array.
+func (p *parser) parseRef() (Expr, error) {
+	id, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if keywordOf(id.Text) != "" {
+		return nil, p.errorf(id, "keyword %q cannot be a variable", id.Text)
+	}
+	if p.peek().Kind == TokLBracket {
+		p.next()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		return &ArrayRef{Name: id.Text, Index: idx}, nil
+	}
+	return &Scalar{Name: id.Text}, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case TokPlus:
+			p.next()
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: OpAdd, L: left, R: right}
+		case TokMinus:
+			p.next()
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: OpSub, L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case TokStar:
+			p.next()
+			right, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: OpMul, L: left, R: right}
+		case TokSlash:
+			p.next()
+			right, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: OpDiv, L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokMinus:
+		p.next()
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{X: x}, nil
+	case TokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf(t, "bad number %q: %v", t.Text, err)
+		}
+		return &Const{Value: v, Text: canonicalNumber(t.Text)}, nil
+	case TokIdent:
+		if keywordOf(t.Text) != "" {
+			return nil, p.errorf(t, "keyword %q cannot appear in an expression", t.Text)
+		}
+		return p.parseRef()
+	case TokLBracket:
+		// Parenthesized sub-expression. Only the '(' spelling is allowed
+		// here; '[' is reserved for subscripts.
+		if !t.Paren {
+			return nil, p.errorf(t, "'[' is only valid as an array subscript")
+		}
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		cl, err := p.expect(TokRBracket)
+		if err != nil {
+			return nil, err
+		}
+		if !cl.Paren {
+			return nil, p.errorf(cl, "mismatched ')' and ']'")
+		}
+		return e, nil
+	}
+	return nil, p.errorf(t, "expected expression, found %s %q", t.Kind, t.Text)
+}
+
+// canonicalNumber strips redundant leading zeros so printing round-trips
+// through the lexer stably.
+func canonicalNumber(s string) string {
+	if strings.Contains(s, ".") {
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimSuffix(s, ".")
+		if s == "" {
+			s = "0"
+		}
+		return s
+	}
+	trimmed := strings.TrimLeft(s, "0")
+	if trimmed == "" {
+		return "0"
+	}
+	return trimmed
+}

@@ -1,0 +1,150 @@
+// Package migrate implements the source-level comparison baseline the paper
+// builds on: synchronization migration (Hwang & Lai, "An Intelligent Code
+// Migration Technique for Synchronization Operations on a Multiprocessor",
+// and Hwang, "Synchronization Migration for Performance Enhancement in a
+// DOACROSS Loop", both cited in §1/§5).
+//
+// Migration works at statement granularity, before instruction scheduling:
+// it reorders the loop body (respecting all loop-independent dependences) so
+// that as many loop-carried dependences as possible become lexically
+// forward — the dependence source statement textually precedes its sink, so
+// the inserted Send_Signal is reached before the matching Wait_Signal.
+//
+// Reordering statements inside an iteration is always semantics-preserving
+// when the intra-iteration (distance-0) dependences are respected:
+// loop-carried dependences connect *different* iterations, and iterations
+// still execute in order, so the cross-iteration producer/consumer pairing
+// is untouched. The differential tests verify this property directly.
+//
+// Migration alone cannot fix same-statement recurrences (A[I] = A[I-d]+...)
+// or dependence cycles between statements; those remain LBD and are exactly
+// the cases the paper's instruction-level technique then squeezes to the
+// synchronization-path length. The comparison experiment (cmd/benchtab
+// -migration, BenchmarkMigration) quantifies how much of the win each layer
+// contributes.
+package migrate
+
+import (
+	"fmt"
+
+	"doacross/internal/dep"
+	"doacross/internal/lang"
+)
+
+// Result is a migrated loop with its statistics.
+type Result struct {
+	// Loop is the reordered loop (a deep copy; the input is not modified).
+	Loop *lang.Loop
+	// Order maps new position -> original statement index.
+	Order []int
+	// Before and After count lexically backward carried dependences in the
+	// original and migrated statement orders.
+	Before, After int
+	// Moved reports whether any statement changed position.
+	Moved bool
+}
+
+// Migrate reorders the loop body to minimize lexically backward carried
+// dependences. The returned loop is re-analyzed from scratch by callers; the
+// input loop and analysis are left untouched.
+func Migrate(a *dep.Analysis) (*Result, error) {
+	loop := a.Loop
+	n := len(loop.Body)
+	// Intra-iteration precedence graph over statements: distance-0
+	// dependences force order.
+	succ := make([][]int, n)
+	indeg := make([]int, n)
+	edge := map[[2]int]bool{}
+	for _, d := range a.Deps {
+		if d.Distance != 0 || d.Src.Stmt == d.Snk.Stmt {
+			continue
+		}
+		key := [2]int{d.Src.Stmt, d.Snk.Stmt}
+		if edge[key] {
+			continue
+		}
+		edge[key] = true
+		succ[d.Src.Stmt] = append(succ[d.Src.Stmt], d.Snk.Stmt)
+		indeg[d.Snk.Stmt]++
+	}
+	// Carried-dependence wish list: src should precede snk.
+	type wish struct{ src, snk int }
+	var wishes []wish
+	for _, d := range a.Carried() {
+		if d.Src.Stmt != d.Snk.Stmt {
+			wishes = append(wishes, wish{d.Src.Stmt, d.Snk.Stmt})
+		}
+	}
+	// Greedy topological order: among ready statements, prefer (1) sources
+	// of carried dependences whose sink is not yet placed, then (2) original
+	// order. This is the classic migration heuristic: hoist dependence
+	// sources (and with them their Send_Signal) toward the loop top.
+	placed := make([]bool, n)
+	order := make([]int, 0, n)
+	remaining := make([]int, n)
+	copy(remaining, indeg)
+	for len(order) < n {
+		best := -1
+		bestScore := -1 << 30
+		for s := 0; s < n; s++ {
+			if placed[s] || remaining[s] != 0 {
+				continue
+			}
+			score := 0
+			for _, w := range wishes {
+				if w.src == s && !placed[w.snk] {
+					score += 2 // placing the source first converts the pair
+				}
+				if w.snk == s && !placed[w.src] {
+					score-- // placing the sink first keeps it backward
+				}
+			}
+			// Tie-break on original position (stable).
+			score = score*1024 - s
+			if score > bestScore {
+				bestScore = score
+				best = s
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("migrate: intra-iteration dependence cycle")
+		}
+		placed[best] = true
+		order = append(order, best)
+		for _, t := range succ[best] {
+			remaining[t]--
+		}
+	}
+	clone := loop.Clone()
+	out := &lang.Loop{Doacross: clone.Doacross, Var: clone.Var, Lo: clone.Lo, Hi: clone.Hi}
+	moved := false
+	for newPos, oldPos := range order {
+		if newPos != oldPos {
+			moved = true
+		}
+		out.Body = append(out.Body, clone.Body[oldPos])
+	}
+	res := &Result{Loop: out, Order: order, Moved: moved}
+	_, res.Before = a.CountLexical()
+	_, res.After = dep.Analyze(out).CountLexical()
+	if res.After > res.Before {
+		// The greedy placement can lose on tangled multi-dependence bodies
+		// (hoisting one source flips other pairs backward). Migration is
+		// defined to never degrade: keep the original order.
+		id := make([]int, n)
+		for i := range id {
+			id[i] = i
+		}
+		return &Result{Loop: loop.Clone(), Order: id, Before: res.Before, After: res.Before}, nil
+	}
+	return res, nil
+}
+
+// MustMigrate is Migrate for known-good inputs.
+func MustMigrate(a *dep.Analysis) *Result {
+	r, err := Migrate(a)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

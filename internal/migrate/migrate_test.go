@@ -1,0 +1,165 @@
+package migrate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"doacross/internal/dep"
+	"doacross/internal/lang"
+)
+
+const fig1Source = `
+DO I = 1, N
+  S1: B[I] = A[I-2] + E[I+1]
+  S2: G[I-3] = A[I-1] * E[I+2]
+  S3: A[I] = B[I] + C[I+3]
+ENDDO
+`
+
+func migrate(t testing.TB, src string) *Result {
+	t.Helper()
+	r, err := Migrate(dep.Analyze(lang.MustParse(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMigrateConvertibleLoop(t *testing.T) {
+	// Sink (S1, reads A[I-2]) and source (S2, writes A[I]) are independent:
+	// migration must move the source first, converting the LBD.
+	r := migrate(t, "DO I = 1, N\nB[I+1] = A[I-2] + E[I]\nA[I] = F[I] * 2\nENDDO")
+	if r.Before != 1 {
+		t.Fatalf("before = %d LBDs, want 1", r.Before)
+	}
+	if r.After != 0 {
+		t.Errorf("after = %d LBDs, want 0 (converted)\n%s", r.After, r.Loop)
+	}
+	if !r.Moved {
+		t.Error("statements should have moved")
+	}
+}
+
+func TestMigrateRespectsIntraIterationDeps(t *testing.T) {
+	// S3 reads B[I] written by S1 — S3 must stay after S1 even though moving
+	// S3 (the carried source) first would convert the LBDs.
+	r := migrate(t, fig1Source)
+	pos := map[string]int{}
+	for i, st := range r.Loop.Body {
+		pos[st.Label] = i
+	}
+	if pos["S3"] < pos["S1"] {
+		t.Errorf("migration broke the B[I] flow dependence:\n%s", r.Loop)
+	}
+	// The A[I]→A[I-1] pair (S3→S2) is convertible: S2 has no intra-iteration
+	// tie to S3.
+	if pos["S3"] > pos["S2"] {
+		t.Errorf("S3 should migrate above S2:\n%s", r.Loop)
+	}
+	if r.After >= r.Before {
+		t.Errorf("migration did not reduce LBDs: %d -> %d", r.Before, r.After)
+	}
+}
+
+func TestMigrateCannotFixSelfRecurrence(t *testing.T) {
+	r := migrate(t, "DO I = 1, N\nA[I] = A[I-1] + 1\nENDDO")
+	if r.Before != 1 || r.After != 1 {
+		t.Errorf("self recurrence: %d -> %d LBDs, want 1 -> 1", r.Before, r.After)
+	}
+	if r.Moved {
+		t.Error("single statement cannot move")
+	}
+}
+
+func TestMigrateIdempotentOnForwardLoop(t *testing.T) {
+	r := migrate(t, "DO I = 1, N\nA[I] = E[I]\nB[I] = A[I-1]\nENDDO")
+	if r.Before != 0 || r.After != 0 {
+		t.Errorf("forward loop: %d -> %d", r.Before, r.After)
+	}
+	if r.Moved {
+		t.Errorf("forward loop should not be reordered:\n%s", r.Loop)
+	}
+}
+
+func TestMigratePreservesSemanticsFig1(t *testing.T) {
+	loop := lang.MustParse(fig1Source)
+	r, err := Migrate(dep.Analyze(loop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 10
+	a := loop.SeedStore(n, 8, 31)
+	b := a.Clone()
+	if err := loop.Run(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Loop.Run(b); err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Diff(b); d != "" {
+		t.Errorf("migration changed semantics: %s\noriginal:\n%s\nmigrated:\n%s", d, loop, r.Loop)
+	}
+}
+
+// TestQuickMigrationSemanticsAndMonotonicity: migration never changes the
+// sequential result and never increases the LBD count.
+func TestQuickMigrationSemanticsAndMonotonicity(t *testing.T) {
+	arrays := []string{"A", "B", "C", "D"}
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		loop := &lang.Loop{Var: "I", Lo: &lang.Const{Value: 1}, Hi: &lang.Scalar{Name: "N"}}
+		nst := 2 + r.Intn(5)
+		ref := func() lang.Expr {
+			return &lang.ArrayRef{Name: arrays[r.Intn(4)], Index: &lang.Binary{
+				Op: lang.OpAdd, L: &lang.Scalar{Name: "I"}, R: &lang.Const{Value: float64(r.Intn(9) - 4)}}}
+		}
+		for k := 0; k < nst; k++ {
+			loop.Body = append(loop.Body, &lang.Assign{
+				Label: "S" + string(rune('1'+k)),
+				LHS:   &lang.ArrayRef{Name: arrays[r.Intn(4)], Index: &lang.Binary{Op: lang.OpAdd, L: &lang.Scalar{Name: "I"}, R: &lang.Const{Value: float64(r.Intn(3))}}},
+				RHS:   &lang.Binary{Op: lang.BinOp(r.Intn(3)), L: ref(), R: ref()},
+			})
+		}
+		a := dep.Analyze(loop)
+		res, err := Migrate(a)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if res.After > res.Before {
+			t.Logf("seed %d: LBDs increased %d -> %d\n%s\n%s", seed, res.Before, res.After, loop, res.Loop)
+			return false
+		}
+		n := 7
+		sa := loop.SeedStore(n, 12, uint64(seed))
+		sb := sa.Clone()
+		if err := loop.Run(sa); err != nil {
+			return true
+		}
+		if err := res.Loop.Run(sb); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if d := sa.Diff(sb); d != "" {
+			t.Logf("seed %d: %s\n%s\nvs\n%s", seed, d, loop, res.Loop)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMigrateDoesNotMutateInput(t *testing.T) {
+	loop := lang.MustParse(fig1Source)
+	before := loop.String()
+	if _, err := Migrate(dep.Analyze(loop)); err != nil {
+		t.Fatal(err)
+	}
+	if loop.String() != before {
+		t.Error("Migrate mutated its input loop")
+	}
+}

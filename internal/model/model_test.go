@@ -1,0 +1,144 @@
+package model
+
+import (
+	"testing"
+
+	"doacross/internal/core"
+	"doacross/internal/dep"
+	"doacross/internal/dfg"
+	"doacross/internal/dlx"
+	"doacross/internal/lang"
+	"doacross/internal/sim"
+	"doacross/internal/syncop"
+	"doacross/internal/tac"
+)
+
+func schedule(t testing.TB, src string, cfg dlx.Config, syncSched bool) *core.Schedule {
+	t.Helper()
+	a := dep.Analyze(lang.MustParse(src))
+	p := tac.MustGenerate(syncop.Insert(a, syncop.Options{}))
+	g, err := dfg.Build(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s *core.Schedule
+	if syncSched {
+		s, err = core.Sync(g, cfg)
+	} else {
+		s, err = core.List(g, cfg, core.ProgramOrder)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLBDTimeFormula(t *testing.T) {
+	// Paper example after Fig. 4(a): span 12, d = 1, l = 13 -> 12N + 13.
+	if got := LBDTime(100, 1, 12, 0, 13); got != 1213 {
+		t.Errorf("LBDTime = %d, want 1213", got)
+	}
+	// Distance 2 halves the chain.
+	if got := LBDTime(100, 2, 7, 1, 13); got != 50*6+13 {
+		t.Errorf("LBDTime = %d, want %d", got, 50*6+13)
+	}
+	if LBDTime(0, 1, 5, 0, 9) != 0 {
+		t.Error("zero-trip LBDTime should be 0")
+	}
+	// Negative span clamps to LFD behavior.
+	if got := LBDTime(100, 1, 3, 7, 13); got != 13 {
+		t.Errorf("negative span LBDTime = %d, want 13", got)
+	}
+}
+
+func TestLFDTime(t *testing.T) {
+	if LFDTime(42) != 42 {
+		t.Error("LFD time is the single-iteration length")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(200, 20); s != 90 {
+		t.Errorf("Speedup(200,20) = %v, want 90", s)
+	}
+	if s := Speedup(0, 0); s != 0 {
+		t.Errorf("Speedup(0,0) = %v, want 0", s)
+	}
+	if s := Speedup(100, 100); s != 0 {
+		t.Errorf("no-change speedup = %v, want 0", s)
+	}
+}
+
+// TestPredictMatchesSimulatorChain checks the prediction is exact on a
+// single-LBD-pair loop.
+func TestPredictMatchesSimulatorChain(t *testing.T) {
+	src := "DO I = 1, N\nA[I] = A[I-1] + 1\nENDDO"
+	for _, syncSched := range []bool{false, true} {
+		s := schedule(t, src, dlx.Uniform(2, 1), syncSched)
+		for _, n := range []int{1, 2, 5, 50, 100} {
+			want := sim.MustTime(s, sim.Options{Lo: 1, Hi: n}).Total
+			got := Predict(s, n)
+			if got != want {
+				t.Errorf("sync=%v n=%d: Predict = %d, simulator = %d", syncSched, n, got, want)
+			}
+		}
+	}
+}
+
+// TestPredictLowerBoundsSimulator checks Predict never exceeds the simulated
+// time on multi-pair loops (interacting pairs can only add stalls).
+func TestPredictLowerBoundsSimulator(t *testing.T) {
+	srcs := []string{
+		`DO I = 1, N
+S1: B[I] = A[I-2] + E[I+1]
+S2: G[I-3] = A[I-1] * E[I+2]
+S3: A[I] = B[I] + C[I+3]
+ENDDO`,
+		"DO I = 1, N\nX[I] = X[I-1] + Y[I-2]\nY[I] = X[I-2] * 2\nENDDO",
+	}
+	for _, src := range srcs {
+		for _, cfg := range dlx.PaperConfigs() {
+			for _, syncSched := range []bool{false, true} {
+				s := schedule(t, src, cfg, syncSched)
+				for _, n := range []int{10, 100} {
+					simT := sim.MustTime(s, sim.Options{Lo: 1, Hi: n}).Total
+					if p := Predict(s, n); p > simT {
+						t.Errorf("%s sync=%v n=%d: Predict %d > simulated %d", cfg.Name, syncSched, n, p, simT)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPredictTightOnFig1 checks the prediction is within a few percent on
+// the paper's example (the dominant pair controls the recurrence).
+func TestPredictTightOnFig1(t *testing.T) {
+	src := `DO I = 1, N
+S1: B[I] = A[I-2] + E[I+1]
+S2: G[I-3] = A[I-1] * E[I+2]
+S3: A[I] = B[I] + C[I+3]
+ENDDO`
+	s := schedule(t, src, dlx.Uniform(4, 1), false)
+	n := 100
+	simT := sim.MustTime(s, sim.Options{Lo: 1, Hi: n}).Total
+	p := Predict(s, n)
+	if float64(simT-p) > 0.1*float64(simT) {
+		t.Errorf("Predict %d vs simulated %d: slack > 10%%", p, simT)
+	}
+}
+
+func TestSlopeZeroForLFDOnly(t *testing.T) {
+	// Forward-carried dependence: the sync scheduler converts it to LFD, so
+	// the slope must be 0 (flat time in n).
+	src := "DO I = 1, N\nA[I] = E[I]\nB[I] = A[I-1]\nENDDO"
+	s := schedule(t, src, dlx.Standard(4, 2), true)
+	if sl := Slope(s); sl != 0 {
+		t.Errorf("slope = %v, want 0 (all pairs LFD)\n%s", sl, s.Listing())
+	}
+	t10 := sim.MustTime(s, sim.Options{Lo: 1, Hi: 10}).Total
+	t100 := sim.MustTime(s, sim.Options{Lo: 1, Hi: 100}).Total
+	if t10 != t100 {
+		t.Errorf("LFD loop time grows: %d vs %d", t10, t100)
+	}
+}

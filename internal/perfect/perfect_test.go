@@ -1,0 +1,209 @@
+package perfect
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"doacross/internal/dep"
+	"doacross/internal/dfg"
+	"doacross/internal/syncop"
+	"doacross/internal/tac"
+)
+
+func TestProfilesShape(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 5 {
+		t.Fatalf("got %d profiles, want 5", len(ps))
+	}
+	wantOrder := []string{"FLQ52", "QCD", "MDG", "TRACK", "ADM"}
+	for i, p := range ps {
+		if p.Name != wantOrder[i] {
+			t.Errorf("profile %d = %s, want %s", i, p.Name, wantOrder[i])
+		}
+		if p.N != 100 {
+			t.Errorf("%s: N = %d, want 100 (paper's trip count)", p.Name, p.N)
+		}
+		if p.MaxDistance < 1 {
+			t.Errorf("%s: MaxDistance = %d", p.Name, p.MaxDistance)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profiles()[0]
+	s1, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Loops) != len(s2.Loops) {
+		t.Fatal("nondeterministic loop count")
+	}
+	for i := range s1.Loops {
+		if s1.Loops[i].Source != s2.Loops[i].Source {
+			t.Errorf("loop %d differs between runs", i)
+		}
+	}
+}
+
+func TestSuitesGenerate(t *testing.T) {
+	suites, err := Suites()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suites) != 5 {
+		t.Fatalf("got %d suites", len(suites))
+	}
+	for _, s := range suites {
+		wantLoops := 0
+		for _, mc := range s.Profile.Mix {
+			wantLoops += mc.Count
+		}
+		if len(s.Loops) != wantLoops {
+			t.Errorf("%s: %d loops, want %d", s.Profile.Name, len(s.Loops), wantLoops)
+		}
+	}
+}
+
+func TestTemplatesValidatedByConstruction(t *testing.T) {
+	for _, s := range MustSuites() {
+		for i, l := range s.Loops {
+			a := dep.Analyze(l.AST)
+			switch l.Template {
+			case Doall:
+				if !a.IsDoall() {
+					t.Errorf("%s loop %d: DOALL template carries deps:\n%s", s.Profile.Name, i, l.Source)
+				}
+			case ForwardDep:
+				lfd, lbd := a.CountLexical()
+				if lfd == 0 || lbd != 0 {
+					t.Errorf("%s loop %d: forward template has (lfd=%d,lbd=%d)", s.Profile.Name, i, lfd, lbd)
+				}
+			case TrueRecurrence, ControlDep:
+				prog, err := tac.Generate(syncop.Insert(a, syncop.Options{}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, err := dfg.Build(prog, a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(g.SyncPaths()) == 0 {
+					t.Errorf("%s loop %d: true recurrence has no sync path:\n%s", s.Profile.Name, i, l.Source)
+				}
+			case Reduction, Induction, ConvertibleLBD:
+				if a.IsDoall() {
+					t.Errorf("%s loop %d: %v template is DOALL", s.Profile.Name, i, l.Template)
+				}
+			}
+		}
+	}
+}
+
+func TestTable1Characteristics(t *testing.T) {
+	for _, s := range MustSuites() {
+		c, err := s.Characteristics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.TotalLoops != len(s.Loops) {
+			t.Errorf("%s: total loops %d != %d", c.Name, c.TotalLoops, len(s.Loops))
+		}
+		if c.DoallLoops >= c.TotalLoops {
+			t.Errorf("%s: all loops DOALL", c.Name)
+		}
+		if c.DLXLines == 0 || c.SourceLines == 0 {
+			t.Errorf("%s: empty characteristics %+v", c.Name, c)
+		}
+		// Paper: FLQ52, QCD and TRACK are all-LBD.
+		switch c.Name {
+		case "FLQ52", "QCD", "TRACK":
+			if c.LFD != 0 {
+				t.Errorf("%s: LFD = %d, want 0 (all-LBD benchmark)", c.Name, c.LFD)
+			}
+			if c.LBD == 0 {
+				t.Errorf("%s: no LBDs", c.Name)
+			}
+		case "MDG", "ADM":
+			if c.LFD == 0 || c.LBD == 0 {
+				t.Errorf("%s: want mixed LFD/LBD, got %d/%d", c.Name, c.LFD, c.LBD)
+			}
+			if c.LFD >= c.LBD {
+				t.Errorf("%s: LBDs should dominate (%d LFD vs %d LBD)", c.Name, c.LFD, c.LBD)
+			}
+		}
+	}
+}
+
+func TestDoacrossSubset(t *testing.T) {
+	s := MustSuites()[0]
+	da := s.Doacross()
+	if len(da) >= len(s.Loops) {
+		t.Error("Doacross() should exclude the DOALL loops")
+	}
+	for _, l := range da {
+		if l.Template == Doall {
+			t.Error("Doacross() returned a DOALL loop")
+		}
+	}
+}
+
+func TestAllDoacrossLoopsCompileAndSchedule(t *testing.T) {
+	for _, s := range MustSuites() {
+		for i, l := range s.Doacross() {
+			a := dep.Analyze(l.AST)
+			prog, err := tac.Generate(syncop.Insert(a, syncop.Options{}))
+			if err != nil {
+				t.Fatalf("%s loop %d: %v", s.Profile.Name, i, err)
+			}
+			if _, err := dfg.Build(prog, a); err != nil {
+				t.Fatalf("%s loop %d: %v", s.Profile.Name, i, err)
+			}
+		}
+	}
+}
+
+// TestSuitesGolden pins the generated workload bit for bit: every number in
+// EXPERIMENTS.md and REPORT.md depends on these sources, so an accidental
+// generator change must fail loudly. When the profiles are changed on
+// purpose, update the hash and regenerate the documented results.
+func TestSuitesGolden(t *testing.T) {
+	h := sha256.New()
+	for _, s := range MustSuites() {
+		for _, l := range s.Loops {
+			h.Write([]byte(l.Source))
+		}
+	}
+	const want = "e5fe0b133833589e6a1e031bb69e0ce201fa3fe1642acd9074cde9ccd41f5293"
+	if got := hex.EncodeToString(h.Sum(nil)); got != want {
+		t.Errorf("suite sources changed: hash %s (expected %s).\nIf intentional, update the hash and regenerate EXPERIMENTS.md/REPORT.md.", got, want)
+	}
+}
+
+func TestQCDIsTight(t *testing.T) {
+	// QCD's profile promises tight recurrences: little filler, so its
+	// DOACROSS bodies are much smaller than TRACK's.
+	suites := MustSuites()
+	var qcd, track int
+	for _, s := range suites {
+		total, count := 0, 0
+		for _, l := range s.Doacross() {
+			total += len(l.AST.Body)
+			count++
+		}
+		avg := total / count
+		switch s.Profile.Name {
+		case "QCD":
+			qcd = avg
+		case "TRACK":
+			track = avg
+		}
+	}
+	if qcd >= track {
+		t.Errorf("QCD avg body %d >= TRACK avg body %d; profiles should differ", qcd, track)
+	}
+}

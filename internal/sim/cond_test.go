@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"doacross/internal/core"
+	"doacross/internal/dlx"
+)
+
+// TestConditionalRecurrenceParallel runs the paper's type-1 (control
+// dependence) loop shape through the whole pipeline: if-converted code,
+// conservative synchronization, both schedulers, detailed parallel
+// execution, and the sequential differential check.
+func TestConditionalRecurrenceParallel(t *testing.T) {
+	b := build(t, "DO I = 1, N\nIF (E[I] > 0) A[I] = A[I-1] + E[I]\nENDDO")
+	for _, cfg := range []dlx.Config{dlx.Standard(2, 1), dlx.Standard(4, 2)} {
+		for _, s := range []*core.Schedule{mustList(t, b, cfg), mustSync(t, b, cfg)} {
+			n := 10
+			ref := b.loop.SeedStore(n, 6, 21)
+			got := ref.Clone()
+			if err := b.loop.Run(ref); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(s, got, Options{Lo: 1, Hi: n}); err != nil {
+				t.Fatalf("%s/%s: %v", cfg.Name, s.Method, err)
+			}
+			if d := ref.Diff(got); d != "" {
+				t.Errorf("%s/%s: conditional parallel result wrong: %s", cfg.Name, s.Method, d)
+			}
+		}
+	}
+}
+
+// TestConditionalMaxReductionParallel checks a guarded scalar recurrence
+// (running maximum) parallelizes correctly: the conservative distance-1
+// synchronization serializes the selects, preserving the sequential result.
+func TestConditionalMaxReductionParallel(t *testing.T) {
+	b := build(t, "DO I = 1, N\nIF (A[I] > M) M = A[I]\nENDDO")
+	s := mustSync(t, b, dlx.Standard(4, 1))
+	n := 16
+	ref := b.loop.SeedStore(n, 4, 13)
+	ref.SetScalar("M", -4096)
+	got := ref.Clone()
+	if err := b.loop.Run(ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(s, got, Options{Lo: 1, Hi: n}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Scalar("M") != ref.Scalar("M") {
+		t.Errorf("parallel max = %v, sequential = %v", got.Scalar("M"), ref.Scalar("M"))
+	}
+}

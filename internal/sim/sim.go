@@ -1,0 +1,423 @@
+// Package sim is the multiprocessor DOACROSS simulator (the paper's §4.1
+// statistical model backend): n iterations of a scheduled loop run on a
+// shared-memory multiprocessor, one iteration per superscalar processor,
+// synchronized through a shared signal vector.
+//
+// Two engines are provided:
+//
+//   - Time: a fast recurrence model that computes issue times analytically.
+//     Each processor issues schedule rows in order, one row per cycle; a row
+//     containing Wait_Signal(S, i−d) cannot issue before iteration i−d's
+//     Send_Signal(S) has issued and become visible (one cycle later).
+//   - Run: a detailed cycle-stepped simulator that additionally *executes*
+//     the instructions against a shared memory store, setting and testing
+//     real signals. Its final memory is compared against sequential
+//     execution by the differential tests, which is the strongest evidence
+//     that scheduling plus synchronization preserved the loop's meaning. Its
+//     timing is bit-identical to Time's by construction, which the tests
+//     also verify.
+//
+// Both engines support fewer processors than iterations (blocked cyclic
+// assignment: processor p runs iterations p, p+P, ...), defaulting to the
+// paper's assumption of n processors for n iterations.
+package sim
+
+import (
+	"fmt"
+
+	"doacross/internal/core"
+	"doacross/internal/lang"
+	"doacross/internal/tac"
+)
+
+// Options configures a simulation.
+type Options struct {
+	// Lo and Hi are the iteration bounds (inclusive). Hi < Lo means a
+	// zero-trip loop.
+	Lo, Hi int
+	// Procs is the processor count; 0 means one processor per iteration.
+	Procs int
+	// Window bounds the synchronization hardware: each signal has Window
+	// slots, and slot (i mod Window) cannot be overwritten by iteration i's
+	// send until every wait consuming iteration i-Window's signal has
+	// executed (the bounded signal buffers of the Zhu/Yew and Su/Yew schemes
+	// the paper cites). 0 means unbounded (one slot per iteration, the
+	// paper's idealized assumption). A window smaller than the largest
+	// dependence distance deadlocks and is reported as an error.
+	Window int
+}
+
+// N returns the trip count.
+func (o Options) N() int {
+	if o.Hi < o.Lo {
+		return 0
+	}
+	return o.Hi - o.Lo + 1
+}
+
+func (o Options) procs() int {
+	if o.Procs > 0 {
+		return o.Procs
+	}
+	n := o.N()
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// Timing is the result of a simulation.
+type Timing struct {
+	// Total is the parallel execution time in cycles: the cycle after the
+	// last instruction of the last iteration completes.
+	Total int
+	// StallCycles counts cycles lost to synchronization waits, summed over
+	// all iterations.
+	StallCycles int
+	// IterIssue[i] is the issue time of the first row of iteration Lo+i;
+	// IterDone[i] the completion time of its last instruction.
+	IterIssue, IterDone []int
+}
+
+// consumer is one wait instruction's placement: the row it issues in and its
+// dependence distance.
+type consumer struct {
+	row, dist int
+}
+
+// rowMeta precomputes per-row wait constraints and the per-signal send row.
+type rowMeta struct {
+	length   int
+	rows     [][]int
+	waits    [][]*tac.Instr // waits issued in each row
+	sendRow  map[string]int // signal -> row of its send
+	sends    [][]string     // signals sent in each row
+	consume  map[string][]consumer
+	rowLat   []int // max completion offset of a row's instructions
+	maxDist  int
+	schedule *core.Schedule
+}
+
+func newRowMeta(s *core.Schedule) (*rowMeta, error) {
+	m := &rowMeta{
+		length:   s.Length(),
+		rows:     s.Rows,
+		waits:    make([][]*tac.Instr, s.Length()),
+		sendRow:  map[string]int{},
+		sends:    make([][]string, s.Length()),
+		consume:  map[string][]consumer{},
+		rowLat:   make([]int, s.Length()),
+		maxDist:  1,
+		schedule: s,
+	}
+	for r, row := range s.Rows {
+		for _, v := range row {
+			in := s.Prog.Instrs[v]
+			lat := s.Cfg.Latency[in.Class()]
+			if lat > m.rowLat[r] {
+				m.rowLat[r] = lat
+			}
+			switch in.Op {
+			case tac.Wait:
+				m.waits[r] = append(m.waits[r], in)
+				m.consume[in.Signal] = append(m.consume[in.Signal], consumer{row: r, dist: in.SigDist})
+				if in.SigDist > m.maxDist {
+					m.maxDist = in.SigDist
+				}
+			case tac.Send:
+				m.sendRow[in.Signal] = r
+				m.sends[r] = append(m.sends[r], in.Signal)
+			}
+		}
+	}
+	for r := range m.waits {
+		for _, w := range m.waits[r] {
+			if _, ok := m.sendRow[w.Signal]; !ok {
+				return nil, fmt.Errorf("sim: wait on signal %s with no send in schedule", w.Signal)
+			}
+		}
+	}
+	return m, nil
+}
+
+// checkWindow validates a bounded signal window against the schedule.
+func (m *rowMeta) checkWindow(window int) error {
+	if window <= 0 {
+		return nil
+	}
+	if window < m.maxDist {
+		return fmt.Errorf("sim: signal window %d smaller than the largest dependence distance %d (deadlock)", window, m.maxDist)
+	}
+	for sig, cs := range m.consume {
+		for _, c := range cs {
+			if c.dist == window && m.sendRow[sig] <= c.row {
+				return fmt.Errorf("sim: signal window %d equals distance %d of an LFD pair on %s (send would wait for its own iteration's wait)", window, c.dist, sig)
+			}
+		}
+	}
+	return nil
+}
+
+// Time computes the parallel execution time with the recurrence model.
+func Time(s *core.Schedule, opt Options) (Timing, error) {
+	m, err := newRowMeta(s)
+	if err != nil {
+		return Timing{}, err
+	}
+	if err := m.checkWindow(opt.Window); err != nil {
+		return Timing{}, err
+	}
+	n := opt.N()
+	t := Timing{IterIssue: make([]int, n), IterDone: make([]int, n)}
+	if n == 0 || m.length == 0 {
+		return t, nil
+	}
+	procs := opt.procs()
+	// issue[i][r] would be O(n·L) memory; we only need row times of the last
+	// few iterations: back to the maximum wait distance, the processor-reuse
+	// distance, and the signal window. Keep a ring of that depth.
+	depth := m.maxDist
+	if procs < n && procs > depth {
+		depth = procs
+	}
+	if opt.Window > depth {
+		depth = opt.Window
+	}
+	ring := make([][]int, depth+1) // ring[i % (depth+1)] = issue times of iteration i
+	for i := range ring {
+		ring[i] = make([]int, m.length)
+	}
+	for idx := 0; idx < n; idx++ {
+		iter := opt.Lo + idx
+		issue := ring[idx%(depth+1)]
+		start := 0
+		if idx >= procs {
+			// Processor reuse: the previous iteration on this processor must
+			// have issued its last row.
+			prev := ring[(idx-procs)%(depth+1)]
+			start = prev[m.length-1] + 1
+		}
+		for r := 0; r < m.length; r++ {
+			earliest := start
+			if r > 0 {
+				earliest = issue[r-1] + 1
+			}
+			unconstrained := earliest
+			for _, w := range m.waits[r] {
+				srcIdx := idx - w.SigDist
+				if iter-w.SigDist < opt.Lo {
+					continue // no earlier iteration to wait for
+				}
+				if srcIdx < 0 {
+					continue
+				}
+				sendT := ring[srcIdx%(depth+1)][m.sendRow[w.Signal]]
+				if sendT+1 > earliest {
+					earliest = sendT + 1
+				}
+			}
+			// Bounded signal window: iteration idx's send reuses the slot of
+			// iteration idx-Window; every wait that consumes that old signal
+			// must have issued first.
+			if opt.Window > 0 && idx-opt.Window >= 0 {
+				for _, sig := range m.sends[r] {
+					for _, c := range m.consume[sig] {
+						cIdx := idx - opt.Window + c.dist
+						if cIdx < 0 {
+							continue
+						}
+						var ct int
+						if cIdx == idx {
+							// Same iteration: consumer row precedes this row
+							// (validated by checkWindow); its issue time is
+							// already recorded in this iteration's slots.
+							ct = issue[c.row]
+						} else {
+							ct = ring[cIdx%(depth+1)][c.row]
+						}
+						if ct+1 > earliest {
+							earliest = ct + 1
+						}
+					}
+				}
+			}
+			t.StallCycles += earliest - unconstrained
+			issue[r] = earliest
+		}
+		t.IterIssue[idx] = issue[0]
+		done := 0
+		for r := 0; r < m.length; r++ {
+			if fin := issue[r] + m.rowLat[r]; fin > done {
+				done = fin
+			}
+		}
+		t.IterDone[idx] = done
+		if done > t.Total {
+			t.Total = done
+		}
+	}
+	return t, nil
+}
+
+// MustTime is Time for known-good inputs.
+func MustTime(s *core.Schedule, opt Options) Timing {
+	t, err := Time(s, opt)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Run executes the scheduled loop on the detailed simulator against st,
+// which must contain the loop's input data (including the bound scalar,
+// e.g. N). The store is mutated in place. The returned timing matches Time.
+func Run(s *core.Schedule, st *lang.Store, opt Options) (Timing, error) {
+	m, err := newRowMeta(s)
+	if err != nil {
+		return Timing{}, err
+	}
+	if err := m.checkWindow(opt.Window); err != nil {
+		return Timing{}, err
+	}
+	n := opt.N()
+	t := Timing{IterIssue: make([]int, n), IterDone: make([]int, n)}
+	if n == 0 || m.length == 0 {
+		return t, nil
+	}
+	procs := opt.procs()
+	// rowTime[i][r] is the cycle iteration i issued row r (-1 = not yet) —
+	// used for bounded-window send gating.
+	var rowTime [][]int
+	if opt.Window > 0 {
+		rowTime = make([][]int, n)
+		for i := range rowTime {
+			rowTime[i] = make([]int, m.length)
+			for r := range rowTime[i] {
+				rowTime[i][r] = -1
+			}
+		}
+	}
+
+	type proc struct {
+		idx     int // iteration index currently executing (0-based), -1 done
+		row     int
+		frame   *tac.Frame
+		prevT   int // issue time of previous row
+		maxDone int // completion horizon of issued rows
+		started bool
+	}
+	// signals[sig][iterIdx] = cycle the send issued (-1 = not yet).
+	signals := map[string][]int{}
+	for sig := range m.sendRow {
+		v := make([]int, n)
+		for i := range v {
+			v[i] = -1
+		}
+		signals[sig] = v
+	}
+	ps := make([]*proc, procs)
+	nextIter := 0
+	for p := range ps {
+		ps[p] = &proc{idx: -1}
+		if nextIter < n {
+			ps[p].idx = nextIter
+			ps[p].frame = tac.NewFrame(s.Prog.NumTemps, opt.Lo+nextIter)
+			nextIter++
+		}
+	}
+	remaining := n
+	for cycle := 0; remaining > 0; cycle++ {
+		if cycle > (n+1)*(m.length+8)*4+1024 {
+			return Timing{}, fmt.Errorf("sim: deadlock at cycle %d (%d iterations unfinished)", cycle, remaining)
+		}
+		for _, p := range ps {
+			if p.idx < 0 {
+				continue
+			}
+			if p.started && cycle < p.prevT+1 {
+				continue
+			}
+			// Check wait constraints for the next row.
+			ok := true
+			for _, w := range m.waits[p.row] {
+				iter := opt.Lo + p.idx
+				if iter-w.SigDist < opt.Lo {
+					continue
+				}
+				srcIdx := p.idx - w.SigDist
+				sendT := signals[w.Signal][srcIdx]
+				if sendT == -1 || cycle < sendT+1 {
+					ok = false
+					break
+				}
+			}
+			// Bounded-window send gating: sends in this row reuse the slot of
+			// iteration idx-Window; every consumer of the old signal must
+			// have issued strictly earlier.
+			if ok && opt.Window > 0 && p.idx-opt.Window >= 0 {
+			gate:
+				for _, sig := range m.sends[p.row] {
+					for _, c := range m.consume[sig] {
+						cIdx := p.idx - opt.Window + c.dist
+						if cIdx < 0 || cIdx == p.idx {
+							// Same-iteration consumers sit in earlier rows
+							// (validated) and have necessarily issued.
+							continue
+						}
+						if ct := rowTime[cIdx][c.row]; ct == -1 || ct >= cycle {
+							ok = false
+							break gate
+						}
+					}
+				}
+			}
+			if !ok {
+				t.StallCycles++
+				continue
+			}
+			// Issue the row: execute its instructions against shared memory.
+			for _, v := range m.rows[p.row] {
+				in := s.Prog.Instrs[v]
+				if in.Op == tac.Send {
+					signals[in.Signal][p.idx] = cycle
+					continue
+				}
+				if err := tac.Exec(in, p.frame, st); err != nil {
+					return Timing{}, fmt.Errorf("sim: iteration %d instr %d: %w", opt.Lo+p.idx, in.ID, err)
+				}
+			}
+			if p.row == 0 {
+				t.IterIssue[p.idx] = cycle
+			}
+			if rowTime != nil {
+				rowTime[p.idx][p.row] = cycle
+			}
+			if fin := cycle + m.rowLat[p.row]; fin > p.maxDone {
+				p.maxDone = fin
+			}
+			p.prevT = cycle
+			p.started = true
+			p.row++
+			if p.row == m.length {
+				done := p.maxDone
+				t.IterDone[p.idx] = done
+				if done > t.Total {
+					t.Total = done
+				}
+				remaining--
+				p.idx = -1
+				if nextIter < n {
+					// Reuse the processor: the next iteration's first row can
+					// issue no earlier than the cycle after this one (started
+					// stays true so the prevT gate applies).
+					p.idx = nextIter
+					p.row = 0
+					p.maxDone = 0
+					p.frame = tac.NewFrame(s.Prog.NumTemps, opt.Lo+nextIter)
+					nextIter++
+				}
+			}
+		}
+	}
+	return t, nil
+}

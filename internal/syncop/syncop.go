@@ -1,0 +1,246 @@
+// Package syncop converts a DO loop with loop-carried dependences into a
+// DOACROSS loop by inserting synchronization operations, following the
+// scheme the paper adopts from Midkiff/Padua and Zima/Chapman:
+//
+//   - a send statement immediately after each dependence source S:
+//     Send_Signal(S)
+//   - a wait statement immediately before each dependence sink S':
+//     Wait_Signal(S, i-d), where d is the dependence distance.
+//
+// One Send_Signal(S) per source statement serves every dependence sourced at
+// S (the paper's Fig. 1 inserts a single Send_Signal(S3) for both the
+// distance-1 and distance-2 dependences).
+package syncop
+
+import (
+	"fmt"
+	"strings"
+
+	"doacross/internal/dep"
+	"doacross/internal/lang"
+)
+
+// OpKind distinguishes sends from waits.
+type OpKind int
+
+// Synchronization operation kinds.
+const (
+	Send OpKind = iota
+	Wait
+)
+
+// Op is one synchronization operation attached to a statement.
+type Op struct {
+	Kind OpKind
+	// Src is the label of the dependence source statement; the signal
+	// namespace is keyed by source statement, as in the paper.
+	Src string
+	// Distance is the dependence distance d: Wait_Signal(Src, i-d) waits for
+	// iteration i-d's send. Unused for sends.
+	Distance int
+	// Dep is the dependence this op synchronizes. For deduplicated sends it
+	// is the first dependence that requested the send.
+	Dep dep.Dependence
+}
+
+// String renders the op in the paper's notation.
+func (o Op) String() string {
+	if o.Kind == Send {
+		return fmt.Sprintf("Send_Signal(%s)", o.Src)
+	}
+	if o.Distance == 0 {
+		return fmt.Sprintf("Wait_Signal(%s, I)", o.Src)
+	}
+	return fmt.Sprintf("Wait_Signal(%s, I-%d)", o.Src, o.Distance)
+}
+
+// Loop is a DOACROSS loop: the original statements plus synchronization
+// operations positioned before/after them.
+type Loop struct {
+	Base *lang.Loop
+	// Analysis is the dependence analysis the insertion was driven by.
+	Analysis *dep.Analysis
+	// Synced lists the dependences that received synchronization.
+	Synced []dep.Dependence
+	// Pre[k] are the waits immediately before statement k; Post[k] the sends
+	// immediately after it.
+	Pre, Post [][]Op
+}
+
+// Options controls which dependences are synchronized.
+type Options struct {
+	// FlowOnly limits synchronization to loop-carried flow dependences. The
+	// paper's measured benchmarks are dominated by flow LBDs; anti/output
+	// dependences are usually removed beforehand by renaming transformations
+	// (scalar expansion etc.). Default false: synchronize everything, which
+	// is what the parallel-correctness differential tests require.
+	FlowOnly bool
+}
+
+// Insert builds the DOACROSS form of the loop. The analysis must be for the
+// same loop object.
+func Insert(a *dep.Analysis, opts Options) *Loop {
+	loop := a.Loop
+	out := &Loop{
+		Base:     loop,
+		Analysis: a,
+		Pre:      make([][]Op, len(loop.Body)),
+		Post:     make([][]Op, len(loop.Body)),
+	}
+	sentFrom := map[int]bool{} // source statement index -> send inserted
+	type waitKey struct {
+		snk, src, d int
+	}
+	waited := map[waitKey]bool{}
+	for _, d := range a.Carried() {
+		if opts.FlowOnly && d.Kind != dep.Flow {
+			continue
+		}
+		out.Synced = append(out.Synced, d)
+		srcStmt := d.Src.Stmt
+		srcLabel := loop.Body[srcStmt].Label
+		if !sentFrom[srcStmt] {
+			sentFrom[srcStmt] = true
+			out.Post[srcStmt] = append(out.Post[srcStmt], Op{Kind: Send, Src: srcLabel, Dep: d})
+		}
+		wk := waitKey{snk: d.Snk.Stmt, src: srcStmt, d: d.Distance}
+		if !waited[wk] {
+			waited[wk] = true
+			out.Pre[d.Snk.Stmt] = append(out.Pre[d.Snk.Stmt], Op{
+				Kind: Wait, Src: srcLabel, Distance: d.Distance, Dep: d,
+			})
+		}
+	}
+	// Waits before a statement are ordered by descending distance, matching
+	// the paper's Fig. 1(b): the wait for the farthest-back iteration is
+	// textually first (its signal arrives earliest, so this order minimizes
+	// blocked time in a strictly in-order execution).
+	for k := range out.Pre {
+		pre := out.Pre[k]
+		for i := 1; i < len(pre); i++ {
+			for j := i; j > 0 && pre[j].Distance > pre[j-1].Distance; j-- {
+				pre[j], pre[j-1] = pre[j-1], pre[j]
+			}
+		}
+	}
+	return out
+}
+
+// Item is one element of the flattened DOACROSS body: either a
+// synchronization op or a statement.
+type Item struct {
+	// Op is non-nil for synchronization operations.
+	Op *Op
+	// Stmt is non-nil for assignment statements; StmtIndex is its 0-based
+	// position in the original body.
+	Stmt      *lang.Assign
+	StmtIndex int
+}
+
+// Items returns the loop body flattened to execution order:
+// waits(S1) S1 sends(S1) waits(S2) S2 sends(S2) ...
+func (l *Loop) Items() []Item {
+	var items []Item
+	for k, st := range l.Base.Body {
+		for i := range l.Pre[k] {
+			op := l.Pre[k][i]
+			items = append(items, Item{Op: &op, StmtIndex: k})
+		}
+		items = append(items, Item{Stmt: st, StmtIndex: k})
+		for i := range l.Post[k] {
+			op := l.Post[k][i]
+			items = append(items, Item{Op: &op, StmtIndex: k})
+		}
+	}
+	return items
+}
+
+// NumOps returns the number of sends and waits inserted.
+func (l *Loop) NumOps() (sends, waits int) {
+	for k := range l.Base.Body {
+		sends += len(l.Post[k])
+		waits += len(l.Pre[k])
+	}
+	return sends, waits
+}
+
+// String renders the DOACROSS loop in the paper's Fig. 1(b) style.
+func (l *Loop) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DOACROSS %s = %s, %s\n", l.Base.Var, l.Base.Lo, l.Base.Hi)
+	for _, it := range l.Items() {
+		if it.Op != nil {
+			fmt.Fprintf(&sb, "  %s;\n", it.Op)
+			continue
+		}
+		fmt.Fprintf(&sb, "  %s: %s;\n", it.Stmt.Label, it.Stmt)
+	}
+	sb.WriteString("END_DOACROSS\n")
+	return sb.String()
+}
+
+// Signals returns the sorted set of signal names (source statement labels)
+// used by the loop.
+func (l *Loop) Signals() []string {
+	set := map[string]bool{}
+	for k := range l.Base.Body {
+		for _, op := range l.Post[k] {
+			set[op.Src] = true
+		}
+		for _, op := range l.Pre[k] {
+			set[op.Src] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	// insertion sort; tiny sets
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Validate checks the two synchronization conditions of §2 on the flattened
+// body: every Wait appears before its sink statement and every Send after
+// its source statement. Insert constructs loops that satisfy this by
+// construction; Validate exists for downstream passes (the schedulers) that
+// reorder instructions.
+func (l *Loop) Validate() error {
+	items := l.Items()
+	for idx, it := range items {
+		if it.Op == nil {
+			continue
+		}
+		srcIdx := l.Base.StmtIndex(it.Op.Src)
+		if srcIdx < 0 {
+			return fmt.Errorf("syncop: op %v references unknown statement", it.Op)
+		}
+		switch it.Op.Kind {
+		case Send:
+			// Send must come after its source statement.
+			found := false
+			for j := 0; j < idx; j++ {
+				if items[j].Stmt != nil && items[j].StmtIndex == srcIdx {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("syncop: %v precedes its source statement", it.Op)
+			}
+		case Wait:
+			// Wait must come before its sink statement (the statement it is
+			// attached to).
+			for j := 0; j < idx; j++ {
+				if items[j].Stmt != nil && items[j].StmtIndex == it.StmtIndex {
+					return fmt.Errorf("syncop: %v follows its sink statement", it.Op)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package tables
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// CSV renders the Table 2/3 measurements as machine-readable CSV: one row
+// per (benchmark, configuration) with both schedulers' times and the
+// improvement percentage, followed by the totals.
+func (r *Result) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"benchmark", "config", "t_list", "t_new", "improvement_pct"})
+	names := ConfigNames()
+	emit := func(row2 Row2, row3 Row3) {
+		for k := 0; k < NumConfigs; k++ {
+			_ = w.Write([]string{
+				row2.Name, names[k],
+				fmt.Sprintf("%d", row2.Ta[k]),
+				fmt.Sprintf("%d", row2.Tb[k]),
+				fmt.Sprintf("%.2f", row3.Percent[k]),
+			})
+		}
+	}
+	for i, row := range r.Table2 {
+		emit(row, r.Table3[i])
+	}
+	emit(r.Total2, r.Total3)
+	w.Flush()
+	return sb.String()
+}
+
+// LoopCSV renders the per-loop drill-down as CSV.
+func (r *Result) LoopCSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"suite", "loop", "template", "config", "t_list", "t_new", "lbd_list", "lbd_new", "len_list", "len_new", "live_list", "live_new"})
+	for _, lr := range r.Loops {
+		_ = w.Write([]string{
+			lr.Suite, fmt.Sprintf("%d", lr.Index), lr.Template.String(), lr.Config,
+			fmt.Sprintf("%d", lr.Ta), fmt.Sprintf("%d", lr.Tb),
+			fmt.Sprintf("%d", lr.LBDa), fmt.Sprintf("%d", lr.LBDb),
+			fmt.Sprintf("%d", lr.LenA), fmt.Sprintf("%d", lr.LenB),
+			fmt.Sprintf("%d", lr.LiveA), fmt.Sprintf("%d", lr.LiveB),
+		})
+	}
+	w.Flush()
+	return sb.String()
+}

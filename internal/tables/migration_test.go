@@ -1,0 +1,77 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"doacross/internal/core"
+	"doacross/internal/dlx"
+	"doacross/internal/perfect"
+)
+
+func TestMigrationExperiment(t *testing.T) {
+	suites := perfect.MustSuites()
+	cfg := dlx.Standard(4, 1)
+	order, err := RunMigration(suites, cfg, core.ProgramOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := RunMigration(suites, cfg, core.CriticalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Migration converts LBDs regardless of the scheduler.
+	if order.Total.ConvertedByMig == 0 {
+		t.Fatal("migration converted no LBDs across the suites")
+	}
+	if order.Total.ConvertedByMig != cp.Total.ConvertedByMig {
+		t.Error("conversion count must not depend on the baseline priority")
+	}
+	// The paper's thesis, quantified: migration helps when the scheduler
+	// respects program order, but a synchronization-blind critical-path
+	// scheduler destroys the source-level placement.
+	if order.Total.MigPct <= cp.Total.MigPct {
+		t.Errorf("expected migration to help more under program order: %.2f%% vs %.2f%%",
+			order.Total.MigPct, cp.Total.MigPct)
+	}
+	// The instruction-level technique dominates migration in both settings.
+	for _, r := range []*MigrationResult{order, cp} {
+		if r.Total.SyncPct <= r.Total.MigPct {
+			t.Errorf("new scheduling (%.2f%%) should beat migration (%.2f%%)",
+				r.Total.SyncPct, r.Total.MigPct)
+		}
+		if r.Total.SyncPct < 50 {
+			t.Errorf("new scheduling gain %.2f%% suspiciously low", r.Total.SyncPct)
+		}
+	}
+	// TRACK is dominated by convertible LBDs: migration's best case.
+	for _, row := range order.Rows {
+		if row.Name == "TRACK" && row.MigPct < 20 {
+			t.Errorf("TRACK migration gain %.2f%%, expected its best case (> 20%%)", row.MigPct)
+		}
+	}
+	s := order.Render()
+	for _, want := range []string{"T_list", "T_mig", "T_new", "Total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCSVOutputs(t *testing.T) {
+	r := run(t)
+	c := r.CSV()
+	lines := strings.Split(strings.TrimSpace(c), "\n")
+	// Header + (5 benchmarks + total) * 4 configs.
+	if len(lines) != 1+6*NumConfigs {
+		t.Errorf("CSV has %d lines, want %d", len(lines), 1+6*NumConfigs)
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,config,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	lc := r.LoopCSV()
+	llines := strings.Split(strings.TrimSpace(lc), "\n")
+	if len(llines) != 1+len(r.Loops) {
+		t.Errorf("loop CSV has %d lines, want %d", len(llines), 1+len(r.Loops))
+	}
+}

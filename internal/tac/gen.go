@@ -1,0 +1,346 @@
+package tac
+
+import (
+	"fmt"
+
+	"doacross/internal/lang"
+	"doacross/internal/syncop"
+)
+
+// ScalarKey identifies a scalar access site for dependence→instruction
+// mapping.
+type ScalarKey struct {
+	Stmt  int
+	Name  string
+	Write bool
+}
+
+// Program is the compiled body of one DOACROSS iteration.
+type Program struct {
+	// Sync is the synchronized source loop.
+	Sync *syncop.Loop
+	// Instrs is the instruction sequence in program order.
+	Instrs []*Instr
+	// NumTemps is the highest temp number used.
+	NumTemps int
+	// ArrayInstr maps each array reference node of the AST to the load or
+	// store instruction generated for it (used to attach synchronization
+	// dependence arcs).
+	ArrayInstr map[*lang.ArrayRef]*Instr
+	// ScalarInstr maps scalar access sites to their load/store instruction.
+	// Scalar loads are CSE'd per statement, so several reads of X in one
+	// statement share an entry.
+	ScalarInstr map[ScalarKey]*Instr
+	// MergeLoad maps the LHS array reference of a conditional assignment to
+	// the merge load of the old element value emitted by if-conversion.
+	MergeLoad map[*lang.ArrayRef]*Instr
+}
+
+// generator lowers one loop.
+type generator struct {
+	prog     *Program
+	iv       string
+	nextTemp int
+	// addrCSE caches scaled-address temps by canonical subscript key within
+	// the iteration.
+	addrCSE map[string]int
+	// idxCSE caches unscaled index temps.
+	idxCSE map[string]int
+	stmt   int
+}
+
+// Generate compiles the synchronized loop to three-address code.
+func Generate(sl *syncop.Loop) (*Program, error) {
+	g := &generator{
+		prog: &Program{
+			Sync:        sl,
+			ArrayInstr:  map[*lang.ArrayRef]*Instr{},
+			ScalarInstr: map[ScalarKey]*Instr{},
+			MergeLoad:   map[*lang.ArrayRef]*Instr{},
+		},
+		iv:      sl.Base.Var,
+		addrCSE: map[string]int{},
+		idxCSE:  map[string]int{},
+		stmt:    -1,
+	}
+	for k, st := range sl.Base.Body {
+		g.stmt = k
+		for _, op := range sl.Pre[k] {
+			g.emit(&Instr{Op: Wait, Signal: op.Src, SigDist: op.Distance})
+		}
+		if err := g.genAssign(st); err != nil {
+			return nil, fmt.Errorf("tac: statement %s: %w", st.Label, err)
+		}
+		for _, op := range sl.Post[k] {
+			g.emit(&Instr{Op: Send, Signal: op.Src})
+		}
+	}
+	g.prog.NumTemps = g.nextTemp
+	return g.prog, nil
+}
+
+// MustGenerate is Generate for known-good inputs (tests, examples).
+func MustGenerate(sl *syncop.Loop) *Program {
+	p, err := Generate(sl)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (g *generator) emit(in *Instr) *Instr {
+	in.ID = len(g.prog.Instrs) + 1
+	in.Stmt = g.stmt
+	g.prog.Instrs = append(g.prog.Instrs, in)
+	return in
+}
+
+func (g *generator) temp() int {
+	g.nextTemp++
+	return g.nextTemp
+}
+
+// genAssign lowers one assignment, paper order: LHS address first, then RHS,
+// then the store. Guarded assignments are if-converted: load the old value,
+// compute the guard and the new value, select, store unconditionally — the
+// form superscalar schedulers need (no intra-body control flow).
+func (g *generator) genAssign(st *lang.Assign) error {
+	switch lhs := st.LHS.(type) {
+	case *lang.ArrayRef:
+		addr, err := g.genAddress(lhs.Index)
+		if err != nil {
+			return err
+		}
+		var oldv Operand
+		if st.Cond != nil {
+			t := g.temp()
+			in := g.emit(&Instr{Op: Load, Dst: t, Array: lhs.Name, A: TempOp(addr)})
+			g.prog.MergeLoad[lhs] = in
+			oldv = TempOp(t)
+		}
+		val, err := g.genValue(st.RHS)
+		if err != nil {
+			return err
+		}
+		if st.Cond != nil {
+			val, err = g.genSelect(st.Cond, val, oldv)
+			if err != nil {
+				return err
+			}
+		}
+		in := g.emit(&Instr{Op: Store, Array: lhs.Name, A: TempOp(addr), B: val})
+		g.prog.ArrayInstr[lhs] = in
+		return nil
+	case *lang.Scalar:
+		var oldv Operand
+		if st.Cond != nil {
+			// The merge read shares the statement's scalar-load CSE slot.
+			oldv = TempOp(g.scalarLoad(lhs.Name))
+		}
+		val, err := g.genValue(st.RHS)
+		if err != nil {
+			return err
+		}
+		if st.Cond != nil {
+			val, err = g.genSelect(st.Cond, val, oldv)
+			if err != nil {
+				return err
+			}
+		}
+		in := g.emit(&Instr{Op: StoreS, Array: lhs.Name, B: val})
+		g.prog.ScalarInstr[ScalarKey{Stmt: g.stmt, Name: lhs.Name, Write: true}] = in
+		return nil
+	}
+	return fmt.Errorf("unsupported assignment target %T", st.LHS)
+}
+
+// genSelect lowers the guard and merges new/old values.
+func (g *generator) genSelect(c *lang.Cond, newv, oldv Operand) (Operand, error) {
+	l, err := g.genValue(c.L)
+	if err != nil {
+		return Operand{}, err
+	}
+	r, err := g.genValue(c.R)
+	if err != nil {
+		return Operand{}, err
+	}
+	ct := g.temp()
+	g.emit(&Instr{Op: Cmp, Dst: ct, A: l, B: r, Rel: c.Op})
+	st := g.temp()
+	g.emit(&Instr{Op: Select, Dst: st, A: newv, B: oldv, C: TempOp(ct)})
+	return TempOp(st), nil
+}
+
+// genAddress computes the scaled byte address (4 * subscript) of an array
+// element, reusing previously computed addresses for identical subscripts.
+func (g *generator) genAddress(idx lang.Expr) (int, error) {
+	// Cross-statement reuse is only safe for subscripts that are pure
+	// functions of the induction variable; anything touching a mutable
+	// scalar or array must be recomputed.
+	_, _, pure := lang.AffineIndex(idx, g.iv)
+	key := idx.String()
+	if pure {
+		if t, ok := g.addrCSE[key]; ok {
+			return t, nil
+		}
+	}
+	it, err := g.genIndex(idx)
+	if err != nil {
+		return 0, err
+	}
+	t := g.temp()
+	g.emit(&Instr{Op: Shl, Dst: t, A: it, IntegerTyped: true})
+	if pure {
+		g.addrCSE[key] = t
+	}
+	return t, nil
+}
+
+// genIndex lowers a subscript expression with integer arithmetic, returning
+// an operand (temps for compound expressions, I / constants directly).
+func (g *generator) genIndex(e lang.Expr) (Operand, error) {
+	switch v := e.(type) {
+	case *lang.Const:
+		return ConstOp(v.Value), nil
+	case *lang.Scalar:
+		if v.Name == g.iv {
+			return IVOp(), nil
+		}
+		// Loop-invariant scalar used in a subscript: load it once per
+		// statement.
+		return TempOp(g.scalarLoad(v.Name)), nil
+	case *lang.Neg:
+		x, err := g.genIndex(v.X)
+		if err != nil {
+			return Operand{}, err
+		}
+		t := g.temp()
+		g.emit(&Instr{Op: Sub, Dst: t, A: ConstOp(0), B: x, IntegerTyped: true})
+		return TempOp(t), nil
+	case *lang.ArrayRef:
+		// Indirect subscript (A[X[I]]): load the index element.
+		addr, err := g.genAddress(v.Index)
+		if err != nil {
+			return Operand{}, err
+		}
+		t := g.temp()
+		in := g.emit(&Instr{Op: Load, Dst: t, Array: v.Name, A: TempOp(addr)})
+		g.prog.ArrayInstr[v] = in
+		return TempOp(t), nil
+	case *lang.Binary:
+		_, _, pure := lang.AffineIndex(e, g.iv)
+		key := "i:" + e.String()
+		if pure {
+			if t, ok := g.idxCSE[key]; ok {
+				return TempOp(t), nil
+			}
+		}
+		a, err := g.genIndex(v.L)
+		if err != nil {
+			return Operand{}, err
+		}
+		b, err := g.genIndex(v.R)
+		if err != nil {
+			return Operand{}, err
+		}
+		t := g.temp()
+		op := map[lang.BinOp]Opcode{lang.OpAdd: Add, lang.OpSub: Sub, lang.OpMul: Mul, lang.OpDiv: Div}[v.Op]
+		g.emit(&Instr{Op: op, Dst: t, A: a, B: b, IntegerTyped: op == Add || op == Sub})
+		if pure {
+			g.idxCSE[key] = t
+		}
+		return TempOp(t), nil
+	}
+	return Operand{}, fmt.Errorf("unsupported subscript expression %T", e)
+}
+
+// genValue lowers a data expression (float pipeline).
+func (g *generator) genValue(e lang.Expr) (Operand, error) {
+	switch v := e.(type) {
+	case *lang.Const:
+		return ConstOp(v.Value), nil
+	case *lang.Scalar:
+		if v.Name == g.iv {
+			return IVOp(), nil
+		}
+		return TempOp(g.scalarLoad(v.Name)), nil
+	case *lang.ArrayRef:
+		addr, err := g.genAddress(v.Index)
+		if err != nil {
+			return Operand{}, err
+		}
+		t := g.temp()
+		in := g.emit(&Instr{Op: Load, Dst: t, Array: v.Name, A: TempOp(addr)})
+		g.prog.ArrayInstr[v] = in
+		return TempOp(t), nil
+	case *lang.Neg:
+		x, err := g.genValue(v.X)
+		if err != nil {
+			return Operand{}, err
+		}
+		t := g.temp()
+		g.emit(&Instr{Op: Sub, Dst: t, A: ConstOp(0), B: x})
+		return TempOp(t), nil
+	case *lang.Binary:
+		a, err := g.genValue(v.L)
+		if err != nil {
+			return Operand{}, err
+		}
+		b, err := g.genValue(v.R)
+		if err != nil {
+			return Operand{}, err
+		}
+		t := g.temp()
+		op := map[lang.BinOp]Opcode{lang.OpAdd: Add, lang.OpSub: Sub, lang.OpMul: Mul, lang.OpDiv: Div}[v.Op]
+		g.emit(&Instr{Op: op, Dst: t, A: a, B: b})
+		return TempOp(t), nil
+	}
+	return Operand{}, fmt.Errorf("unsupported expression %T", e)
+}
+
+// scalarLoad loads a scalar from shared memory, CSE'd per statement. Writes
+// to the scalar elsewhere in the loop make cross-statement reuse unsafe in
+// general, so the cache resets per statement (the dependence analyzer's
+// distance-0 arcs then order the accesses correctly).
+func (g *generator) scalarLoad(name string) int {
+	key := ScalarKey{Stmt: g.stmt, Name: name, Write: false}
+	if in, ok := g.prog.ScalarInstr[key]; ok {
+		return in.Dst
+	}
+	t := g.temp()
+	in := g.emit(&Instr{Op: LoadS, Dst: t, Array: name})
+	g.prog.ScalarInstr[key] = in
+	return t
+}
+
+// Waits returns the wait instructions in program order.
+func (p *Program) Waits() []*Instr {
+	var out []*Instr
+	for _, in := range p.Instrs {
+		if in.Op == Wait {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// Sends returns the send instructions in program order.
+func (p *Program) Sends() []*Instr {
+	var out []*Instr
+	for _, in := range p.Instrs {
+		if in.Op == Send {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// SendFor returns the send instruction for the given signal name, or nil.
+func (p *Program) SendFor(signal string) *Instr {
+	for _, in := range p.Instrs {
+		if in.Op == Send && in.Signal == signal {
+			return in
+		}
+	}
+	return nil
+}

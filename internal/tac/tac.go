@@ -1,0 +1,254 @@
+// Package tac lowers a synchronized DOACROSS loop body to DLX-style
+// three-address code, the "internal form" the paper feeds its simulator
+// (§4.1). The lowering follows the paper's Fig. 2 exactly:
+//
+//   - array subscripts are computed in integer registers (integer unit),
+//   - byte addresses are formed by a scale-by-4 shift (shifter unit),
+//   - array elements move through load/store instructions,
+//   - data arithmetic runs on the float/multiplier/divider units,
+//   - Wait_Signal sits immediately before its statement's code and
+//     Send_Signal immediately after, preserving the synchronization
+//     conditions at the instruction level.
+//
+// Address computations are reused across statements of the iteration
+// (common-subexpression elimination), matching the paper's reuse of
+// t1 = 4*I for B[t1], B[t1] and A[t1].
+package tac
+
+import (
+	"fmt"
+	"strings"
+
+	"doacross/internal/dlx"
+	"doacross/internal/lang"
+)
+
+// Opcode is a three-address-code operation.
+type Opcode int
+
+// Opcodes.
+const (
+	Load   Opcode = iota // Dst <- Array[A]       (A = address temp)
+	Store                // Array[A] <- B
+	LoadS                // Dst <- scalar Array   (scalar load; Array = name)
+	StoreS               // scalar Array <- B
+	Add                  // Dst <- A + B
+	Sub                  // Dst <- A - B
+	Mul                  // Dst <- A * B
+	Div                  // Dst <- A / B
+	Shl                  // Dst <- A * 4          (address scaling shift)
+	Move                 // Dst <- A
+	Cmp                  // Dst <- A rel B (1.0 or 0.0); Rel selects the relation
+	Select               // Dst <- C != 0 ? A : B (if-conversion merge)
+	Send                 // Send_Signal(Signal)
+	Wait                 // Wait_Signal(Signal, I-SigDist)
+)
+
+// String names the opcode.
+func (op Opcode) String() string {
+	switch op {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case LoadS:
+		return "loads"
+	case StoreS:
+		return "stores"
+	case Add:
+		return "add"
+	case Sub:
+		return "sub"
+	case Mul:
+		return "mul"
+	case Div:
+		return "div"
+	case Shl:
+		return "shl"
+	case Move:
+		return "move"
+	case Cmp:
+		return "cmp"
+	case Select:
+		return "select"
+	case Send:
+		return "send"
+	case Wait:
+		return "wait"
+	}
+	return fmt.Sprintf("Opcode(%d)", int(op))
+}
+
+// OperandKind classifies an instruction operand.
+type OperandKind int
+
+// Operand kinds.
+const (
+	None  OperandKind = iota
+	Temp              // virtual register t<k>
+	IV                // the induction variable register
+	Const             // immediate
+)
+
+// Operand is one source operand.
+type Operand struct {
+	Kind OperandKind
+	// Reg is the temp number for Kind==Temp.
+	Reg int
+	// Val is the immediate for Kind==Const.
+	Val float64
+}
+
+// TempOp returns a temp operand.
+func TempOp(r int) Operand { return Operand{Kind: Temp, Reg: r} }
+
+// IVOp returns the induction-variable operand.
+func IVOp() Operand { return Operand{Kind: IV} }
+
+// ConstOp returns an immediate operand.
+func ConstOp(v float64) Operand { return Operand{Kind: Const, Val: v} }
+
+// String renders the operand.
+func (o Operand) String() string {
+	switch o.Kind {
+	case None:
+		return "_"
+	case Temp:
+		return fmt.Sprintf("t%d", o.Reg)
+	case IV:
+		return "I"
+	case Const:
+		if o.Val == float64(int64(o.Val)) {
+			return fmt.Sprintf("%d", int64(o.Val))
+		}
+		return fmt.Sprintf("%g", o.Val)
+	}
+	return "?"
+}
+
+// Instr is one three-address instruction.
+type Instr struct {
+	// ID is the 1-based position in the generated sequence (the paper's
+	// instruction numbering in Fig. 2/3/4).
+	ID int
+	Op Opcode
+	// Dst is the destination temp (0 = none).
+	Dst int
+	// A, B are the source operands. For Load, A is the address temp; for
+	// Store, A is the address and B the stored value. C is the guard operand
+	// of Select (Dst <- C != 0 ? A : B).
+	A, B, C Operand
+	// Rel is the relation computed by Cmp.
+	Rel lang.RelOp
+	// Array is the array (or scalar, for LoadS/StoreS) name.
+	Array string
+	// Signal and SigDist describe Send/Wait operations: the signal name
+	// (source statement label) and the wait distance d.
+	Signal  string
+	SigDist int
+	// Stmt is the 0-based index of the originating source statement; -1 for
+	// none.
+	Stmt int
+	// IntegerTyped marks address/index arithmetic, which runs on the integer
+	// unit; data arithmetic runs on the float unit.
+	IntegerTyped bool
+}
+
+// Class returns the function-unit class executing the instruction.
+func (in *Instr) Class() dlx.Class {
+	switch in.Op {
+	case Load, Store, LoadS, StoreS:
+		return dlx.LoadStore
+	case Shl:
+		return dlx.Shifter
+	case Mul:
+		return dlx.Multiplier
+	case Div:
+		return dlx.Divider
+	case Send, Wait:
+		return dlx.Sync
+	case Cmp:
+		// Comparisons run on the integer unit (DLX-style set-on-condition).
+		return dlx.Integer
+	case Add, Sub, Move, Select:
+		if in.IntegerTyped {
+			return dlx.Integer
+		}
+		return dlx.Float
+	}
+	return dlx.Integer
+}
+
+// Uses returns the temps read by the instruction.
+func (in *Instr) Uses() []int {
+	var out []int
+	if in.A.Kind == Temp {
+		out = append(out, in.A.Reg)
+	}
+	if in.B.Kind == Temp {
+		out = append(out, in.B.Reg)
+	}
+	if in.C.Kind == Temp {
+		out = append(out, in.C.Reg)
+	}
+	return out
+}
+
+// IsSync reports whether the instruction is a synchronization operation.
+func (in *Instr) IsSync() bool { return in.Op == Send || in.Op == Wait }
+
+// IsMem reports whether the instruction accesses memory.
+func (in *Instr) IsMem() bool {
+	switch in.Op {
+	case Load, Store, LoadS, StoreS:
+		return true
+	}
+	return false
+}
+
+// String renders the instruction in the paper's Fig. 2 style.
+func (in *Instr) String() string {
+	switch in.Op {
+	case Load:
+		return fmt.Sprintf("t%d <- %s[%s]", in.Dst, in.Array, in.A)
+	case Store:
+		return fmt.Sprintf("%s[%s] <- %s", in.Array, in.A, in.B)
+	case LoadS:
+		return fmt.Sprintf("t%d <- %s", in.Dst, in.Array)
+	case StoreS:
+		return fmt.Sprintf("%s <- %s", in.Array, in.B)
+	case Add:
+		return fmt.Sprintf("t%d <- %s + %s", in.Dst, in.A, in.B)
+	case Sub:
+		return fmt.Sprintf("t%d <- %s - %s", in.Dst, in.A, in.B)
+	case Mul:
+		return fmt.Sprintf("t%d <- %s * %s", in.Dst, in.A, in.B)
+	case Div:
+		return fmt.Sprintf("t%d <- %s / %s", in.Dst, in.A, in.B)
+	case Shl:
+		return fmt.Sprintf("t%d <- 4 * %s", in.Dst, in.A)
+	case Move:
+		return fmt.Sprintf("t%d <- %s", in.Dst, in.A)
+	case Cmp:
+		return fmt.Sprintf("t%d <- %s %s %s", in.Dst, in.A, in.Rel, in.B)
+	case Select:
+		return fmt.Sprintf("t%d <- %s ? %s : %s", in.Dst, in.C, in.A, in.B)
+	case Send:
+		return fmt.Sprintf("Send_Signal(%s)", in.Signal)
+	case Wait:
+		if in.SigDist == 0 {
+			return fmt.Sprintf("Wait_Signal(%s, I)", in.Signal)
+		}
+		return fmt.Sprintf("Wait_Signal(%s, I-%d)", in.Signal, in.SigDist)
+	}
+	return fmt.Sprintf("op%d", int(in.Op))
+}
+
+// Listing renders a numbered instruction listing like the paper's Fig. 2.
+func Listing(instrs []*Instr) string {
+	var sb strings.Builder
+	for _, in := range instrs {
+		fmt.Fprintf(&sb, "%3d: %s\n", in.ID, in)
+	}
+	return sb.String()
+}

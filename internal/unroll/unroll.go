@@ -1,0 +1,122 @@
+// Package unroll implements DOACROSS loop unrolling, the classic
+// synchronization-amortization transformation: unrolling by k turns k
+// consecutive iterations into one body, so one Send/Wait pair (per
+// dependence) covers k elements and the per-element synchronization overhead
+// drops by ~k.
+//
+// The transformation is purely syntactic — the induction variable I is
+// replaced by k*J - (k-1) + j in the j-th copy (j = 0..k-1) and the trip
+// count becomes N/k — and the rest of the pipeline (dependence analysis,
+// synchronization insertion, scheduling) handles the unrolled loop like any
+// other: dependences between copies inside one body become loop-independent
+// and need no signals at all.
+//
+// The unrolled loop is equivalent to the original exactly when the trip
+// count is divisible by k; the caller owns the remainder iterations (the
+// standard epilogue, which this package reports but does not emit since the
+// mini-language has a single loop statement).
+package unroll
+
+import (
+	"fmt"
+
+	"doacross/internal/lang"
+)
+
+// Result is an unrolled loop.
+type Result struct {
+	// Loop is the unrolled loop over the compressed induction variable.
+	Loop *lang.Loop
+	// Factor is the unroll factor k.
+	Factor int
+}
+
+// Unroll unrolls the loop by factor k. The loop's lower bound must be the
+// constant 1 (the paper's normalized loops).
+func Unroll(loop *lang.Loop, k int) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("unroll: factor %d < 1", k)
+	}
+	if c, ok := loop.Lo.(*lang.Const); !ok || c.Value != 1 {
+		return nil, fmt.Errorf("unroll: lower bound must be the constant 1, have %s", loop.Lo)
+	}
+	if k == 1 {
+		return &Result{Loop: loop.Clone(), Factor: 1}, nil
+	}
+	out := &lang.Loop{
+		Doacross: loop.Doacross,
+		Var:      loop.Var,
+		Lo:       &lang.Const{Value: 1},
+		// N/k evaluates with FORTRAN integer-subscript truncation in Bounds.
+		Hi: &lang.Binary{Op: lang.OpDiv, L: lang.CloneExpr(loop.Hi), R: &lang.Const{Value: float64(k)}},
+	}
+	for j := 0; j < k; j++ {
+		// Original iteration i = k*J - (k-1) + j.
+		offset := j - (k - 1)
+		for _, st := range loop.Body {
+			cp := &lang.Assign{
+				Label: fmt.Sprintf("%s_%d", st.Label, j),
+				Cond:  substCond(st.Cond, loop.Var, k, offset),
+				LHS:   substExpr(lang.CloneExpr(st.LHS), loop.Var, k, offset),
+				RHS:   substExpr(lang.CloneExpr(st.RHS), loop.Var, k, offset),
+			}
+			out.Body = append(out.Body, cp)
+		}
+	}
+	return &Result{Loop: out, Factor: k}, nil
+}
+
+// MustUnroll is Unroll for known-good inputs.
+func MustUnroll(loop *lang.Loop, k int) *Result {
+	r, err := Unroll(loop, k)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// substExpr replaces every occurrence of the induction variable iv in e by
+// (k*iv + offset), returning the rewritten expression.
+func substExpr(e lang.Expr, iv string, k, offset int) lang.Expr {
+	switch v := e.(type) {
+	case *lang.Scalar:
+		if v.Name != iv {
+			return v
+		}
+		scaled := lang.Expr(&lang.Binary{
+			Op: lang.OpMul,
+			L:  &lang.Const{Value: float64(k)},
+			R:  &lang.Scalar{Name: iv},
+		})
+		switch {
+		case offset > 0:
+			return &lang.Binary{Op: lang.OpAdd, L: scaled, R: &lang.Const{Value: float64(offset)}}
+		case offset < 0:
+			return &lang.Binary{Op: lang.OpSub, L: scaled, R: &lang.Const{Value: float64(-offset)}}
+		}
+		return scaled
+	case *lang.Const:
+		return v
+	case *lang.ArrayRef:
+		v.Index = substExpr(v.Index, iv, k, offset)
+		return v
+	case *lang.Binary:
+		v.L = substExpr(v.L, iv, k, offset)
+		v.R = substExpr(v.R, iv, k, offset)
+		return v
+	case *lang.Neg:
+		v.X = substExpr(v.X, iv, k, offset)
+		return v
+	}
+	return e
+}
+
+func substCond(c *lang.Cond, iv string, k, offset int) *lang.Cond {
+	if c == nil {
+		return nil
+	}
+	cl := c.Clone()
+	cl.L = substExpr(cl.L, iv, k, offset)
+	cl.R = substExpr(cl.R, iv, k, offset)
+	return cl
+}

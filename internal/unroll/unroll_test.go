@@ -1,0 +1,167 @@
+package unroll
+
+import (
+	"testing"
+
+	"doacross/internal/core"
+	"doacross/internal/dep"
+	"doacross/internal/dfg"
+	"doacross/internal/dlx"
+	"doacross/internal/lang"
+	"doacross/internal/sim"
+	"doacross/internal/syncop"
+	"doacross/internal/tac"
+)
+
+const chain = "DO I = 1, N\nA[I] = A[I-1] + 1\nENDDO"
+
+func TestUnrollShape(t *testing.T) {
+	r := MustUnroll(lang.MustParse(chain), 4)
+	if len(r.Loop.Body) != 4 {
+		t.Fatalf("unrolled body = %d statements, want 4", len(r.Loop.Body))
+	}
+	// Copy 0 is iteration 4J-3: subscript 4*I-3.
+	lhs := r.Loop.Body[0].LHS.(*lang.ArrayRef)
+	c, off, ok := lang.AffineIndex(lhs.Index, "I")
+	if !ok || c != 4 || off != -3 {
+		t.Errorf("copy 0 LHS affine = (%d,%d,%v), want (4,-3,true)", c, off, ok)
+	}
+	// Copy 3 is iteration 4J: subscript 4*I.
+	lhs3 := r.Loop.Body[3].LHS.(*lang.ArrayRef)
+	c, off, ok = lang.AffineIndex(lhs3.Index, "I")
+	if !ok || c != 4 || off != 0 {
+		t.Errorf("copy 3 LHS affine = (%d,%d,%v), want (4,0,true)", c, off, ok)
+	}
+	// Labels are unique.
+	seen := map[string]bool{}
+	for _, st := range r.Loop.Body {
+		if seen[st.Label] {
+			t.Errorf("duplicate label %s", st.Label)
+		}
+		seen[st.Label] = true
+	}
+}
+
+func TestUnrollSemantics(t *testing.T) {
+	for _, src := range []string{
+		chain,
+		"DO I = 1, N\nB[I] = A[I-2] + E[I+1]\nA[I] = B[I] * 2\nENDDO",
+		"DO I = 1, N\nIF (E[I] > 0) A[I] = A[I-1] + E[I]\nENDDO",
+		"DO I = 1, N\nS = S + A[I]\nENDDO",
+	} {
+		loop := lang.MustParse(src)
+		for _, k := range []int{1, 2, 4} {
+			r, err := Unroll(loop, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 12 // divisible by 1, 2 and 4
+			a := loop.SeedStore(n, 8, 3)
+			b := a.Clone()
+			if err := loop.Run(a); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Loop.Run(b); err != nil {
+				t.Fatalf("k=%d: %v\n%s", k, err, r.Loop)
+			}
+			if d := a.Diff(b); d != "" {
+				t.Errorf("k=%d: unroll changed semantics: %s\n%s\nvs\n%s", k, d, loop, r.Loop)
+			}
+		}
+	}
+}
+
+func TestUnrollReducesSyncOps(t *testing.T) {
+	loop := lang.MustParse(chain)
+	count := func(l *lang.Loop) (int, int) {
+		return syncop.Insert(dep.Analyze(l), syncop.Options{}).NumOps()
+	}
+	s1, w1 := count(loop)
+	r := MustUnroll(loop, 4)
+	s4, w4 := count(r.Loop)
+	// Per original element: k=1 has 1 send + 1 wait per element; k=4 should
+	// need at most the same per *body*, i.e. 4x fewer per element.
+	if s4 > s1 || w4 > w1 {
+		t.Errorf("unrolled loop has more sync ops per body: (%d,%d) vs (%d,%d)", s4, w4, s1, w1)
+	}
+}
+
+// TestUnrollAmortizesSynchronization is the extension experiment: per-element
+// parallel time of the serialized chain improves with the unroll factor.
+func TestUnrollAmortizesSynchronization(t *testing.T) {
+	loop := lang.MustParse(chain)
+	cfg := dlx.Standard(2, 1)
+	elements := 96
+	perElement := func(l *lang.Loop, k int) float64 {
+		a := dep.Analyze(l)
+		prog, err := tac.Generate(syncop.Insert(a, syncop.Options{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := dfg.Build(prog, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.Sync(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := sim.MustTime(s, sim.Options{Lo: 1, Hi: elements / k})
+		return float64(tm.Total) / float64(elements)
+	}
+	base := perElement(loop, 1)
+	un4 := perElement(MustUnroll(loop, 4).Loop, 4)
+	if un4 >= base {
+		t.Errorf("unroll-4 per-element time %.2f not better than %.2f", un4, base)
+	}
+	t.Logf("per-element cycles: k=1 %.2f, k=4 %.2f", base, un4)
+}
+
+func TestUnrollParallelCorrectness(t *testing.T) {
+	loop := lang.MustParse("DO I = 1, N\nB[I] = A[I-2] + E[I+1]\nA[I] = B[I] * 2\nENDDO")
+	r := MustUnroll(loop, 2)
+	a := dep.Analyze(r.Loop)
+	prog, err := tac.Generate(syncop.Insert(a, syncop.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dfg.Build(prog, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Sync(g, dlx.Standard(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 10 // compressed trip count; 20 original elements
+	ref := r.Loop.SeedStore(2*n, 8, 7)
+	got := ref.Clone()
+	if err := r.Loop.Run(ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(s, got, sim.Options{Lo: 1, Hi: n}); err != nil {
+		t.Fatal(err)
+	}
+	if d := ref.Diff(got); d != "" {
+		t.Errorf("parallel unrolled execution wrong: %s", d)
+	}
+}
+
+func TestUnrollErrors(t *testing.T) {
+	loop := lang.MustParse(chain)
+	if _, err := Unroll(loop, 0); err == nil {
+		t.Error("factor 0 must fail")
+	}
+	l2 := lang.MustParse("DO I = 3, N\nA[I] = 1\nENDDO")
+	if _, err := Unroll(l2, 2); err == nil {
+		t.Error("non-unit lower bound must fail")
+	}
+}
+
+func TestUnrollFactorOneIsIdentity(t *testing.T) {
+	loop := lang.MustParse(chain)
+	r := MustUnroll(loop, 1)
+	if r.Loop.String() != loop.String() {
+		t.Errorf("k=1 should be identity:\n%s\nvs\n%s", loop, r.Loop)
+	}
+}
