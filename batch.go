@@ -1,0 +1,115 @@
+package doacross
+
+import (
+	"fmt"
+
+	"doacross/internal/core"
+	"doacross/internal/pipeline"
+)
+
+// Batch scheduling: the facade over internal/pipeline, the worker-pool
+// service that compiles, schedules and simulates many loops concurrently
+// with a content-addressed schedule cache and an embedded metrics registry.
+//
+//	cache := doacross.NewScheduleCache()
+//	batch, err := doacross.ScheduleAll(sources, doacross.BatchOptions{
+//		Workers:  8,
+//		Machines: doacross.PaperMachines(),
+//		Cache:    cache,
+//	})
+//	fmt.Print(batch.Stats)
+type (
+	// Batch is the result of one batch run: per-loop results in request
+	// order plus a metrics snapshot.
+	Batch = pipeline.Batch
+	// BatchOptions configures a batch run (workers, machines, trip count,
+	// baseline, ablation knobs, cache, metrics).
+	BatchOptions = pipeline.Options
+	// BatchRequest is one loop to schedule (source text or parsed Loop).
+	BatchRequest = pipeline.Request
+	// BatchLoop is one loop's batch result.
+	BatchLoop = pipeline.LoopResult
+	// BatchMachineResult is one loop's outcome on one machine.
+	BatchMachineResult = pipeline.MachineResult
+	// BatchStats is a snapshot of the pipeline metrics registry.
+	BatchStats = pipeline.Stats
+	// BatchMetrics is the shared metrics registry type.
+	BatchMetrics = pipeline.Metrics
+	// ScheduleCache is the sharded content-addressed schedule cache. Keys
+	// fingerprint the loop's data-flow graph plus the machine configuration
+	// and scheduler options, so structurally repeated loops — trip-count or
+	// machine sweeps over one corpus — skip scheduling entirely.
+	ScheduleCache = pipeline.Cache
+	// ListPriority selects the baseline list scheduler's priority.
+	ListPriority = core.ListPriority
+)
+
+// Baseline priorities for BatchOptions.Baseline.
+const (
+	// BaselineProgramOrder ranks ready instructions by source position.
+	BaselineProgramOrder = core.ProgramOrder
+	// BaselineCriticalPath ranks by longest latency-weighted path to a sink.
+	BaselineCriticalPath = core.CriticalPath
+)
+
+// NewScheduleCache returns an empty schedule cache, shareable across
+// batches and goroutines.
+func NewScheduleCache() *ScheduleCache { return pipeline.NewCache() }
+
+// NewBatchMetrics returns an empty metrics registry; pass the same registry
+// to several batches to aggregate their counters.
+func NewBatchMetrics() *BatchMetrics { return pipeline.NewMetrics() }
+
+// ScheduleAll compiles, schedules and simulates every source loop through
+// the concurrent batch pipeline. Per-loop failures are reported in
+// Batch.Loops[i].Err (see Batch.FirstErr); ScheduleAll only fails on
+// unusable options.
+func ScheduleAll(sources []string, opt BatchOptions) (*Batch, error) {
+	reqs := make([]BatchRequest, len(sources))
+	for i, src := range sources {
+		reqs[i] = BatchRequest{Name: fmt.Sprintf("loop%d", i), Source: src}
+	}
+	return pipeline.Run(reqs, opt)
+}
+
+// ScheduleAllLoops is ScheduleAll over already parsed loops.
+func ScheduleAllLoops(loops []*Loop, opt BatchOptions) (*Batch, error) {
+	reqs := make([]BatchRequest, len(loops))
+	for i, l := range loops {
+		reqs[i] = BatchRequest{Name: fmt.Sprintf("loop%d", i), Loop: l}
+	}
+	return pipeline.Run(reqs, opt)
+}
+
+// CompareAll runs the paper's list-vs-new experiment for every source loop
+// on machine m with trip count n, through the batch pipeline. It returns
+// one Comparison per loop in input order plus the underlying batch (for
+// schedules and stats). The first per-loop failure aborts with an error.
+func CompareAll(sources []string, m Machine, n int, opt BatchOptions) ([]Comparison, *Batch, error) {
+	opt.Machines = []Machine{m}
+	opt.N = n
+	batch, err := ScheduleAll(sources, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := batch.FirstErr(); err != nil {
+		return nil, batch, err
+	}
+	comps := make([]Comparison, len(batch.Loops))
+	for i := range batch.Loops {
+		lr := &batch.Loops[i]
+		mr := lr.Machines[0]
+		comps[i] = Comparison{
+			Machine:     mr.Machine,
+			N:           lr.N,
+			ListTime:    mr.ListTime,
+			SyncTime:    mr.SyncTime,
+			Improvement: mr.Improvement,
+			ListLBD:     mr.ListLBD,
+			SyncLBD:     mr.SyncLBD,
+			List:        mr.List,
+			Sync:        mr.Sync,
+		}
+	}
+	return comps, batch, nil
+}

@@ -7,6 +7,11 @@
 //	benchtab -table 2        # a single table
 //	benchtab -baseline order # program-order baseline instead of critical path
 //	benchtab -loops          # per-loop drill-down
+//	benchtab -j 8 -stats     # 8 pipeline workers + cache/latency report
+//
+// The tables are produced by the internal/pipeline batch scheduler: every
+// (loop, configuration) problem fans out over -j workers and repeated loop
+// shapes hit the content-addressed schedule cache instead of rescheduling.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"doacross/internal/core"
 	"doacross/internal/dlx"
 	"doacross/internal/perfect"
+	"doacross/internal/pipeline"
 	"doacross/internal/tables"
 )
 
@@ -29,6 +35,8 @@ func main() {
 	loops := flag.Bool("loops", false, "print per-loop measurements")
 	migration := flag.Bool("migration", false, "run the migration-vs-scheduling extension experiment")
 	format := flag.String("format", "text", "output format: text or csv")
+	jobs := flag.Int("j", 0, "pipeline workers (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print pipeline cache and stage-latency stats")
 	flag.Parse()
 
 	pri := core.CriticalPath
@@ -59,10 +67,14 @@ func main() {
 		}
 		return
 	}
-	r, err := tables.RunOn(suites, pri)
+	metrics := pipeline.NewMetrics()
+	r, err := tables.RunParallel(suites, pri, *jobs, pipeline.NewCache(), metrics)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
+	}
+	if *stats {
+		defer func() { fmt.Printf("\nPipeline stats:\n%s", metrics.Stats()) }()
 	}
 	if *format == "csv" {
 		fmt.Print(r.CSV())

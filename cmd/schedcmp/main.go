@@ -1,13 +1,18 @@
-// Command schedcmp compiles a DOACROSS loop and compares traditional list
-// scheduling against the paper's synchronization-aware scheduling on a
-// chosen machine, printing both schedules, the synchronization pair spans,
-// and simulated parallel execution times.
+// Command schedcmp compiles one or more DOACROSS loops and compares
+// traditional list scheduling against the paper's synchronization-aware
+// scheduling on a chosen machine, printing the schedules, the
+// synchronization pair spans, and simulated parallel execution times.
+//
+// Input may contain several loops back to back; all of them are compiled,
+// scheduled and simulated concurrently by the batch pipeline (-j workers),
+// with repeated loop shapes served from the content-addressed schedule
+// cache.
 //
 // Usage:
 //
-//	schedcmp [-issue 4] [-fu 1] [-uniform] [-n 100] [-baseline cp] [file]
+//	schedcmp [-issue 4] [-fu 1] [-uniform] [-n 100] [-baseline cp] [-j 8] [-stats] [file]
 //
-// With no file, the loop is read from standard input. Example loop:
+// With no file, the loops are read from standard input. Example loop:
 //
 //	DO I = 1, N
 //	  S1: B[I] = A[I-2] + E[I+1]
@@ -32,15 +37,17 @@ func main() {
 	n := flag.Int("n", 100, "loop trip count (one processor per iteration)")
 	baseline := flag.String("baseline", "cp", "baseline priority: cp (critical path) or order (program order)")
 	gantt := flag.Bool("gantt", false, "print per-cycle function-unit occupancy charts")
-	dot := flag.Bool("dot", false, "print the data-flow graph in Graphviz DOT format and exit")
+	dot := flag.Bool("dot", false, "print the data-flow graphs in Graphviz DOT format and exit")
 	window := flag.Int("window", 0, "signal hardware window (0 = unbounded)")
+	jobs := flag.Int("j", 0, "pipeline workers (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print pipeline cache and stage-latency stats")
 	flag.Parse()
 
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		fail(err)
 	}
-	prog, err := doacross.Compile(src)
+	file, err := doacross.ParseSource(src)
 	if err != nil {
 		fail(err)
 	}
@@ -50,62 +57,67 @@ func main() {
 	} else {
 		m = doacross.NewMachine(*issue, *fu)
 	}
-
-	fmt.Println("== Synchronized DOACROSS form ==")
-	fmt.Print(prog.DoacrossSource())
-	fmt.Println("\n== Three-address code ==")
-	fmt.Print(prog.Listing())
-	fmt.Println("\n== Data-flow graph ==")
-	fmt.Println(prog.GraphInfo())
-	if *dot {
-		fmt.Print(prog.Graph.DOT())
-		return
-	}
-
-	var list *doacross.Schedule
+	var pri doacross.ListPriority
 	switch *baseline {
 	case "cp":
-		list, err = prog.ScheduleList(m)
+		pri = doacross.BaselineCriticalPath
 	case "order":
-		list, err = prog.ScheduleListProgramOrder(m)
+		pri = doacross.BaselineProgramOrder
 	default:
 		fail(fmt.Errorf("unknown baseline %q", *baseline))
 	}
+
+	batch, err := doacross.ScheduleAllLoops(file.Loops, doacross.BatchOptions{
+		Workers:  *jobs,
+		Machines: []doacross.Machine{m},
+		N:        *n,
+		Window:   *window,
+		Baseline: pri,
+		Cache:    doacross.NewScheduleCache(),
+	})
 	if err != nil {
 		fail(err)
 	}
-	syn, err := prog.ScheduleSync(m)
-	if err != nil {
+	if err := batch.FirstErr(); err != nil {
 		fail(err)
 	}
-	for _, s := range []*doacross.Schedule{list, syn} {
-		if err := s.Validate(); err != nil {
-			fail(fmt.Errorf("%s schedule invalid: %w", s.Method, err))
+
+	for i := range batch.Loops {
+		lr := &batch.Loops[i]
+		if len(batch.Loops) > 1 {
+			fmt.Printf("======== loop %d of %d ========\n", i+1, len(batch.Loops))
 		}
-		fmt.Printf("\n== %s schedule (%s, %d rows) ==\n", s.Method, m.Name, s.Length())
-		fmt.Print(s.String())
-		if *gantt {
-			fmt.Println()
-			fmt.Print(s.Gantt())
+		fmt.Println("== Synchronized DOACROSS form ==")
+		fmt.Print(lr.DoacrossSource())
+		fmt.Println("\n== Three-address code ==")
+		fmt.Print(lr.Listing())
+		fmt.Println("\n== Data-flow graph ==")
+		fmt.Println(lr.GraphInfo())
+		if *dot {
+			fmt.Print(lr.Graph.DOT())
+			continue
 		}
-		printSpans(s)
-		t, err := doacross.SimulateOptions(s, doacross.SimOptions{Lo: 1, Hi: *n, Window: *window})
-		if err != nil {
-			fail(err)
+		mr := lr.Machines[0]
+		for _, s := range []*doacross.Schedule{mr.List, mr.Sync} {
+			if err := s.Validate(); err != nil {
+				fail(fmt.Errorf("%s schedule invalid: %w", s.Method, err))
+			}
+			fmt.Printf("\n== %s schedule (%s, %d rows) ==\n", s.Method, m.Name, s.Length())
+			fmt.Print(s.String())
+			if *gantt {
+				fmt.Println()
+				fmt.Print(s.Gantt())
+			}
+			printSpans(s)
+			fmt.Printf("register pressure (max live temps): %d\n", s.MaxLive())
 		}
-		fmt.Printf("register pressure (max live temps): %d\n", s.MaxLive())
-		fmt.Printf("parallel execution time (n=%d): %d cycles, %d stall cycles\n",
-			*n, t.Total, t.StallCycles)
+		fmt.Printf("\nlist: %d cycles (%d stall), sync: %d cycles (%d stall) at n=%d\n",
+			mr.ListTime, mr.ListStalls, mr.SyncTime, mr.SyncStalls, lr.N)
+		fmt.Printf("improvement: %.2f%%\n", mr.Improvement)
 	}
-	lt, err := doacross.SimulateOptions(list, doacross.SimOptions{Lo: 1, Hi: *n, Window: *window})
-	if err != nil {
-		fail(err)
+	if *stats {
+		fmt.Printf("\nPipeline stats:\n%s", batch.Stats)
 	}
-	st, err := doacross.SimulateOptions(syn, doacross.SimOptions{Lo: 1, Hi: *n, Window: *window})
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("\nimprovement: %.2f%%\n", doacross.Speedup(lt.Total, st.Total))
 }
 
 func printSpans(s *doacross.Schedule) {
@@ -120,7 +132,7 @@ func printSpans(s *doacross.Schedule) {
 }
 
 func readInput(path string) (string, error) {
-	if path == "" || path == "-" {
+	if path == "" {
 		b, err := io.ReadAll(os.Stdin)
 		return string(b), err
 	}

@@ -1,0 +1,84 @@
+package doacross
+
+import (
+	"fmt"
+	"testing"
+
+	"doacross/internal/perfect"
+)
+
+// differentialCorpus generates ~200 random loops by re-seeding the five
+// paper benchmark profiles. Generation is deterministic, so failures are
+// reproducible by name.
+func differentialCorpus(t *testing.T, want int) []perfect.Loop {
+	t.Helper()
+	var out []perfect.Loop
+	for variant := uint64(0); len(out) < want; variant++ {
+		for _, p := range perfect.Profiles() {
+			p.Name = fmt.Sprintf("%s/v%d", p.Name, variant)
+			p.Seed = p.Seed ^ (variant * 0x9E3779B97F4A7C15)
+			s, err := perfect.Generate(p)
+			if err != nil {
+				t.Fatalf("generate %s: %v", p.Name, err)
+			}
+			out = append(out, s.Loops...)
+			if len(out) >= want {
+				break
+			}
+		}
+	}
+	return out[:want]
+}
+
+// TestDifferentialExecution is the differential property test: for ~200
+// generated loops, executing the synchronization-aware schedule with real
+// data must produce exactly the final store of sequential execution, and
+// the analytical Predict bound must never exceed the simulated time (Predict
+// is documented as a lower bound, i.e. the allowed slack is zero).
+func TestDifferentialExecution(t *testing.T) {
+	count := 200
+	if testing.Short() {
+		count = 50
+	}
+	loops := differentialCorpus(t, count)
+	machines := []Machine{NewMachine(4, 1), Machine2Issue(2), UniformMachine(2, 1)}
+	const n = 12
+	for i, gl := range loops {
+		gl := gl
+		name := fmt.Sprintf("%03d-%s", i, gl.Template)
+		t.Run(name, func(t *testing.T) {
+			p, err := CompileLoop(gl.AST)
+			if err != nil {
+				t.Fatalf("compile:\n%s\n%v", gl.Source, err)
+			}
+			m := machines[i%len(machines)]
+			s, err := p.ScheduleSync(m)
+			if err != nil {
+				t.Fatalf("schedule on %s: %v", m.Name, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("invalid schedule: %v", err)
+			}
+
+			// Property 1: parallel execution == sequential execution.
+			seq := p.SeedStore(n, uint64(i)*2654435761+1)
+			par := seq.Clone()
+			if err := p.RunSequential(seq); err != nil {
+				t.Fatalf("sequential run:\n%s\n%v", gl.Source, err)
+			}
+			if _, err := Execute(s, par, SimOptions{Lo: 1, Hi: n}); err != nil {
+				t.Fatalf("parallel execution:\n%s\n%v", gl.Source, err)
+			}
+			if d := seq.Diff(par); d != "" {
+				t.Errorf("parallel store diverges from sequential:\n%s\n%s", gl.Source, d)
+			}
+
+			// Property 2: Predict never exceeds the simulated time.
+			tm := Simulate(s, n)
+			if pred := Predict(s, n); pred > tm.Total {
+				t.Errorf("Predict = %d exceeds simulated total %d at n=%d:\n%s",
+					pred, tm.Total, n, gl.Source)
+			}
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"testing"
+
+	"doacross/internal/core"
+	"doacross/internal/dep"
+	"doacross/internal/dfg"
+	"doacross/internal/dlx"
+	"doacross/internal/lang"
+	"doacross/internal/sim"
+	"doacross/internal/syncop"
+	"doacross/internal/tac"
+)
+
+// compile builds the DFG for a loop source (external-test twin of the
+// package-internal helper).
+func compile(t *testing.T, src string) *dfg.Graph {
+	t.Helper()
+	a := dep.Analyze(lang.MustParse(src))
+	p := tac.MustGenerate(syncop.Insert(a, syncop.Options{}))
+	g, err := dfg.Build(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+var ablationLoops = map[string]string{
+	"fig1": `DO I = 1, N
+S1: B[I] = A[I-2] + E[I+1]
+S2: G[I-3] = A[I-1] * E[I+2]
+S3: A[I] = B[I] + C[I+3]
+ENDDO`,
+	"convertible": `DO I = 1, N
+S1: C[I] = A[I-1] + D[I]
+S2: A[I] = B[I] * 2
+ENDDO`,
+	"forward": `DO I = 1, N
+S1: B[I] = A[I-3] + 1
+S2: E[I] = B[I] * C[I]
+S3: A[I] = E[I] - D[I+2]
+ENDDO`,
+	"reduction": `DO I = 1, N
+S = S + A[I] * B[I]
+ENDDO`,
+}
+
+// TestSyncOptionsAblation flips every SyncOptions knob individually (and all
+// at once): each ablated scheduler must still emit a schedule that passes
+// Validate on every loop/machine combination. The knobs may cost performance
+// — that is their point — but never correctness.
+func TestSyncOptionsAblation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  core.SyncOptions
+	}{
+		{"paper", core.SyncOptions{}},
+		{"no-pair-arcs", core.SyncOptions{NoPairArcs: true}},
+		{"no-lazy-waits", core.SyncOptions{NoLazyWaits: true}},
+		{"no-sp-priority", core.SyncOptions{NoSPPriority: true}},
+		{"ascending-sp", core.SyncOptions{AscendingSP: true}},
+		{"all-ablated", core.SyncOptions{
+			NoPairArcs: true, NoLazyWaits: true, NoSPPriority: true, AscendingSP: true,
+		}},
+	}
+	machines := append(dlx.PaperConfigs(), dlx.Uniform(2, 1))
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for name, src := range ablationLoops {
+				g := compile(t, src)
+				for _, cfg := range machines {
+					s, err := core.SyncWithOptions(g, cfg, tc.opt)
+					if err != nil {
+						t.Fatalf("%s on %s: %v", name, cfg.Name, err)
+					}
+					if err := s.Validate(); err != nil {
+						t.Errorf("%s on %s: invalid schedule: %v", name, cfg.Name, err)
+					}
+					// Every ablation must still simulate to completion.
+					tm := sim.MustTime(s, sim.Options{Lo: 1, Hi: 25})
+					if tm.Total <= 0 {
+						t.Errorf("%s on %s: nonpositive simulated time %d", name, cfg.Name, tm.Total)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBestNeverWorseThanBaselines: Best must never simulate slower than
+// either list-scheduling baseline — the paper's "never degrades the system
+// performance" claim, checked by simulation rather than the analytic model.
+func TestBestNeverWorseThanBaselines(t *testing.T) {
+	const n = 100
+	for name, src := range ablationLoops {
+		g := compile(t, src)
+		for _, cfg := range dlx.PaperConfigs() {
+			best, err := core.Best(g, cfg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, cfg.Name, err)
+			}
+			bestT := sim.MustTime(best, sim.Options{Lo: 1, Hi: n}).Total
+			for _, pri := range []core.ListPriority{core.CriticalPath, core.ProgramOrder} {
+				ls, err := core.List(g, cfg, pri)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", name, cfg.Name, err)
+				}
+				if lt := sim.MustTime(ls, sim.Options{Lo: 1, Hi: n}).Total; bestT > lt {
+					t.Errorf("%s on %s: Best %d slower than list(%v) %d",
+						name, cfg.Name, bestT, pri, lt)
+				}
+			}
+		}
+	}
+}

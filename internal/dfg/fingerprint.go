@@ -1,0 +1,83 @@
+package dfg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+
+	"doacross/internal/dlx"
+)
+
+// Fingerprint is a content hash identifying a scheduling problem. Two graphs
+// with equal fingerprints are interchangeable for scheduling and execution:
+// their instruction sequences render identically (same opcodes, operands,
+// arrays, signals and distances), run on the same function-unit classes, and
+// carry the same dependence arcs. The batch pipeline's schedule cache is
+// keyed by ConfigKey, which extends the graph fingerprint with the machine
+// configuration and scheduler options.
+type Fingerprint [sha256.Size]byte
+
+// String renders a short hex prefix for logs and reports.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:8]) }
+
+func writeIntTo(h hash.Hash, buf *[8]byte, v int) {
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+// Fingerprint hashes the graph's content: every instruction's rendering and
+// unit class, and every arc with its kind. Node numbering is positional, so
+// isomorphic-but-reordered bodies hash differently; the cache trades those
+// rare misses for exactness (a hit is never a false positive short of a
+// SHA-256 collision).
+func (g *Graph) Fingerprint() Fingerprint {
+	h := sha256.New()
+	var buf [8]byte
+	writeIntTo(h, &buf, g.N())
+	for _, in := range g.Prog.Instrs {
+		// The rendering covers opcode, operands, arrays, signals and
+		// distances; the class disambiguates integer- vs float-typed
+		// arithmetic, which renders identically but schedules differently.
+		fmt.Fprintf(h, "%s|%d\n", in, int(in.Class()))
+	}
+	writeIntTo(h, &buf, len(g.Arcs))
+	for _, a := range g.Arcs {
+		writeIntTo(h, &buf, a.From)
+		writeIntTo(h, &buf, a.To)
+		writeIntTo(h, &buf, int(a.Kind))
+	}
+	var out Fingerprint
+	h.Sum(out[:0])
+	return out
+}
+
+// ConfigKey combines the graph fingerprint with a machine configuration and
+// free-form salt strings (scheduler options, trip counts) into one cache
+// key. The machine's Name is deliberately excluded: identically shaped
+// machines share schedules regardless of label.
+func ConfigKey(g *Graph, cfg dlx.Config, salt ...string) Fingerprint {
+	return KeyFrom(g.Fingerprint(), cfg, salt...)
+}
+
+// KeyFrom derives a ConfigKey from an already computed graph fingerprint,
+// letting callers hash the graph once per loop and cheaply re-key it for
+// every machine configuration.
+func KeyFrom(base Fingerprint, cfg dlx.Config, salt ...string) Fingerprint {
+	h := sha256.New()
+	h.Write(base[:])
+	var buf [8]byte
+	writeIntTo(h, &buf, cfg.Issue)
+	for c := 0; c < int(dlx.NumClasses); c++ {
+		writeIntTo(h, &buf, cfg.Units[c])
+		writeIntTo(h, &buf, cfg.Latency[c])
+	}
+	for _, s := range salt {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	var out Fingerprint
+	h.Sum(out[:0])
+	return out
+}

@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"sync"
+
+	"doacross/internal/dfg"
+)
+
+// cacheShards is the shard count; keys are SHA-256 outputs, so the first
+// byte distributes uniformly.
+const cacheShards = 32
+
+// Cache is a sharded, content-addressed schedule cache. Keys are
+// dfg.ConfigKey fingerprints: a key determines the full scheduling problem
+// (graph content + machine configuration + scheduler options), so two
+// computations that produce a value for the same key produce interchangeable
+// values. The cache exploits that with first-writer-wins semantics: once a
+// key is bound, later Puts return the existing value instead of replacing
+// it, so every reader of a key observes one immutable value regardless of
+// worker interleaving. A Cache may be shared across batches (and across
+// goroutines); the zero value is NOT ready — use NewCache.
+type Cache struct {
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[dfg.Fingerprint]any
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[dfg.Fingerprint]any)
+	}
+	return c
+}
+
+func (c *Cache) shard(k dfg.Fingerprint) *cacheShard {
+	return &c.shards[int(k[0])%cacheShards]
+}
+
+// Get returns the value bound to k, if any.
+func (c *Cache) Get(k dfg.Fingerprint) (any, bool) {
+	s := c.shard(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Put binds k to v unless k is already bound, returning the bound value and
+// whether it was already present (compare-and-swap publication: the first
+// writer wins, later writers adopt the winner's value).
+func (c *Cache) Put(k dfg.Fingerprint, v any) (any, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.m[k]; ok {
+		return old, true
+	}
+	s.m[k] = v
+	return v, false
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

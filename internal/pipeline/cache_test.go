@@ -1,0 +1,150 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"doacross/internal/dep"
+	"doacross/internal/dfg"
+	"doacross/internal/dlx"
+	"doacross/internal/lang"
+	"doacross/internal/syncop"
+	"doacross/internal/tac"
+)
+
+func buildGraph(t testing.TB, src string) *dfg.Graph {
+	t.Helper()
+	a := dep.Analyze(lang.MustParse(src))
+	p, err := tac.Generate(syncop.Insert(a, syncop.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dfg.Build(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCacheFirstWriterWins(t *testing.T) {
+	c := NewCache()
+	k := buildGraph(t, fig1).Fingerprint()
+	v1, loaded := c.Put(k, "first")
+	if loaded || v1 != "first" {
+		t.Fatalf("first Put = %v, %v", v1, loaded)
+	}
+	v2, loaded := c.Put(k, "second")
+	if !loaded || v2 != "first" {
+		t.Fatalf("second Put = %v, %v; want first writer's value", v2, loaded)
+	}
+	got, ok := c.Get(k)
+	if !ok || got != "first" {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestCacheConcurrentOneFingerprint is the satellite race test: many
+// goroutines Get and Put one fingerprint concurrently. Under -race this
+// checks the publication discipline; the assertion checks that exactly one
+// value ever becomes visible.
+func TestCacheConcurrentOneFingerprint(t *testing.T) {
+	c := NewCache()
+	k := buildGraph(t, fig1).Fingerprint()
+	const goroutines = 32
+	const rounds = 200
+	var wg sync.WaitGroup
+	values := make([]any, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mine := fmt.Sprintf("value-%d", g)
+			var last any
+			for r := 0; r < rounds; r++ {
+				if v, ok := c.Get(k); ok {
+					last = v
+				}
+				v, _ := c.Put(k, mine)
+				last = v
+			}
+			values[g] = last
+		}(g)
+	}
+	wg.Wait()
+	want, ok := c.Get(k)
+	if !ok {
+		t.Fatal("key vanished")
+	}
+	for g, v := range values {
+		if v != want {
+			t.Errorf("goroutine %d observed %v, cache holds %v", g, v, want)
+		}
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheConcurrentManyKeys(t *testing.T) {
+	c := NewCache()
+	keys := make([]dfg.Fingerprint, 64)
+	for i := range keys {
+		keys[i] = buildGraph(t, fmt.Sprintf("DO I = 1, N\nA[I] = A[I-1] + %d\nENDDO", i)).Fingerprint()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, k := range keys {
+				c.Put(k, i)
+				if v, ok := c.Get(k); !ok || v.(int) != i {
+					t.Errorf("key %d: got %v, %v", i, v, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != len(keys) {
+		t.Errorf("Len = %d, want %d", c.Len(), len(keys))
+	}
+}
+
+func TestFingerprintProperties(t *testing.T) {
+	g1 := buildGraph(t, fig1)
+	g2 := buildGraph(t, fig1)
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Error("identical sources fingerprint differently")
+	}
+	g3 := buildGraph(t, "DO I = 1, N\nA[I] = A[I-1] + 1\nENDDO")
+	if g1.Fingerprint() == g3.Fingerprint() {
+		t.Error("different loops share a fingerprint")
+	}
+	// Machine shape matters, its name does not.
+	a := dlx.Standard(4, 1)
+	b := dlx.Standard(4, 1)
+	b.Name = "renamed"
+	if dfg.ConfigKey(g1, a) != dfg.ConfigKey(g1, b) {
+		t.Error("machine name leaked into the cache key")
+	}
+	if dfg.ConfigKey(g1, a) == dfg.ConfigKey(g1, dlx.Standard(2, 1)) {
+		t.Error("issue width ignored by the cache key")
+	}
+	if dfg.ConfigKey(g1, a) == dfg.ConfigKey(g1, dlx.Uniform(4, 1)) {
+		t.Error("latencies ignored by the cache key")
+	}
+	if dfg.ConfigKey(g1, a, "x") == dfg.ConfigKey(g1, a, "y") {
+		t.Error("salt ignored by the cache key")
+	}
+	if dfg.ConfigKey(g1, a, "xy") == dfg.ConfigKey(g1, a, "x", "y") {
+		t.Error("salt concatenation ambiguous")
+	}
+	if dfg.KeyFrom(g1.Fingerprint(), a, "s") != dfg.ConfigKey(g1, a, "s") {
+		t.Error("KeyFrom diverges from ConfigKey")
+	}
+}

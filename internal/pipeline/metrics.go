@@ -1,0 +1,215 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one pipeline stage for metrics.
+type Stage int
+
+// Pipeline stages.
+const (
+	// StageCompile covers parse → dependence analysis → synchronization
+	// insertion → code generation → graph construction.
+	StageCompile Stage = iota
+	// StageSchedule covers building the list/sync/best schedules.
+	StageSchedule
+	// StageSimulate covers timing the schedules.
+	StageSimulate
+	numStages
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageCompile:
+		return "compile"
+	case StageSchedule:
+		return "schedule"
+	case StageSimulate:
+		return "simulate"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// Latency bucket upper bounds; the final bucket is unbounded.
+var bucketBounds = [...]time.Duration{
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// numBuckets is len(bucketBounds) plus the overflow bucket.
+const numBuckets = len(bucketBounds) + 1
+
+// bucketLabel names bucket i for reports.
+func bucketLabel(i int) string {
+	if i < len(bucketBounds) {
+		return "<" + bucketBounds[i].String()
+	}
+	return ">=" + bucketBounds[len(bucketBounds)-1].String()
+}
+
+// stageMetrics is the hot-path side of one stage: atomic counters only, safe
+// for concurrent workers without locks.
+type stageMetrics struct {
+	count   atomic.Int64
+	errs    atomic.Int64
+	totalNS atomic.Int64
+	maxNS   atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// Metrics is the embedded metrics registry of a pipeline: per-stage counts,
+// error counts and latency buckets, plus cache hit/miss counters. All
+// methods are safe for concurrent use; the zero value is ready to use.
+type Metrics struct {
+	stages       [numStages]stageMetrics
+	hits, misses atomic.Int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Observe records one completed stage execution.
+func (m *Metrics) Observe(st Stage, d time.Duration) {
+	s := &m.stages[st]
+	s.count.Add(1)
+	ns := d.Nanoseconds()
+	s.totalNS.Add(ns)
+	for {
+		old := s.maxNS.Load()
+		if ns <= old || s.maxNS.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	b := len(bucketBounds)
+	for i, bound := range bucketBounds {
+		if d < bound {
+			b = i
+			break
+		}
+	}
+	s.buckets[b].Add(1)
+}
+
+// Error records a failed stage execution.
+func (m *Metrics) Error(st Stage) { m.stages[st].errs.Add(1) }
+
+// CacheHit records a schedule-cache hit.
+func (m *Metrics) CacheHit() { m.hits.Add(1) }
+
+// CacheMiss records a schedule-cache miss.
+func (m *Metrics) CacheMiss() { m.misses.Add(1) }
+
+// timed runs f, records its latency under st, and counts an error if f
+// reports one.
+func (m *Metrics) timed(st Stage, f func() error) error {
+	start := time.Now()
+	err := f()
+	m.Observe(st, time.Since(start))
+	if err != nil {
+		m.Error(st)
+	}
+	return err
+}
+
+// StageStats is a point-in-time snapshot of one stage.
+type StageStats struct {
+	Stage  string
+	Count  int64
+	Errors int64
+	Total  time.Duration
+	Max    time.Duration
+	// Buckets[i] counts executions with latency below bucketBounds[i]
+	// (the last bucket is the overflow).
+	Buckets [numBuckets]int64
+}
+
+// Mean returns the average latency, 0 when nothing ran.
+func (s StageStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Stats is a consistent-enough snapshot of a Metrics registry (each counter
+// is read atomically; the set is not a transaction, which is fine for
+// monitoring).
+type Stats struct {
+	Stages                 [numStages]StageStats
+	CacheHits, CacheMisses int64
+}
+
+// Stats snapshots the registry.
+func (m *Metrics) Stats() Stats {
+	var out Stats
+	for i := Stage(0); i < numStages; i++ {
+		s := &m.stages[i]
+		ss := StageStats{
+			Stage:  i.String(),
+			Count:  s.count.Load(),
+			Errors: s.errs.Load(),
+			Total:  time.Duration(s.totalNS.Load()),
+			Max:    time.Duration(s.maxNS.Load()),
+		}
+		for b := 0; b < numBuckets; b++ {
+			ss.Buckets[b] = s.buckets[b].Load()
+		}
+		out.Stages[i] = ss
+	}
+	out.CacheHits = m.hits.Load()
+	out.CacheMisses = m.misses.Load()
+	return out
+}
+
+// HitRate returns the cache hit fraction in [0, 1], 0 when the cache was
+// never consulted.
+func (s Stats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Stage returns the snapshot of the named stage, or a zero snapshot.
+func (s Stats) Stage(name string) StageStats {
+	for _, st := range s.Stages {
+		if st.Stage == name {
+			return st
+		}
+	}
+	return StageStats{}
+}
+
+// String renders a monitoring report.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cache: %d hits, %d misses (%.1f%% hit rate)\n",
+		s.CacheHits, s.CacheMisses, 100*s.HitRate())
+	for _, st := range s.Stages {
+		fmt.Fprintf(&sb, "%-9s %6d runs, %3d errors, mean %9v, max %9v, total %9v\n",
+			st.Stage, st.Count, st.Errors, st.Mean().Round(time.Microsecond),
+			st.Max.Round(time.Microsecond), st.Total.Round(time.Microsecond))
+		if st.Count == 0 {
+			continue
+		}
+		sb.WriteString("          latency:")
+		for b := 0; b < numBuckets; b++ {
+			if st.Buckets[b] == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, " %s=%d", bucketLabel(b), st.Buckets[b])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,407 @@
+// Package pipeline is the batch scheduling service over many DOACROSS
+// loops: it fans compile → schedule (list/sync/best) → simulate out across a
+// worker pool, deduplicates repeated scheduling problems through a sharded
+// content-addressed schedule cache (key = DFG fingerprint + machine
+// configuration + scheduler options, built in internal/dfg), and records
+// per-stage latency and cache traffic in an embedded metrics registry.
+//
+// Results are returned in request order and are independent of the worker
+// count: every per-loop computation is a pure function of the loop source
+// and the options, and cached values are bound first-writer-wins, so a batch
+// run with 1 worker and with 8 workers yields identical numbers.
+package pipeline
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"doacross/internal/core"
+	"doacross/internal/dep"
+	"doacross/internal/dfg"
+	"doacross/internal/dlx"
+	"doacross/internal/lang"
+	"doacross/internal/model"
+	"doacross/internal/sim"
+	"doacross/internal/syncop"
+	"doacross/internal/tac"
+)
+
+// Request is one loop to schedule. Exactly one of Source and Loop must be
+// set; Loop wins when both are.
+type Request struct {
+	// Name labels the loop in results (defaults to "loop<index>").
+	Name string
+	// Source is unparsed loop source.
+	Source string
+	// Loop is an already parsed loop.
+	Loop *lang.Loop
+	// N overrides Options.N for this request (0 = use the batch default).
+	N int
+}
+
+// Options configures a batch run. The zero value schedules on the paper's
+// 4-issue machine with the program-order list baseline, n=100, GOMAXPROCS
+// workers, no cache and a private metrics registry.
+type Options struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Machines are the configurations to schedule each loop on; empty means
+	// the paper's 4-issue(#FU=1) machine.
+	Machines []dlx.Config
+	// N is the default trip count for simulation (0 = 100, the paper's).
+	N int
+	// Window is the signal hardware window passed to the simulator
+	// (0 = unbounded).
+	Window int
+	// Baseline selects the list-scheduling priority.
+	Baseline core.ListPriority
+	// Sync holds the ablation knobs of the synchronization-aware scheduler.
+	Sync core.SyncOptions
+	// Best additionally builds the never-degrades Best schedule.
+	Best bool
+	// Cache, when non-nil, memoizes all three stages across loops and
+	// batches: compilations by source text, schedules by DFG fingerprint +
+	// machine + scheduler options, and timings additionally by trip count
+	// and window. Sweeping trip counts or machines over a fixed corpus
+	// recompiles and reschedules nothing.
+	Cache *Cache
+	// Metrics, when non-nil, receives this batch's counters (pass one
+	// registry to several batches to aggregate). Otherwise a private
+	// registry is used and returned in Batch.Stats.
+	Metrics *Metrics
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) n() int {
+	if o.N > 0 {
+		return o.N
+	}
+	return 100
+}
+
+func (o Options) machines() []dlx.Config {
+	if len(o.Machines) > 0 {
+		return o.Machines
+	}
+	return []dlx.Config{dlx.Standard(4, 1)}
+}
+
+// salt renders the scheduling-relevant options into the cache-key salt.
+func (o Options) salt() string {
+	return fmt.Sprintf("base=%d sync=%v/%v/%v/%v best=%v", int(o.Baseline),
+		o.Sync.NoPairArcs, o.Sync.NoLazyWaits, o.Sync.NoSPPriority, o.Sync.AscendingSP, o.Best)
+}
+
+// MachineResult is one loop's outcome on one machine configuration.
+type MachineResult struct {
+	// Machine is the configuration name.
+	Machine string
+	// Key is the schedule-cache key of this scheduling problem.
+	Key dfg.Fingerprint
+	// List and Sync are the baseline and synchronization-aware schedules;
+	// Best is the never-degrades pick (nil unless Options.Best).
+	List, Sync, Best *core.Schedule
+	// ListTime, SyncTime and BestTime are simulated parallel execution
+	// times for the loop's trip count.
+	ListTime, SyncTime, BestTime int
+	// ListStalls and SyncStalls are the simulators' stall-cycle counts.
+	ListStalls, SyncStalls int
+	// ListLBD and SyncLBD count synchronization pairs left lexically
+	// backward by each schedule.
+	ListLBD, SyncLBD int
+	// Improvement is the paper's Table 3 percentage, list vs sync.
+	Improvement float64
+	// CacheHit reports whether the schedules came from the cache.
+	CacheHit bool
+}
+
+// LoopResult is one request's outcome.
+type LoopResult struct {
+	// Index is the request's position in the batch.
+	Index int
+	// Name labels the loop.
+	Name string
+	// Err is the first stage error; the remaining fields are partial when
+	// it is non-nil.
+	Err error
+	// N is the trip count the loop was simulated with.
+	N int
+	// Compiled pipeline artifacts.
+	Loop     *lang.Loop
+	Analysis *dep.Analysis
+	SyncLoop *syncop.Loop
+	Prog     *tac.Program
+	Graph    *dfg.Graph
+	// Machines holds one result per Options.Machines entry, in order.
+	Machines []MachineResult
+}
+
+// DoacrossSource renders the synchronized loop.
+func (r *LoopResult) DoacrossSource() string { return r.SyncLoop.String() }
+
+// Listing renders the compiled three-address code.
+func (r *LoopResult) Listing() string { return tac.Listing(r.Prog.Instrs) }
+
+// GraphInfo summarizes the data-flow graph partition.
+func (r *LoopResult) GraphInfo() string { return r.Graph.SyncInfo() }
+
+// Batch is the result of one pipeline run.
+type Batch struct {
+	// Loops holds per-request results in request order.
+	Loops []LoopResult
+	// Stats is the metrics snapshot taken when the batch finished. With a
+	// shared Options.Metrics it includes earlier batches' counts.
+	Stats Stats
+}
+
+// FirstErr returns the first per-loop error, if any.
+func (b *Batch) FirstErr() error {
+	for i := range b.Loops {
+		if err := b.Loops[i].Err; err != nil {
+			return fmt.Errorf("%s: %w", b.Loops[i].Name, err)
+		}
+	}
+	return nil
+}
+
+// compileEntry is the cached product of StageCompile for one source text.
+type compileEntry struct {
+	loop     *lang.Loop
+	analysis *dep.Analysis
+	syncLoop *syncop.Loop
+	prog     *tac.Program
+	graph    *dfg.Graph
+}
+
+// sourceKey addresses the compile memo: a hash of the loop's source text in
+// a key space disjoint from ConfigKey (distinct prefix).
+func sourceKey(src string) dfg.Fingerprint {
+	return dfg.Fingerprint(sha256.Sum256([]byte("compile\x00" + src)))
+}
+
+// schedEntry is the cached product of StageSchedule for one ConfigKey.
+type schedEntry struct {
+	list, sync, best *core.Schedule
+}
+
+// timeEntry is the cached product of StageSimulate for one ConfigKey+n.
+type timeEntry struct {
+	listTime, syncTime, bestTime int
+	listStalls, syncStalls       int
+	listLBD, syncLBD             int
+}
+
+// Run schedules every request and returns per-loop results plus aggregate
+// stats. Per-loop failures land in LoopResult.Err (see Batch.FirstErr); Run
+// itself only fails on unusable options.
+func Run(reqs []Request, opt Options) (*Batch, error) {
+	machines := opt.machines()
+	for _, m := range machines {
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+	}
+	metrics := opt.Metrics
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+	batch := &Batch{Loops: make([]LoopResult, len(reqs))}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := opt.workers()
+	if workers > len(reqs) && len(reqs) > 0 {
+		workers = len(reqs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				batch.Loops[i] = runOne(i, reqs[i], machines, opt, metrics)
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	batch.Stats = metrics.Stats()
+	return batch, nil
+}
+
+// runOne pushes one request through compile → schedule → simulate.
+func runOne(idx int, req Request, machines []dlx.Config, opt Options, metrics *Metrics) LoopResult {
+	res := LoopResult{Index: idx, Name: req.Name, N: req.N}
+	if res.Name == "" {
+		res.Name = fmt.Sprintf("loop%d", idx)
+	}
+	if res.N == 0 {
+		res.N = opt.n()
+	}
+
+	// Compile, through the content-addressed memo when a cache is attached:
+	// identical source text (or identically rendering parsed loops) shares
+	// one immutable compilation.
+	var srcKey dfg.Fingerprint
+	var compiled *compileEntry
+	if req.Loop == nil && req.Source == "" {
+		res.Err = fmt.Errorf("request has neither Source nor Loop")
+		metrics.Error(StageCompile)
+		return res
+	}
+	if opt.Cache != nil {
+		src := req.Source
+		if req.Loop != nil {
+			src = req.Loop.String()
+		}
+		srcKey = sourceKey(src)
+		if v, ok := opt.Cache.Get(srcKey); ok {
+			compiled = v.(*compileEntry)
+			metrics.CacheHit()
+		} else {
+			metrics.CacheMiss()
+		}
+	}
+	if compiled == nil {
+		e := &compileEntry{}
+		res.Err = metrics.timed(StageCompile, func() error {
+			e.loop = req.Loop
+			if e.loop == nil {
+				var err error
+				if e.loop, err = lang.Parse(req.Source); err != nil {
+					return err
+				}
+			}
+			e.analysis = dep.Analyze(e.loop)
+			e.syncLoop = syncop.Insert(e.analysis, syncop.Options{})
+			prog, err := tac.Generate(e.syncLoop)
+			if err != nil {
+				return err
+			}
+			e.prog = prog
+			e.graph, err = dfg.Build(prog, e.analysis)
+			return err
+		})
+		if res.Err != nil {
+			return res
+		}
+		compiled = e
+		if opt.Cache != nil {
+			v, _ := opt.Cache.Put(srcKey, compiled)
+			compiled = v.(*compileEntry)
+		}
+	}
+	res.Loop = compiled.loop
+	res.Analysis = compiled.analysis
+	res.SyncLoop = compiled.syncLoop
+	res.Prog = compiled.prog
+	res.Graph = compiled.graph
+
+	fp := res.Graph.Fingerprint()
+	salt := opt.salt()
+	res.Machines = make([]MachineResult, len(machines))
+	for k, cfg := range machines {
+		mr := &res.Machines[k]
+		mr.Machine = cfg.Name
+		mr.Key = dfg.KeyFrom(fp, cfg, "sched", salt)
+
+		// Schedule, through the cache when one is attached.
+		var entry *schedEntry
+		if opt.Cache != nil {
+			if v, ok := opt.Cache.Get(mr.Key); ok {
+				entry = v.(*schedEntry)
+				mr.CacheHit = true
+				metrics.CacheHit()
+			}
+		}
+		if entry == nil {
+			if opt.Cache != nil {
+				metrics.CacheMiss()
+			}
+			e := &schedEntry{}
+			res.Err = metrics.timed(StageSchedule, func() error {
+				var err error
+				if e.list, err = core.List(res.Graph, cfg, opt.Baseline); err != nil {
+					return err
+				}
+				if e.sync, err = core.SyncWithOptions(res.Graph, cfg, opt.Sync); err != nil {
+					return err
+				}
+				if opt.Best {
+					if e.best, err = core.Best(res.Graph, cfg); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if res.Err != nil {
+				return res
+			}
+			entry = e
+			if opt.Cache != nil {
+				v, _ := opt.Cache.Put(mr.Key, entry)
+				entry = v.(*schedEntry)
+			}
+		}
+		mr.List, mr.Sync, mr.Best = entry.list, entry.sync, entry.best
+
+		// Simulate; timings additionally key on trip count and window.
+		var times *timeEntry
+		timeKey := dfg.KeyFrom(fp, cfg, "time", salt, fmt.Sprintf("n=%d w=%d", res.N, opt.Window))
+		if opt.Cache != nil {
+			if v, ok := opt.Cache.Get(timeKey); ok {
+				times = v.(*timeEntry)
+				metrics.CacheHit()
+			} else {
+				metrics.CacheMiss()
+			}
+		}
+		if times == nil {
+			te := &timeEntry{}
+			res.Err = metrics.timed(StageSimulate, func() error {
+				simOpt := sim.Options{Lo: 1, Hi: res.N, Window: opt.Window}
+				lt, err := sim.Time(entry.list, simOpt)
+				if err != nil {
+					return err
+				}
+				st, err := sim.Time(entry.sync, simOpt)
+				if err != nil {
+					return err
+				}
+				te.listTime, te.listStalls = lt.Total, lt.StallCycles
+				te.syncTime, te.syncStalls = st.Total, st.StallCycles
+				te.listLBD, te.syncLBD = entry.list.NumLBD(), entry.sync.NumLBD()
+				if entry.best != nil {
+					bt, err := sim.Time(entry.best, simOpt)
+					if err != nil {
+						return err
+					}
+					te.bestTime = bt.Total
+				}
+				return nil
+			})
+			if res.Err != nil {
+				return res
+			}
+			times = te
+			if opt.Cache != nil {
+				v, _ := opt.Cache.Put(timeKey, times)
+				times = v.(*timeEntry)
+			}
+		}
+		mr.ListTime, mr.SyncTime, mr.BestTime = times.listTime, times.syncTime, times.bestTime
+		mr.ListStalls, mr.SyncStalls = times.listStalls, times.syncStalls
+		mr.ListLBD, mr.SyncLBD = times.listLBD, times.syncLBD
+		mr.Improvement = model.Speedup(times.listTime, times.syncTime)
+	}
+	return res
+}

@@ -15,7 +15,7 @@ import (
 	"doacross/internal/dlx"
 	"doacross/internal/model"
 	"doacross/internal/perfect"
-	"doacross/internal/sim"
+	"doacross/internal/pipeline"
 	"doacross/internal/syncop"
 	"doacross/internal/tac"
 )
@@ -113,50 +113,80 @@ func Run() (*Result, error) {
 
 // RunOn produces the tables for the given suites, using the given list-
 // scheduling priority as the paper's "traditional list scheduling" baseline.
+// It runs the batch pipeline with a single worker and no cache, so it is
+// bit-identical to (and a thin wrapper over) RunParallel.
 func RunOn(suites []*perfect.Suite, baseline core.ListPriority) (*Result, error) {
+	return RunParallel(suites, baseline, 1, nil, nil)
+}
+
+// RunParallel produces the tables by fanning every (loop, configuration)
+// scheduling problem out over the batch pipeline with the given worker
+// count. An optional shared cache skips rescheduling repeated loop shapes
+// (the generated suites contain many); an optional shared metrics registry
+// aggregates stage latencies and cache traffic across calls (pass nil for a
+// private one — the numbers still reach the caller via pipeline stats when
+// a registry is supplied).
+func RunParallel(suites []*perfect.Suite, baseline core.ListPriority, workers int, cache *pipeline.Cache, metrics *pipeline.Metrics) (*Result, error) {
 	res := &Result{Suites: suites}
 	configs := dlx.PaperConfigs()
-	for _, s := range suites {
+
+	// One request per DOACROSS loop; each loop is scheduled on all four
+	// configurations by the pipeline. Requests carry the suite's trip count.
+	type ref struct {
+		suite int
+		index int
+		tpl   perfect.Template
+	}
+	var reqs []pipeline.Request
+	var refs []ref
+	for si, s := range suites {
+		for li, l := range s.Doacross() {
+			reqs = append(reqs, pipeline.Request{
+				Name: fmt.Sprintf("%s loop %d", s.Profile.Name, li),
+				Loop: l.AST,
+				N:    s.Profile.N,
+			})
+			refs = append(refs, ref{suite: si, index: li, tpl: l.Template})
+		}
+	}
+	batch, err := pipeline.Run(reqs, pipeline.Options{
+		Workers:  workers,
+		Machines: configs,
+		Baseline: baseline,
+		Cache:    cache,
+		Metrics:  metrics,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tables: %w", err)
+	}
+	if err := batch.FirstErr(); err != nil {
+		return nil, fmt.Errorf("tables: %w", err)
+	}
+
+	rows := make([]Row2, len(suites))
+	for i, lr := range batch.Loops {
+		r := refs[i]
+		row := &rows[r.suite]
+		for k, mr := range lr.Machines {
+			row.Ta[k] += mr.ListTime
+			row.Tb[k] += mr.SyncTime
+			res.Loops = append(res.Loops, LoopResult{
+				Suite: suites[r.suite].Profile.Name, Index: r.index, Template: r.tpl,
+				Config: mr.Machine, Ta: mr.ListTime, Tb: mr.SyncTime,
+				LBDa: mr.ListLBD, LBDb: mr.SyncLBD,
+				LenA: mr.List.Length(), LenB: mr.Sync.Length(),
+				LiveA: mr.List.MaxLive(), LiveB: mr.Sync.MaxLive(),
+			})
+		}
+	}
+	for si, s := range suites {
 		ch, err := s.Characteristics()
 		if err != nil {
 			return nil, err
 		}
 		res.Table1 = append(res.Table1, ch)
-		row := Row2{Name: s.Profile.Name}
-		for li, l := range s.Doacross() {
-			cl, err := compileLoop(l)
-			if err != nil {
-				return nil, fmt.Errorf("tables: %s loop %d: %w", s.Profile.Name, li, err)
-			}
-			for k, cfg := range configs {
-				list, err := core.List(cl.g, cfg, baseline)
-				if err != nil {
-					return nil, err
-				}
-				syn, err := core.Sync(cl.g, cfg)
-				if err != nil {
-					return nil, err
-				}
-				opt := sim.Options{Lo: 1, Hi: s.Profile.N}
-				ta, err := sim.Time(list, opt)
-				if err != nil {
-					return nil, err
-				}
-				tb, err := sim.Time(syn, opt)
-				if err != nil {
-					return nil, err
-				}
-				row.Ta[k] += ta.Total
-				row.Tb[k] += tb.Total
-				res.Loops = append(res.Loops, LoopResult{
-					Suite: s.Profile.Name, Index: li, Template: l.Template,
-					Config: cfg.Name, Ta: ta.Total, Tb: tb.Total,
-					LBDa: list.NumLBD(), LBDb: syn.NumLBD(),
-					LenA: list.Length(), LenB: syn.Length(),
-					LiveA: list.MaxLive(), LiveB: syn.MaxLive(),
-				})
-			}
-		}
+		row := rows[si]
+		row.Name = s.Profile.Name
 		res.Table2 = append(res.Table2, row)
 		r3 := Row3{Name: s.Profile.Name}
 		for k := range configs {
