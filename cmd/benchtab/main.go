@@ -8,6 +8,8 @@
 //	benchtab -baseline order # program-order baseline instead of critical path
 //	benchtab -loops          # per-loop drill-down
 //	benchtab -j 8 -stats     # 8 pipeline workers + cache/latency report
+//	benchtab -trace          # per-pass compile timings from the metrics registry
+//	benchtab -dump codegen   # render a pass artifact for each suite's first loop
 //
 // The tables are produced by the internal/pipeline batch scheduler: every
 // (loop, configuration) problem fans out over -j workers and repeated loop
@@ -18,9 +20,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"doacross/internal/core"
 	"doacross/internal/dlx"
+	"doacross/internal/passes"
 	"doacross/internal/perfect"
 	"doacross/internal/pipeline"
 	"doacross/internal/tables"
@@ -37,6 +41,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text or csv")
 	jobs := flag.Int("j", 0, "pipeline workers (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print pipeline cache and stage-latency stats")
+	trace := flag.Bool("trace", false, "print per-pass compile timings from the pipeline metrics registry")
+	dump := flag.String("dump", "", "comma-separated pass names whose artifacts to print for each suite's first loop ('all' for every pass)")
 	flag.Parse()
 
 	pri := core.CriticalPath
@@ -52,6 +58,27 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
+	}
+	if *dump != "" {
+		opts := passes.Options{Dump: strings.Split(*dump, ",")}
+		for _, s := range suites {
+			loops := s.Doacross()
+			if len(loops) == 0 {
+				continue
+			}
+			ctx, err := passes.CompileLoop(loops[0].AST, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("======== %s loop 0 ========\n", s.Profile.Name)
+			for _, tm := range ctx.Trace.Timings {
+				if a, ok := ctx.Trace.Artifact(tm.Pass); ok {
+					fmt.Printf("== dump: %s ==\n%s\n", tm.Pass, strings.TrimRight(a, "\n"))
+				}
+			}
+		}
+		return
 	}
 	if *migration {
 		for _, p := range []core.ListPriority{core.ProgramOrder, core.CriticalPath} {
@@ -75,6 +102,20 @@ func main() {
 	}
 	if *stats {
 		defer func() { fmt.Printf("\nPipeline stats:\n%s", metrics.Stats()) }()
+	}
+	if *trace {
+		defer func() {
+			st := metrics.Stats()
+			fmt.Printf("\nPer-pass compile timings:\n")
+			for _, s := range st.Stages {
+				if s.Stage == pipeline.StageSchedule || s.Stage == pipeline.StageSimulate {
+					continue
+				}
+				fmt.Printf("%-10s %6d runs, mean %9v, max %9v, total %9v\n",
+					s.Stage, s.Count, s.Mean(), s.Max, s.Total)
+			}
+			fmt.Printf("%-10s %v\n", "compile", st.CompileTime())
+		}()
 	}
 	if *format == "csv" {
 		fmt.Print(r.CSV())

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	schedcmp [-issue 4] [-fu 1] [-uniform] [-n 100] [-baseline cp] [-j 8] [-stats] [file]
+//	schedcmp [-issue 4] [-fu 1] [-uniform] [-n 100] [-baseline cp] [-j 8] [-stats] [-trace] [-dump pass,...] [file]
 //
 // With no file, the loops are read from standard input. Example loop:
 //
@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"doacross"
 )
@@ -41,6 +42,8 @@ func main() {
 	window := flag.Int("window", 0, "signal hardware window (0 = unbounded)")
 	jobs := flag.Int("j", 0, "pipeline workers (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print pipeline cache and stage-latency stats")
+	trace := flag.Bool("trace", false, "print per-pass compile timings from the pipeline metrics registry")
+	dump := flag.String("dump", "", "comma-separated pass names whose artifacts to print (e.g. syncinsert,codegen; 'all' for every pass)")
 	flag.Parse()
 
 	src, err := readInput(flag.Arg(0))
@@ -67,6 +70,10 @@ func main() {
 		fail(fmt.Errorf("unknown baseline %q", *baseline))
 	}
 
+	var dumpPasses []string
+	if *dump != "" {
+		dumpPasses = strings.Split(*dump, ",")
+	}
 	batch, err := doacross.ScheduleAllLoops(file.Loops, doacross.BatchOptions{
 		Workers:  *jobs,
 		Machines: []doacross.Machine{m},
@@ -74,6 +81,7 @@ func main() {
 		Window:   *window,
 		Baseline: pri,
 		Cache:    doacross.NewScheduleCache(),
+		Compile:  doacross.CompileOptions{Dump: dumpPasses},
 	})
 	if err != nil {
 		fail(err)
@@ -93,6 +101,16 @@ func main() {
 		fmt.Print(lr.Listing())
 		fmt.Println("\n== Data-flow graph ==")
 		fmt.Println(lr.GraphInfo())
+		if lr.Trace != nil {
+			for _, tm := range lr.Trace.Timings {
+				if a, ok := lr.Trace.Artifact(tm.Pass); ok {
+					fmt.Printf("== dump: %s ==\n%s\n", tm.Pass, strings.TrimRight(a, "\n"))
+				}
+			}
+			for _, d := range lr.Trace.Diags.Warnings() {
+				fmt.Fprintln(os.Stderr, "schedcmp: warning:", d)
+			}
+		}
 		if *dot {
 			fmt.Print(lr.Graph.DOT())
 			continue
@@ -115,9 +133,27 @@ func main() {
 			mr.ListTime, mr.ListStalls, mr.SyncTime, mr.SyncStalls, lr.N)
 		fmt.Printf("improvement: %.2f%%\n", mr.Improvement)
 	}
+	if *trace {
+		fmt.Printf("\nPer-pass compile timings:\n%s", passTimings(batch.Stats))
+	}
 	if *stats {
 		fmt.Printf("\nPipeline stats:\n%s", batch.Stats)
 	}
+}
+
+// passTimings renders the compilation-pass rows of the pipeline metrics
+// registry (scheduling and simulation stages are left to -stats).
+func passTimings(st doacross.BatchStats) string {
+	var sb strings.Builder
+	for _, s := range st.Stages {
+		if s.Stage == "schedule" || s.Stage == "simulate" {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-10s %6d runs, mean %9v, max %9v, total %9v\n",
+			s.Stage, s.Count, s.Mean(), s.Max, s.Total)
+	}
+	fmt.Fprintf(&sb, "%-10s %v\n", "compile", st.CompileTime())
+	return sb.String()
 }
 
 func printSpans(s *doacross.Schedule) {

@@ -32,15 +32,16 @@ import (
 	"doacross/internal/core"
 	"doacross/internal/dep"
 	"doacross/internal/dfg"
+	"doacross/internal/diag"
 	"doacross/internal/dlx"
 	"doacross/internal/dlxisa"
 	"doacross/internal/lang"
 	"doacross/internal/migrate"
 	"doacross/internal/model"
+	"doacross/internal/passes"
 	"doacross/internal/sim"
 	"doacross/internal/syncop"
 	"doacross/internal/tac"
-	"doacross/internal/unroll"
 )
 
 // Re-exported pipeline types. The implementation lives in internal packages;
@@ -64,6 +65,22 @@ type (
 	Dependence = dep.Dependence
 	// SyncOptions holds ablation knobs for the new scheduler.
 	SyncOptions = core.SyncOptions
+	// CompileOptions selects and configures the compilation passes: the
+	// optional unroll/migrate/if-conversion passes, flow-only
+	// synchronization, artifact dumps, and a pass tracer.
+	CompileOptions = passes.Options
+	// PassTrace records a compilation's per-pass timings, dumped artifacts
+	// and diagnostics.
+	PassTrace = passes.Trace
+	// PassTiming is one pass execution time.
+	PassTiming = passes.Timing
+	// Diagnostic is a structured compile error or warning carrying its
+	// source line:col and statement label.
+	Diagnostic = diag.Diagnostic
+	// Diagnostics is an ordered diagnostic collection.
+	Diagnostics = diag.List
+	// SourcePos is a source position (line, column).
+	SourcePos = diag.Pos
 )
 
 // Machine constructors mirroring the paper's configurations.
@@ -87,7 +104,7 @@ func PaperMachines() []Machine { return dlx.PaperConfigs() }
 
 // Program is a fully analyzed and compiled DOACROSS loop.
 type Program struct {
-	// Loop is the parsed source loop.
+	// Loop is the parsed source loop (after any transforming passes).
 	Loop *Loop
 	// Analysis holds its data dependences.
 	Analysis *dep.Analysis
@@ -97,33 +114,58 @@ type Program struct {
 	Code *tac.Program
 	// Graph is the synchronization-augmented data-flow graph.
 	Graph *dfg.Graph
+	// Trace is the pass manager's record of this compilation: per-pass
+	// timings, the artifacts requested via CompileOptions.Dump, and all
+	// collected diagnostics (e.g. conservative-dependence warnings with
+	// source positions).
+	Trace *PassTrace
+	// Diags are the compile diagnostics (warnings for a successful
+	// compilation).
+	Diags Diagnostics
 }
 
 // Parse parses loop source without compiling it.
 func Parse(src string) (*Loop, error) { return lang.Parse(src) }
 
-// Compile parses and compiles a loop through the whole analysis pipeline.
+// Compile parses and compiles a loop through the default pass pipeline.
 func Compile(src string) (*Program, error) {
-	loop, err := lang.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	return CompileLoop(loop)
+	return CompileWith(src, CompileOptions{})
 }
 
-// CompileLoop compiles an already parsed loop.
+// CompileLoop compiles an already parsed loop through the default pass
+// pipeline.
 func CompileLoop(loop *Loop) (*Program, error) {
-	a := dep.Analyze(loop)
-	sl := syncop.Insert(a, syncop.Options{})
-	code, err := tac.Generate(sl)
+	return CompileLoopWith(loop, CompileOptions{})
+}
+
+// CompileWith parses and compiles a loop through a pass pipeline configured
+// by opt: optional unroll/migrate passes, if-conversion control, flow-only
+// synchronization, and per-pass artifact dumps (Program.Trace).
+func CompileWith(src string, opt CompileOptions) (*Program, error) {
+	ctx, err := passes.Compile(src, opt)
 	if err != nil {
 		return nil, err
 	}
-	g, err := dfg.Build(code, a)
+	return programFrom(ctx), nil
+}
+
+// CompileLoopWith is CompileWith over an already parsed loop. Transforming
+// passes do not modify the input loop; Program.Loop holds the rewritten
+// copy.
+func CompileLoopWith(loop *Loop, opt CompileOptions) (*Program, error) {
+	ctx, err := passes.CompileLoop(loop, opt)
 	if err != nil {
 		return nil, err
 	}
-	return &Program{Loop: loop, Analysis: a, Sync: sl, Code: code, Graph: g}, nil
+	return programFrom(ctx), nil
+}
+
+// programFrom maps a completed compile context onto the facade Program.
+func programFrom(ctx *passes.Context) *Program {
+	return &Program{
+		Loop: ctx.Loop, Analysis: ctx.Analysis, Sync: ctx.Sync,
+		Code: ctx.Code, Graph: ctx.Graph, Trace: ctx.Trace, Diags: ctx.Diags,
+	}
 }
 
 // MustCompile is Compile panicking on error, for tests and examples.
@@ -210,10 +252,13 @@ func (p *Program) SeedStore(n int, seed uint64) *Store {
 }
 
 // marginFor picks a safe subscript margin from the loop's affine offsets.
+// It considers every array reference of each statement — guard condition,
+// LHS and RHS — via the same helper the interpreter uses, so conditional
+// loops cannot index outside the seeded margin.
 func marginFor(l *Loop, n int) int {
 	margin := 8
 	for _, st := range l.Body {
-		for _, r := range append(lang.ArrayRefs(st.LHS), lang.ArrayRefs(st.RHS)...) {
+		for _, r := range lang.StmtArrayRefs(st) {
 			if _, off, ok := lang.AffineIndex(r.Index, l.Var); ok {
 				if off < 0 {
 					off = -off
@@ -247,7 +292,14 @@ type Comparison struct {
 	Improvement float64
 	// ListLBD and SyncLBD count remaining lexically backward pairs.
 	ListLBD, SyncLBD int
-	List, Sync       *Schedule
+	// List and Sync are the two schedules. On the aggregate returned by
+	// CompareFile they are nil (a summed comparison has no single
+	// schedule); the per-loop schedules live in PerLoop.
+	List, Sync *Schedule
+	// PerLoop holds the individual loop comparisons behind an aggregate
+	// built by CompareFile, in source order. Nil on single-loop
+	// comparisons.
+	PerLoop []Comparison
 }
 
 // Compare runs the full experiment for one loop on one machine.
@@ -319,13 +371,15 @@ func CompileFile(src string) ([]*Program, error) {
 
 // CompareFile runs the full list-vs-new experiment over every loop of a
 // source file and returns the summed times (the per-benchmark rows of the
-// paper's Table 2 are exactly this, applied to each extracted suite).
+// paper's Table 2 are exactly this, applied to each extracted suite). The
+// aggregate's List/Sync schedules are nil; the per-loop breakdown — each
+// loop's times, LBD counts and schedules — is attached as PerLoop.
 func CompareFile(src string, m Machine, n int) (Comparison, error) {
 	progs, err := CompileFile(src)
 	if err != nil {
 		return Comparison{}, err
 	}
-	total := Comparison{Machine: m.Name, N: n}
+	total := Comparison{Machine: m.Name, N: n, PerLoop: make([]Comparison, 0, len(progs))}
 	for _, p := range progs {
 		c, err := p.Compare(m, n)
 		if err != nil {
@@ -335,21 +389,22 @@ func CompareFile(src string, m Machine, n int) (Comparison, error) {
 		total.SyncTime += c.SyncTime
 		total.ListLBD += c.ListLBD
 		total.SyncLBD += c.SyncLBD
+		total.PerLoop = append(total.PerLoop, c)
 	}
 	total.Improvement = model.Speedup(total.ListTime, total.SyncTime)
 	return total, nil
 }
 
-// Unroll unrolls the program's loop by factor k and recompiles it. One
-// Send/Wait pair then covers k original iterations, amortizing
-// synchronization overhead. The unrolled loop is equivalent to the original
-// when the trip count divides by k.
+// Unroll unrolls the program's loop by factor k and recompiles it, running
+// the pass pipeline with the unroll pass inserted. One Send/Wait pair then
+// covers k original iterations, amortizing synchronization overhead. The
+// unrolled loop is equivalent to the original when the trip count divides
+// by k.
 func (p *Program) Unroll(k int) (*Program, error) {
-	r, err := unroll.Unroll(p.Loop, k)
-	if err != nil {
-		return nil, err
+	if k < 1 {
+		return nil, fmt.Errorf("unroll: factor %d < 1", k)
 	}
-	return CompileLoop(r.Loop)
+	return CompileLoopWith(p.Loop, CompileOptions{Unroll: k})
 }
 
 // MachineCode is an assembled DLX-like binary of one iteration body.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"doacross/internal/diag"
 	"doacross/internal/lang"
 )
 
@@ -397,6 +398,31 @@ func rhsRefs(loop *lang.Loop, e lang.Expr, si int, pos *int) []Ref {
 		}
 	})
 	return refs
+}
+
+// Diagnostics reports analysis warnings: one per reference pair whose
+// subscripts were not analyzable and therefore forced a conservative
+// distance-1 dependence. Each warning is positioned at the dependence
+// source statement, so `schedcmp -trace` can point at the source line that
+// defeats the distance test.
+func (a *Analysis) Diagnostics() diag.List {
+	var out diag.List
+	seen := map[string]bool{}
+	for _, d := range a.Deps {
+		if !d.Conservative {
+			continue
+		}
+		st := a.Loop.Body[d.Src.Stmt]
+		w := diag.Warningf("dep", st.Pos(),
+			"conservative dependence assumed (subscript pair not analyzable): %s", d).WithStmt(st.Label)
+		key := w.Error()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, w)
+	}
+	return out
 }
 
 // Carried returns the loop-carried dependences (distance > 0).

@@ -1,0 +1,76 @@
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestPos(t *testing.T) {
+	if (Pos{}).IsValid() {
+		t.Error("zero Pos is valid")
+	}
+	p := Pos{Line: 3, Col: 7}
+	if !p.IsValid() {
+		t.Error("Pos{3,7} invalid")
+	}
+	if got := p.String(); got != "line 3 col 7" {
+		t.Errorf("Pos.String() = %q", got)
+	}
+}
+
+func TestErrorFormat(t *testing.T) {
+	d := Errorf("lang", Pos{Line: 2, Col: 5}, "unexpected %q", ",")
+	want := `lang: line 2 col 5: unexpected ","`
+	if d.Error() != want {
+		t.Errorf("Error() = %q, want %q", d.Error(), want)
+	}
+	if d.Severity != Error {
+		t.Error("Errorf did not set Error severity")
+	}
+	// WithStmt threads the statement label into the message.
+	d2 := Errorf("syncop", Pos{Line: 4, Col: 1}, "bad op").WithStmt("S2")
+	if got := d2.Error(); !strings.Contains(got, "statement S2") {
+		t.Errorf("WithStmt missing from %q", got)
+	}
+	// A positionless diagnostic omits the position clause.
+	d3 := Errorf("tac", Pos{}, "boom")
+	if got := d3.Error(); strings.Contains(got, "line") {
+		t.Errorf("zero position rendered: %q", got)
+	}
+}
+
+func TestAs(t *testing.T) {
+	d := Errorf("lang", Pos{Line: 1, Col: 1}, "x")
+	wrapped := fmt.Errorf("outer: %w", d)
+	got, ok := As(wrapped)
+	if !ok || got.Stage != "lang" || got.Pos.Line != 1 {
+		t.Errorf("As(wrapped) = %v, %v", got, ok)
+	}
+	if _, ok := As(errors.New("plain")); ok {
+		t.Error("As matched a plain error")
+	}
+	if _, ok := As(nil); ok {
+		t.Error("As matched nil")
+	}
+}
+
+func TestList(t *testing.T) {
+	var l List
+	l = append(l, Errorf("lang", Pos{Line: 1, Col: 1}, "e1"))
+	l = append(l, Warningf("dep", Pos{Line: 2, Col: 3}, "w1"))
+	l = append(l, Errorf("tac", Pos{Line: 3, Col: 1}, "e2"))
+	if n := len(l.Errors()); n != 2 {
+		t.Errorf("Errors() = %d, want 2", n)
+	}
+	if n := len(l.Warnings()); n != 1 {
+		t.Errorf("Warnings() = %d, want 1", n)
+	}
+	s := l.String()
+	for _, want := range []string{"e1", "w1", "e2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("List.String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -25,6 +25,8 @@ package lang
 import (
 	"fmt"
 	"strings"
+
+	"doacross/internal/diag"
 )
 
 // Expr is an expression node.
@@ -256,7 +258,14 @@ type Assign struct {
 	Cond  *Cond
 	LHS   Expr
 	RHS   Expr
+	// Line and Col locate the statement's first token in the source text
+	// (0 for synthesized statements), letting downstream stages (tac,
+	// syncop, dep) report diagnostics against the source line.
+	Line, Col int
 }
+
+// Pos returns the statement's source position.
+func (a *Assign) Pos() diag.Pos { return diag.Pos{Line: a.Line, Col: a.Col} }
 
 // String renders the statement without its label.
 func (a *Assign) String() string {
@@ -276,7 +285,12 @@ type Loop struct {
 	Var      string
 	Lo, Hi   Expr
 	Body     []*Assign
+	// Line and Col locate the loop header keyword (0 for synthesized loops).
+	Line, Col int
 }
+
+// Pos returns the loop header's source position.
+func (l *Loop) Pos() diag.Pos { return diag.Pos{Line: l.Line, Col: l.Col} }
 
 // String renders the loop as source text.
 func (l *Loop) String() string {
@@ -315,9 +329,13 @@ func (l *Loop) StmtIndex(label string) int {
 
 // Clone returns a deep copy of the loop.
 func (l *Loop) Clone() *Loop {
-	out := &Loop{Doacross: l.Doacross, Var: l.Var, Lo: CloneExpr(l.Lo), Hi: CloneExpr(l.Hi)}
+	out := &Loop{Doacross: l.Doacross, Var: l.Var, Lo: CloneExpr(l.Lo), Hi: CloneExpr(l.Hi), Line: l.Line, Col: l.Col}
 	for _, st := range l.Body {
-		out.Body = append(out.Body, &Assign{Label: st.Label, Cond: st.Cond.Clone(), LHS: CloneExpr(st.LHS), RHS: CloneExpr(st.RHS)})
+		out.Body = append(out.Body, &Assign{
+			Label: st.Label, Cond: st.Cond.Clone(),
+			LHS: CloneExpr(st.LHS), RHS: CloneExpr(st.RHS),
+			Line: st.Line, Col: st.Col,
+		})
 	}
 	return out
 }
@@ -358,6 +376,20 @@ func Walk(e Expr, fn func(Expr)) {
 	case *Neg:
 		Walk(v.X, fn)
 	}
+}
+
+// StmtArrayRefs returns every array reference of the statement — guard
+// condition operands first, then LHS, then RHS, each left to right. It is
+// the single source of truth for "all refs of a statement": subscript-margin
+// computation and name collection must not forget the guard reads.
+func StmtArrayRefs(st *Assign) []*ArrayRef {
+	var out []*ArrayRef
+	if st.Cond != nil {
+		out = append(out, ArrayRefs(st.Cond.L)...)
+		out = append(out, ArrayRefs(st.Cond.R)...)
+	}
+	out = append(out, ArrayRefs(st.LHS)...)
+	return append(out, ArrayRefs(st.RHS)...)
 }
 
 // ArrayRefs returns every array reference in e in left-to-right order.

@@ -272,16 +272,8 @@ func execAssign(a *Assign, st *Store, iv string, i int) error {
 func (l *Loop) Arrays() []string {
 	set := map[string]bool{}
 	for _, st := range l.Body {
-		for _, r := range ArrayRefs(st.LHS) {
+		for _, r := range StmtArrayRefs(st) {
 			set[r.Name] = true
-		}
-		for _, r := range ArrayRefs(st.RHS) {
-			set[r.Name] = true
-		}
-		if st.Cond != nil {
-			for _, r := range append(ArrayRefs(st.Cond.L), ArrayRefs(st.Cond.R)...) {
-				set[r.Name] = true
-			}
 		}
 	}
 	return sortedKeys(set)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"doacross/internal/diag"
 )
 
 // TokenKind classifies a lexical token.
@@ -199,7 +201,7 @@ func (lx *Lexer) Next() (Token, error) {
 					lx.advance()
 					return Token{Kind: TokRel, Text: "!=", Line: line, Col: col}, nil
 				}
-				return Token{}, fmt.Errorf("lang: line %d col %d: unexpected '!'", line, col)
+				return Token{}, diag.Errorf("lang", diag.Pos{Line: line, Col: col}, "unexpected '!'")
 			case '+':
 				return Token{Kind: TokPlus, Text: "+", Line: line, Col: col}, nil
 			case '-':
@@ -221,7 +223,7 @@ func (lx *Lexer) Next() (Token, error) {
 			case ')':
 				return Token{Kind: TokRBracket, Text: ")", Line: line, Col: col, Paren: true}, nil
 			}
-			return Token{}, fmt.Errorf("lang: line %d col %d: unexpected character %q", line, col, string(rune(c)))
+			return Token{}, diag.Errorf("lang", diag.Pos{Line: line, Col: col}, "unexpected character %q", string(rune(c)))
 		}
 	}
 }

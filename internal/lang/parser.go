@@ -4,18 +4,14 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"doacross/internal/diag"
 )
 
-// ParseError describes a syntax error with its source position.
-type ParseError struct {
-	Line, Col int
-	Msg       string
-}
-
-// Error implements the error interface.
-func (e *ParseError) Error() string {
-	return fmt.Sprintf("lang: line %d col %d: %s", e.Line, e.Col, e.Msg)
-}
+// ParseError is the structured syntax-error type: a diag.Diagnostic whose
+// Stage is "lang" and whose Pos locates the offending token. The rendered
+// form is unchanged ("lang: line 3 col 7: ...").
+type ParseError = diag.Diagnostic
 
 type parser struct {
 	toks []Token
@@ -70,7 +66,7 @@ func (p *parser) next() Token {
 }
 
 func (p *parser) errorf(t Token, format string, args ...any) error {
-	return &ParseError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+	return diag.Errorf("lang", diag.Pos{Line: t.Line, Col: t.Col}, format, args...)
 }
 
 func (p *parser) expect(k TokenKind) (Token, error) {
@@ -124,7 +120,7 @@ func (p *parser) parseLoop() (*Loop, error) {
 	if t := p.peek(); t.Kind != TokNewline && t.Kind != TokEOF {
 		return nil, p.errorf(t, "expected end of line after loop header, found %s %q", t.Kind, t.Text)
 	}
-	loop := &Loop{Doacross: doacross, Var: ivTok.Text, Lo: lo, Hi: hi}
+	loop := &Loop{Doacross: doacross, Var: ivTok.Text, Lo: lo, Hi: hi, Line: kw.Line, Col: kw.Col}
 	used := map[string]bool{}
 	for {
 		p.skipNewlines()
@@ -178,6 +174,7 @@ func (p *parser) normalizeLabels(loop *Loop, used map[string]bool) {
 
 func (p *parser) parseStmt() (*Assign, error) {
 	label := ""
+	first := p.peek()
 	// Optional label: IDENT ':'.
 	if p.peek().Kind == TokIdent && p.peekN(1).Kind == TokColon {
 		label = p.next().Text
@@ -220,7 +217,7 @@ func (p *parser) parseStmt() (*Assign, error) {
 	if t := p.peek(); t.Kind != TokNewline && t.Kind != TokEOF {
 		return nil, p.errorf(t, "expected end of statement, found %s %q", t.Kind, t.Text)
 	}
-	return &Assign{Label: label, Cond: cond, LHS: lhs, RHS: rhs}, nil
+	return &Assign{Label: label, Cond: cond, LHS: lhs, RHS: rhs, Line: first.Line, Col: first.Col}, nil
 }
 
 // parseCond parses the relational guard body: expr relop expr.

@@ -1,0 +1,42 @@
+package passes
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestFig1GoldenArtifacts pins the -dump artifacts of the paper's Fig. 1(a)
+// loop to golden files: the synchronized DOACROSS form (Fig. 1(b)), the
+// three-address code (Fig. 2), and the data-flow graph summary (Fig. 3).
+// Regenerate with: go test ./internal/passes -run Golden -update
+func TestFig1GoldenArtifacts(t *testing.T) {
+	ctx, err := Compile(fig1, Options{Dump: []string{"all"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pass := range []string{PassSyncInsert, PassCodegen, PassGraph} {
+		got, ok := ctx.Trace.Artifact(pass)
+		if !ok {
+			t.Fatalf("no %s artifact", pass)
+		}
+		path := filepath.Join("testdata", "fig1_"+pass+".golden")
+		if *update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update to create)", err)
+		}
+		if got != string(want) {
+			t.Errorf("%s artifact diverges from %s:\n-- got --\n%s\n-- want --\n%s",
+				pass, path, got, want)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"doacross/internal/dep"
+	"doacross/internal/dfg"
+	"doacross/internal/diag"
+	"doacross/internal/lang"
+	"doacross/internal/migrate"
+	"doacross/internal/syncop"
+	"doacross/internal/tac"
+)
+
+// Options selects and configures the passes of a Pipeline. The zero value
+// builds the default pipeline, equivalent to the historical hard-wired
+// compile sequence.
+type Options struct {
+	// Unroll >= 2 inserts the unroll pass with that factor right after
+	// parsing (0 and 1 insert nothing; invalid factors fail in the pass).
+	Unroll int
+	// Migrate inserts the source-level synchronization-migration pass after
+	// dependence analysis.
+	Migrate bool
+	// NoIfConvert drops the ifconvert pass: guarded (IF ...) statements are
+	// rejected with a positioned diagnostic instead of being lowered to
+	// compare/select.
+	NoIfConvert bool
+	// FlowOnly limits synchronization insertion to loop-carried flow
+	// dependences (syncop.Options.FlowOnly).
+	FlowOnly bool
+	// Dump lists pass names whose artifacts are rendered into the trace;
+	// "all" (or "*") dumps every pass.
+	Dump []string
+	// Tracer, when non-nil, receives every pass execution (latency and
+	// failure). internal/pipeline's metrics registry implements this.
+	Tracer Tracer
+}
+
+// Tracer observes pass executions. Implementations must be safe for
+// concurrent use when the same Options are shared across goroutines.
+type Tracer interface {
+	// ObservePass records one completed execution of the named pass.
+	ObservePass(name string, d time.Duration)
+	// PassError records a failed execution of the named pass.
+	PassError(name string)
+}
+
+// Timing is one pass execution time.
+type Timing struct {
+	Pass     string
+	Duration time.Duration
+}
+
+// Trace is the observability side of one compilation: per-pass timings in
+// execution order, requested artifacts, and all collected diagnostics.
+type Trace struct {
+	// Timings holds one entry per executed pass, in order.
+	Timings []Timing
+	// Artifacts maps pass name to its rendered product, for the passes
+	// requested via Options.Dump.
+	Artifacts map[string]string
+	// Diags are the diagnostics collected across all passes (warnings and,
+	// when compilation failed, the final error).
+	Diags diag.List
+}
+
+// Artifact returns the named pass's dumped artifact.
+func (t *Trace) Artifact(pass string) (string, bool) {
+	a, ok := t.Artifacts[pass]
+	return a, ok
+}
+
+// Total returns the summed pass time.
+func (t *Trace) Total() time.Duration {
+	var total time.Duration
+	for _, tm := range t.Timings {
+		total += tm.Duration
+	}
+	return total
+}
+
+// String renders the per-pass timing table.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	for _, tm := range t.Timings {
+		fmt.Fprintf(&sb, "%-10s %12v\n", tm.Pass, tm.Duration)
+	}
+	fmt.Fprintf(&sb, "%-10s %12v\n", "total", t.Total())
+	return sb.String()
+}
+
+// Context is the compile context threaded through the passes: the inputs,
+// every intermediate product, and the trace. Passes fill the fields top to
+// bottom; later passes read what earlier ones produced.
+type Context struct {
+	// Source is the unparsed loop source ("" when seeded with a Loop).
+	Source string
+	// Loop is the (possibly transformed) AST.
+	Loop *lang.Loop
+	// Analysis is the data-dependence analysis of Loop.
+	Analysis *dep.Analysis
+	// Sync is the DOACROSS form with synchronization operations.
+	Sync *syncop.Loop
+	// Code is the compiled three-address body of one iteration.
+	Code *tac.Program
+	// Graph is the synchronization-augmented data-flow graph.
+	Graph *dfg.Graph
+	// UnrollFactor is the applied unroll factor (0 when not unrolled).
+	UnrollFactor int
+	// Migration is the synchronization-migration result (nil when the pass
+	// did not run).
+	Migration *migrate.Result
+	// IfConverted lists the labels of guarded statements the ifconvert pass
+	// cleared for lowering.
+	IfConverted []string
+	// Diags collects every diagnostic reported so far.
+	Diags diag.List
+	// Trace holds timings and artifacts.
+	Trace *Trace
+
+	// ifConvertOK records that the ifconvert pass ran, authorizing the code
+	// generator to lower guarded statements.
+	ifConvertOK bool
+}
+
+// Pipeline is an ordered list of passes built from Options.
+type Pipeline struct {
+	passes []Pass
+	opts   Options
+}
+
+// New builds the pipeline for the given options:
+//
+//	parse [unroll] [ifconvert] analyze [migrate] syncinsert codegen graph
+func New(opts Options) *Pipeline {
+	ps := []Pass{parsePass{}}
+	if opts.Unroll != 0 && opts.Unroll != 1 {
+		// Invalid (negative) factors still get the pass, so they fail with
+		// a positioned diagnostic instead of being silently ignored.
+		ps = append(ps, unrollPass{factor: opts.Unroll})
+	}
+	if !opts.NoIfConvert {
+		ps = append(ps, ifConvertPass{})
+	}
+	ps = append(ps, analyzePass{})
+	if opts.Migrate {
+		ps = append(ps, migratePass{})
+	}
+	ps = append(ps,
+		syncInsertPass{flowOnly: opts.FlowOnly},
+		codegenPass{},
+		graphPass{},
+	)
+	return &Pipeline{passes: ps, opts: opts}
+}
+
+// Names returns the pass names in execution order.
+func (p *Pipeline) Names() []string {
+	out := make([]string, len(p.passes))
+	for i, pass := range p.passes {
+		out[i] = pass.Name()
+	}
+	return out
+}
+
+// dump reports whether the named pass's artifact was requested.
+func (p *Pipeline) dump(name string) bool {
+	for _, d := range p.opts.Dump {
+		if d == name || d == "all" || d == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// Run threads the context through every pass in order, recording timings,
+// artifacts and diagnostics. On the first pass failure it records the error
+// as a diagnostic and stops; the context keeps the products of the passes
+// that did complete.
+func (p *Pipeline) Run(ctx *Context) error {
+	if ctx.Trace == nil {
+		ctx.Trace = &Trace{}
+	}
+	for _, pass := range p.passes {
+		start := time.Now()
+		err := pass.Run(ctx)
+		d := time.Since(start)
+		ctx.Trace.Timings = append(ctx.Trace.Timings, Timing{Pass: pass.Name(), Duration: d})
+		if p.opts.Tracer != nil {
+			p.opts.Tracer.ObservePass(pass.Name(), d)
+			if err != nil {
+				p.opts.Tracer.PassError(pass.Name())
+			}
+		}
+		if err != nil {
+			if dg, ok := diag.As(err); ok {
+				ctx.Diags = append(ctx.Diags, dg)
+			} else {
+				ctx.Diags = append(ctx.Diags, diag.Errorf(pass.Name(), diag.Pos{}, "%v", err))
+			}
+			ctx.Trace.Diags = ctx.Diags
+			return err
+		}
+		if p.dump(pass.Name()) {
+			if a := pass.Artifact(ctx); a != "" {
+				if ctx.Trace.Artifacts == nil {
+					ctx.Trace.Artifacts = map[string]string{}
+				}
+				ctx.Trace.Artifacts[pass.Name()] = a
+			}
+		}
+	}
+	ctx.Trace.Diags = ctx.Diags
+	return nil
+}
+
+// RunSource compiles loop source text through the pipeline.
+func (p *Pipeline) RunSource(src string) (*Context, error) {
+	ctx := &Context{Source: src}
+	err := p.Run(ctx)
+	return ctx, err
+}
+
+// RunLoop compiles an already parsed loop through the pipeline. The loop is
+// not modified: transforming passes (unroll, migrate) replace ctx.Loop with
+// a rewritten copy.
+func (p *Pipeline) RunLoop(loop *lang.Loop) (*Context, error) {
+	ctx := &Context{Loop: loop}
+	err := p.Run(ctx)
+	return ctx, err
+}
+
+// Compile is the one-shot convenience: build the pipeline for opts and run
+// src through it.
+func Compile(src string, opts Options) (*Context, error) {
+	return New(opts).RunSource(src)
+}
+
+// CompileLoop is Compile over an already parsed loop.
+func CompileLoop(loop *lang.Loop, opts Options) (*Context, error) {
+	return New(opts).RunLoop(loop)
+}

@@ -2,37 +2,44 @@ package pipeline
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"doacross/internal/passes"
 )
 
-// Stage identifies one pipeline stage for metrics.
-type Stage int
-
-// Pipeline stages.
+// Stage names of the batch pipeline's own stages. Compilation is no longer
+// one coarse "compile" stage: the pass manager (internal/passes) reports
+// each compilation pass under its own name (parse, ifconvert, analyze,
+// syncinsert, codegen, graph, plus the optional unroll/migrate), so the
+// registry holds per-pass latency buckets next to these two.
 const (
-	// StageCompile covers parse → dependence analysis → synchronization
-	// insertion → code generation → graph construction.
-	StageCompile Stage = iota
 	// StageSchedule covers building the list/sync/best schedules.
-	StageSchedule
+	StageSchedule = "schedule"
 	// StageSimulate covers timing the schedules.
-	StageSimulate
-	numStages
+	StageSimulate = "simulate"
 )
 
-// String names the stage.
-func (s Stage) String() string {
-	switch s {
-	case StageCompile:
-		return "compile"
-	case StageSchedule:
-		return "schedule"
-	case StageSimulate:
-		return "simulate"
+// stageOrder fixes the reporting order: compilation passes in pipeline
+// order, then scheduling and simulation; stages the registry saw that are
+// not listed here sort alphabetically after them.
+var stageOrder = []string{
+	passes.PassParse, passes.PassUnroll, passes.PassIfConvert, passes.PassAnalyze,
+	passes.PassMigrate, passes.PassSyncInsert, passes.PassCodegen, passes.PassGraph,
+	StageSchedule, StageSimulate,
+}
+
+// stageRank maps a stage name to its reporting position.
+func stageRank(name string) int {
+	for i, s := range stageOrder {
+		if s == name {
+			return i
+		}
 	}
-	return fmt.Sprintf("Stage(%d)", int(s))
+	return len(stageOrder)
 }
 
 // Latency bucket upper bounds; the final bucket is unbounded.
@@ -67,19 +74,46 @@ type stageMetrics struct {
 }
 
 // Metrics is the embedded metrics registry of a pipeline: per-stage counts,
-// error counts and latency buckets, plus cache hit/miss counters. All
-// methods are safe for concurrent use; the zero value is ready to use.
+// error counts and latency buckets keyed by stage name, plus cache hit/miss
+// counters. Stages register themselves on first observation, so the
+// registry needs no advance knowledge of which optional passes a pipeline
+// runs. All methods are safe for concurrent use; the zero value is ready.
+//
+// Metrics implements passes.Tracer, so a registry can be handed straight to
+// the pass manager for per-pass latency tracking.
 type Metrics struct {
-	stages       [numStages]stageMetrics
+	mu           sync.RWMutex
+	stages       map[string]*stageMetrics
 	hits, misses atomic.Int64
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics { return &Metrics{} }
 
-// Observe records one completed stage execution.
-func (m *Metrics) Observe(st Stage, d time.Duration) {
-	s := &m.stages[st]
+// stage returns the named stage's counters, registering it on first use.
+func (m *Metrics) stage(name string) *stageMetrics {
+	m.mu.RLock()
+	s := m.stages[name]
+	m.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s = m.stages[name]; s != nil {
+		return s
+	}
+	if m.stages == nil {
+		m.stages = map[string]*stageMetrics{}
+	}
+	s = &stageMetrics{}
+	m.stages[name] = s
+	return s
+}
+
+// Observe records one completed execution of the named stage.
+func (m *Metrics) Observe(name string, d time.Duration) {
+	s := m.stage(name)
 	s.count.Add(1)
 	ns := d.Nanoseconds()
 	s.totalNS.Add(ns)
@@ -99,8 +133,14 @@ func (m *Metrics) Observe(st Stage, d time.Duration) {
 	s.buckets[b].Add(1)
 }
 
-// Error records a failed stage execution.
-func (m *Metrics) Error(st Stage) { m.stages[st].errs.Add(1) }
+// Error records a failed execution of the named stage.
+func (m *Metrics) Error(name string) { m.stage(name).errs.Add(1) }
+
+// ObservePass implements passes.Tracer.
+func (m *Metrics) ObservePass(name string, d time.Duration) { m.Observe(name, d) }
+
+// PassError implements passes.Tracer.
+func (m *Metrics) PassError(name string) { m.Error(name) }
 
 // CacheHit records a schedule-cache hit.
 func (m *Metrics) CacheHit() { m.hits.Add(1) }
@@ -108,14 +148,14 @@ func (m *Metrics) CacheHit() { m.hits.Add(1) }
 // CacheMiss records a schedule-cache miss.
 func (m *Metrics) CacheMiss() { m.misses.Add(1) }
 
-// timed runs f, records its latency under st, and counts an error if f
-// reports one.
-func (m *Metrics) timed(st Stage, f func() error) error {
+// timed runs f, records its latency under the named stage, and counts an
+// error if f reports one.
+func (m *Metrics) timed(name string, f func() error) error {
 	start := time.Now()
 	err := f()
-	m.Observe(st, time.Since(start))
+	m.Observe(name, time.Since(start))
 	if err != nil {
-		m.Error(st)
+		m.Error(name)
 	}
 	return err
 }
@@ -144,17 +184,34 @@ func (s StageStats) Mean() time.Duration {
 // is read atomically; the set is not a transaction, which is fine for
 // monitoring).
 type Stats struct {
-	Stages                 [numStages]StageStats
+	// Stages holds one snapshot per observed stage: compilation passes in
+	// pipeline order, then schedule and simulate.
+	Stages                 []StageStats
 	CacheHits, CacheMisses int64
 }
 
 // Stats snapshots the registry.
 func (m *Metrics) Stats() Stats {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.stages))
+	snap := make(map[string]*stageMetrics, len(m.stages))
+	for name, s := range m.stages {
+		names = append(names, name)
+		snap[name] = s
+	}
+	m.mu.RUnlock()
+	sort.Slice(names, func(i, j int) bool {
+		ri, rj := stageRank(names[i]), stageRank(names[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return names[i] < names[j]
+	})
 	var out Stats
-	for i := Stage(0); i < numStages; i++ {
-		s := &m.stages[i]
+	for _, name := range names {
+		s := snap[name]
 		ss := StageStats{
-			Stage:  i.String(),
+			Stage:  name,
 			Count:  s.count.Load(),
 			Errors: s.errs.Load(),
 			Total:  time.Duration(s.totalNS.Load()),
@@ -163,7 +220,7 @@ func (m *Metrics) Stats() Stats {
 		for b := 0; b < numBuckets; b++ {
 			ss.Buckets[b] = s.buckets[b].Load()
 		}
-		out.Stages[i] = ss
+		out.Stages = append(out.Stages, ss)
 	}
 	out.CacheHits = m.hits.Load()
 	out.CacheMisses = m.misses.Load()
@@ -190,19 +247,33 @@ func (s Stats) Stage(name string) StageStats {
 	return StageStats{}
 }
 
+// CompileTime sums the latency of every stage that is a compilation pass
+// (everything except schedule and simulate) — the old coarse "compile"
+// stage's total, derivable from the per-pass buckets.
+func (s Stats) CompileTime() time.Duration {
+	var total time.Duration
+	for _, st := range s.Stages {
+		if st.Stage == StageSchedule || st.Stage == StageSimulate {
+			continue
+		}
+		total += st.Total
+	}
+	return total
+}
+
 // String renders a monitoring report.
 func (s Stats) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "cache: %d hits, %d misses (%.1f%% hit rate)\n",
 		s.CacheHits, s.CacheMisses, 100*s.HitRate())
 	for _, st := range s.Stages {
-		fmt.Fprintf(&sb, "%-9s %6d runs, %3d errors, mean %9v, max %9v, total %9v\n",
+		fmt.Fprintf(&sb, "%-10s %6d runs, %3d errors, mean %9v, max %9v, total %9v\n",
 			st.Stage, st.Count, st.Errors, st.Mean().Round(time.Microsecond),
 			st.Max.Round(time.Microsecond), st.Total.Round(time.Microsecond))
 		if st.Count == 0 {
 			continue
 		}
-		sb.WriteString("          latency:")
+		sb.WriteString("           latency:")
 		for b := 0; b < numBuckets; b++ {
 			if st.Buckets[b] == 0 {
 				continue

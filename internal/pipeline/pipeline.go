@@ -15,14 +15,17 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"doacross/internal/core"
 	"doacross/internal/dep"
 	"doacross/internal/dfg"
+	"doacross/internal/diag"
 	"doacross/internal/dlx"
 	"doacross/internal/lang"
 	"doacross/internal/model"
+	"doacross/internal/passes"
 	"doacross/internal/sim"
 	"doacross/internal/syncop"
 	"doacross/internal/tac"
@@ -61,6 +64,11 @@ type Options struct {
 	Sync core.SyncOptions
 	// Best additionally builds the never-degrades Best schedule.
 	Best bool
+	// Compile configures the compilation pass pipeline (optional unroll/
+	// migrate passes, if-conversion, flow-only synchronization, artifact
+	// dumps). Tracer is overridden: per-pass latencies always land in the
+	// batch's metrics registry.
+	Compile passes.Options
 	// Cache, when non-nil, memoizes all three stages across loops and
 	// batches: compilations by source text, schedules by DFG fingerprint +
 	// machine + scheduler options, and timings additionally by trip count
@@ -98,6 +106,14 @@ func (o Options) machines() []dlx.Config {
 func (o Options) salt() string {
 	return fmt.Sprintf("base=%d sync=%v/%v/%v/%v best=%v", int(o.Baseline),
 		o.Sync.NoPairArcs, o.Sync.NoLazyWaits, o.Sync.NoSPPriority, o.Sync.AscendingSP, o.Best)
+}
+
+// compileSalt renders the compile-relevant options into the compile-memo
+// key: pass selection and artifact dumps change what a compilation produces.
+func (o Options) compileSalt() string {
+	return fmt.Sprintf("u=%d mig=%v noif=%v flow=%v dump=%s", o.Compile.Unroll,
+		o.Compile.Migrate, o.Compile.NoIfConvert, o.Compile.FlowOnly,
+		strings.Join(o.Compile.Dump, ","))
 }
 
 // MachineResult is one loop's outcome on one machine configuration.
@@ -140,6 +156,14 @@ type LoopResult struct {
 	SyncLoop *syncop.Loop
 	Prog     *tac.Program
 	Graph    *dfg.Graph
+	// Trace is the pass manager's record of this loop's compilation:
+	// per-pass timings, dumped artifacts (Options.Compile.Dump) and
+	// positioned diagnostics. Shared with other requests that hit the same
+	// compile-memo entry; treat as read-only.
+	Trace *passes.Trace
+	// Diags are the compile diagnostics (warnings, and the error when
+	// Err != nil) with source positions.
+	Diags diag.List
 	// Machines holds one result per Options.Machines entry, in order.
 	Machines []MachineResult
 }
@@ -172,19 +196,23 @@ func (b *Batch) FirstErr() error {
 	return nil
 }
 
-// compileEntry is the cached product of StageCompile for one source text.
+// compileEntry is the cached product of the compilation passes for one
+// source text.
 type compileEntry struct {
 	loop     *lang.Loop
 	analysis *dep.Analysis
 	syncLoop *syncop.Loop
 	prog     *tac.Program
 	graph    *dfg.Graph
+	trace    *passes.Trace
+	diags    diag.List
 }
 
-// sourceKey addresses the compile memo: a hash of the loop's source text in
-// a key space disjoint from ConfigKey (distinct prefix).
-func sourceKey(src string) dfg.Fingerprint {
-	return dfg.Fingerprint(sha256.Sum256([]byte("compile\x00" + src)))
+// sourceKey addresses the compile memo: a hash of the loop's source text and
+// the compile options in a key space disjoint from ConfigKey (distinct
+// prefix).
+func sourceKey(src, salt string) dfg.Fingerprint {
+	return dfg.Fingerprint(sha256.Sum256([]byte("compile\x00" + salt + "\x00" + src)))
 }
 
 // schedEntry is the cached product of StageSchedule for one ConfigKey.
@@ -248,14 +276,14 @@ func runOne(idx int, req Request, machines []dlx.Config, opt Options, metrics *M
 		res.N = opt.n()
 	}
 
-	// Compile, through the content-addressed memo when a cache is attached:
-	// identical source text (or identically rendering parsed loops) shares
-	// one immutable compilation.
+	// Compile through the pass manager, via the content-addressed memo when
+	// a cache is attached: identical source text (or identically rendering
+	// parsed loops) shares one immutable compilation, trace included.
 	var srcKey dfg.Fingerprint
 	var compiled *compileEntry
 	if req.Loop == nil && req.Source == "" {
 		res.Err = fmt.Errorf("request has neither Source nor Loop")
-		metrics.Error(StageCompile)
+		metrics.Error(passes.PassParse)
 		return res
 	}
 	if opt.Cache != nil {
@@ -263,7 +291,7 @@ func runOne(idx int, req Request, machines []dlx.Config, opt Options, metrics *M
 		if req.Loop != nil {
 			src = req.Loop.String()
 		}
-		srcKey = sourceKey(src)
+		srcKey = sourceKey(src, opt.compileSalt())
 		if v, ok := opt.Cache.Get(srcKey); ok {
 			compiled = v.(*compileEntry)
 			metrics.CacheHit()
@@ -272,29 +300,24 @@ func runOne(idx int, req Request, machines []dlx.Config, opt Options, metrics *M
 		}
 	}
 	if compiled == nil {
-		e := &compileEntry{}
-		res.Err = metrics.timed(StageCompile, func() error {
-			e.loop = req.Loop
-			if e.loop == nil {
-				var err error
-				if e.loop, err = lang.Parse(req.Source); err != nil {
-					return err
-				}
-			}
-			e.analysis = dep.Analyze(e.loop)
-			e.syncLoop = syncop.Insert(e.analysis, syncop.Options{})
-			prog, err := tac.Generate(e.syncLoop)
-			if err != nil {
-				return err
-			}
-			e.prog = prog
-			e.graph, err = dfg.Build(prog, e.analysis)
-			return err
-		})
+		popts := opt.Compile
+		popts.Tracer = metrics
+		pl := passes.New(popts)
+		var ctx *passes.Context
+		if req.Loop != nil {
+			ctx, res.Err = pl.RunLoop(req.Loop)
+		} else {
+			ctx, res.Err = pl.RunSource(req.Source)
+		}
+		res.Trace = ctx.Trace
+		res.Diags = ctx.Diags
 		if res.Err != nil {
 			return res
 		}
-		compiled = e
+		compiled = &compileEntry{
+			loop: ctx.Loop, analysis: ctx.Analysis, syncLoop: ctx.Sync,
+			prog: ctx.Code, graph: ctx.Graph, trace: ctx.Trace, diags: ctx.Diags,
+		}
 		if opt.Cache != nil {
 			v, _ := opt.Cache.Put(srcKey, compiled)
 			compiled = v.(*compileEntry)
@@ -305,6 +328,8 @@ func runOne(idx int, req Request, machines []dlx.Config, opt Options, metrics *M
 	res.SyncLoop = compiled.syncLoop
 	res.Prog = compiled.prog
 	res.Graph = compiled.graph
+	res.Trace = compiled.trace
+	res.Diags = compiled.diags
 
 	fp := res.Graph.Fingerprint()
 	salt := opt.salt()

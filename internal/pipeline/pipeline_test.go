@@ -221,8 +221,8 @@ func TestPerLoopErrors(t *testing.T) {
 	if b.FirstErr() == nil {
 		t.Error("FirstErr missed the failure")
 	}
-	if b.Stats.Stage("compile").Errors != 1 {
-		t.Errorf("compile errors = %d, want 1", b.Stats.Stage("compile").Errors)
+	if b.Stats.Stage("parse").Errors != 1 {
+		t.Errorf("parse errors = %d, want 1", b.Stats.Stage("parse").Errors)
 	}
 	if _, err := Run([]Request{{}}, Options{}); err != nil {
 		t.Errorf("empty request must fail per-loop, not batch-wide: %v", err)
@@ -256,7 +256,7 @@ func TestRequestLoopAndNOverride(t *testing.T) {
 func TestStatsString(t *testing.T) {
 	b := run(t, []string{fig1, fig1}, Options{Cache: NewCache()})
 	s := b.Stats.String()
-	for _, want := range []string{"cache:", "hit rate", "compile", "schedule", "simulate", "latency:"} {
+	for _, want := range []string{"cache:", "hit rate", "parse", "analyze", "syncinsert", "codegen", "graph", "schedule", "simulate", "latency:"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("stats report missing %q:\n%s", want, s)
 		}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"doacross/internal/dep"
+	"doacross/internal/diag"
 	"doacross/internal/lang"
 )
 
@@ -217,8 +218,9 @@ func (l *Loop) Validate() error {
 		}
 		srcIdx := l.Base.StmtIndex(it.Op.Src)
 		if srcIdx < 0 {
-			return fmt.Errorf("syncop: op %v references unknown statement", it.Op)
+			return diag.Errorf("syncop", diag.Pos{}, "op %v references unknown statement", it.Op)
 		}
+		src := l.Base.Body[srcIdx]
 		switch it.Op.Kind {
 		case Send:
 			// Send must come after its source statement.
@@ -230,14 +232,15 @@ func (l *Loop) Validate() error {
 				}
 			}
 			if !found {
-				return fmt.Errorf("syncop: %v precedes its source statement", it.Op)
+				return diag.Errorf("syncop", src.Pos(), "%v precedes its source statement", it.Op).WithStmt(src.Label)
 			}
 		case Wait:
 			// Wait must come before its sink statement (the statement it is
 			// attached to).
+			snk := l.Base.Body[it.StmtIndex]
 			for j := 0; j < idx; j++ {
 				if items[j].Stmt != nil && items[j].StmtIndex == it.StmtIndex {
-					return fmt.Errorf("syncop: %v follows its sink statement", it.Op)
+					return diag.Errorf("syncop", snk.Pos(), "%v follows its sink statement", it.Op).WithStmt(snk.Label)
 				}
 			}
 		}

@@ -3,6 +3,7 @@ package tac
 import (
 	"fmt"
 
+	"doacross/internal/diag"
 	"doacross/internal/lang"
 	"doacross/internal/syncop"
 )
@@ -69,7 +70,12 @@ func Generate(sl *syncop.Loop) (*Program, error) {
 			g.emit(&Instr{Op: Wait, Signal: op.Src, SigDist: op.Distance})
 		}
 		if err := g.genAssign(st); err != nil {
-			return nil, fmt.Errorf("tac: statement %s: %w", st.Label, err)
+			// Attribute the failure to the statement's source position; the
+			// inner message stays intact ("unsupported expression ...").
+			if d, ok := diag.As(err); ok {
+				return nil, d
+			}
+			return nil, diag.Errorf("tac", st.Pos(), "%v", err).WithStmt(st.Label)
 		}
 		for _, op := range sl.Post[k] {
 			g.emit(&Instr{Op: Send, Signal: op.Src})

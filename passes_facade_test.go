@@ -1,0 +1,134 @@
+package doacross
+
+import (
+	"strings"
+	"testing"
+)
+
+const fig1Src = `DO I = 1, N
+S1: B[I] = A[I-2] + E[I+1]
+S2: G[I-3] = A[I-1] * E[I+2]
+S3: A[I] = B[I] + C[I+3]
+ENDDO`
+
+func TestCompileWithTraceAndDump(t *testing.T) {
+	prog, err := CompileWith(fig1Src, CompileOptions{Dump: []string{"codegen", "graph"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Trace == nil || len(prog.Trace.Timings) == 0 {
+		t.Fatal("CompileWith left no trace")
+	}
+	if a, ok := prog.Trace.Artifact("codegen"); !ok || a != prog.Listing() {
+		t.Error("codegen artifact does not match Listing()")
+	}
+	if a, ok := prog.Trace.Artifact("graph"); !ok || a != prog.GraphInfo() {
+		t.Error("graph artifact does not match GraphInfo()")
+	}
+	if _, ok := prog.Trace.Artifact("parse"); ok {
+		t.Error("unrequested parse artifact dumped")
+	}
+}
+
+// TestCompileEquivalence is the acceptance check that the thin wrappers over
+// the default pipeline reproduce the historical Compile output exactly.
+func TestCompileEquivalence(t *testing.T) {
+	a := MustCompile(fig1Src)
+	b, err := CompileWith(fig1Src, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DoacrossSource() != b.DoacrossSource() ||
+		a.Listing() != b.Listing() ||
+		a.GraphInfo() != b.GraphInfo() {
+		t.Error("CompileWith(zero options) diverges from Compile")
+	}
+}
+
+func TestCompileWithUnroll(t *testing.T) {
+	prog := MustCompile(fig1Src)
+	un, err := prog.Unroll(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(un.Loop.Body) != 6 {
+		t.Errorf("unrolled body = %d statements, want 6", len(un.Loop.Body))
+	}
+	direct, err := CompileWith(fig1Src, CompileOptions{Unroll: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Listing() != un.Listing() {
+		t.Error("CompileOptions.Unroll diverges from Program.Unroll")
+	}
+	for _, k := range []int{0, -3} {
+		if _, err := prog.Unroll(k); err == nil {
+			t.Errorf("Unroll(%d) succeeded", k)
+		}
+	}
+	if one, err := prog.Unroll(1); err != nil {
+		t.Errorf("Unroll(1): %v", err)
+	} else if one.Listing() != prog.Listing() {
+		t.Error("Unroll(1) changed the program")
+	}
+}
+
+func TestCompileDiagnosticPosition(t *testing.T) {
+	_, err := Compile("DO I = 1, N\nS1: B[I] = ,\nENDDO")
+	if err == nil {
+		t.Fatal("bad source compiled")
+	}
+	var d *Diagnostic
+	if dd, ok := err.(*Diagnostic); ok {
+		d = dd
+	} else {
+		t.Fatalf("Compile error %T is not a *Diagnostic", err)
+	}
+	if d.Pos.Line != 2 {
+		t.Errorf("error position = %v, want line 2", d.Pos)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("rendered error lacks position: %v", err)
+	}
+}
+
+func TestCompareFilePerLoop(t *testing.T) {
+	src := fig1Src + "\n" + "DO I = 1, N\nX[I] = X[I-1] + 1\nENDDO"
+	m := NewMachine(4, 1)
+	c, err := CompareFile(src, m, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.PerLoop) != 2 {
+		t.Fatalf("PerLoop = %d entries, want 2", len(c.PerLoop))
+	}
+	if c.List != nil || c.Sync != nil {
+		t.Error("aggregate comparison carries schedules (documented nil)")
+	}
+	var lt, st int
+	for i, pc := range c.PerLoop {
+		if pc.List == nil || pc.Sync == nil {
+			t.Errorf("per-loop comparison %d missing schedules", i)
+		}
+		lt += pc.ListTime
+		st += pc.SyncTime
+	}
+	if lt != c.ListTime || st != c.SyncTime {
+		t.Errorf("per-loop sums %d/%d diverge from aggregate %d/%d", lt, st, c.ListTime, c.SyncTime)
+	}
+}
+
+// TestMarginForGuardRefs is the satellite bugfix check: the seeding margin
+// must cover array offsets that appear only in a guard condition.
+func TestMarginForGuardRefs(t *testing.T) {
+	prog := MustCompile("DO I = 1, N\nS1: IF (E[I-9] > 0) A[I] = A[I-1] + 1\nENDDO")
+	if got := marginFor(prog.Loop, 20); got < 11 {
+		t.Errorf("marginFor = %d, want >= 11 (guard reads E[I-9])", got)
+	}
+	// The seeded store must execute the loop without indexing outside the
+	// margin.
+	st := prog.SeedStore(20, 7)
+	if err := prog.RunSequential(st); err != nil {
+		t.Errorf("sequential run over seeded store: %v", err)
+	}
+}
