@@ -1,6 +1,7 @@
 package doacross
 
 import (
+	"context"
 	"fmt"
 
 	"doacross/internal/core"
@@ -65,20 +66,34 @@ func NewBatchMetrics() *BatchMetrics { return pipeline.NewMetrics() }
 // Batch.Loops[i].Err (see Batch.FirstErr); ScheduleAll only fails on
 // unusable options.
 func ScheduleAll(sources []string, opt BatchOptions) (*Batch, error) {
+	return ScheduleAllContext(context.Background(), sources, opt)
+}
+
+// ScheduleAllContext is ScheduleAll under a cancellation context, threaded
+// through the worker pool and checked between the compile, schedule and
+// simulate stages of every request. Combine with BatchOptions.Deadline /
+// RequestTimeout for time-bounded batches: cut-off requests fail
+// individually while completed results are returned in request order.
+func ScheduleAllContext(ctx context.Context, sources []string, opt BatchOptions) (*Batch, error) {
 	reqs := make([]BatchRequest, len(sources))
 	for i, src := range sources {
 		reqs[i] = BatchRequest{Name: fmt.Sprintf("loop%d", i), Source: src}
 	}
-	return pipeline.Run(reqs, opt)
+	return pipeline.RunContext(ctx, reqs, opt)
 }
 
 // ScheduleAllLoops is ScheduleAll over already parsed loops.
 func ScheduleAllLoops(loops []*Loop, opt BatchOptions) (*Batch, error) {
+	return ScheduleAllLoopsContext(context.Background(), loops, opt)
+}
+
+// ScheduleAllLoopsContext is ScheduleAllLoops under a cancellation context.
+func ScheduleAllLoopsContext(ctx context.Context, loops []*Loop, opt BatchOptions) (*Batch, error) {
 	reqs := make([]BatchRequest, len(loops))
 	for i, l := range loops {
 		reqs[i] = BatchRequest{Name: fmt.Sprintf("loop%d", i), Loop: l}
 	}
-	return pipeline.Run(reqs, opt)
+	return pipeline.RunContext(ctx, reqs, opt)
 }
 
 // CompareAll runs the paper's list-vs-new experiment for every source loop
@@ -86,9 +101,14 @@ func ScheduleAllLoops(loops []*Loop, opt BatchOptions) (*Batch, error) {
 // one Comparison per loop in input order plus the underlying batch (for
 // schedules and stats). The first per-loop failure aborts with an error.
 func CompareAll(sources []string, m Machine, n int, opt BatchOptions) ([]Comparison, *Batch, error) {
+	return CompareAllContext(context.Background(), sources, m, n, opt)
+}
+
+// CompareAllContext is CompareAll under a cancellation context.
+func CompareAllContext(ctx context.Context, sources []string, m Machine, n int, opt BatchOptions) ([]Comparison, *Batch, error) {
 	opt.Machines = []Machine{m}
 	opt.N = n
-	batch, err := ScheduleAll(sources, opt)
+	batch, err := ScheduleAllContext(ctx, sources, opt)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -33,7 +33,9 @@ import (
 // dlxConfig is the machine configuration used by the extension experiments.
 func dlxConfig() dlx.Config { return dlx.Standard(4, 1) }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	table := flag.Int("table", 0, "table to print (1, 2 or 3; 0 = all)")
 	baseline := flag.String("baseline", "cp", "list-scheduling baseline: cp (critical path) or order (program order)")
 	loops := flag.Bool("loops", false, "print per-loop measurements")
@@ -43,6 +45,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print pipeline cache and stage-latency stats")
 	trace := flag.Bool("trace", false, "print per-pass compile timings from the pipeline metrics registry")
 	dump := flag.String("dump", "", "comma-separated pass names whose artifacts to print for each suite's first loop ('all' for every pass)")
+	timeout := flag.Duration("timeout", 0, "per-batch deadline (0 = none); loops cut off by it are reported like other per-loop failures")
 	flag.Parse()
 
 	pri := core.CriticalPath
@@ -52,12 +55,12 @@ func main() {
 		pri = core.ProgramOrder
 	default:
 		fmt.Fprintf(os.Stderr, "benchtab: unknown baseline %q\n", *baseline)
-		os.Exit(2)
+		return 2
 	}
 	suites, err := perfect.Suites()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
-		os.Exit(1)
+		return 1
 	}
 	if *dump != "" {
 		opts := passes.Options{Dump: strings.Split(*dump, ",")}
@@ -69,7 +72,7 @@ func main() {
 			ctx, err := passes.CompileLoop(loops[0].AST, opts)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchtab:", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("======== %s loop 0 ========\n", s.Profile.Name)
 			for _, tm := range ctx.Trace.Timings {
@@ -78,7 +81,7 @@ func main() {
 				}
 			}
 		}
-		return
+		return 0
 	}
 	if *migration {
 		for _, p := range []core.ListPriority{core.ProgramOrder, core.CriticalPath} {
@@ -86,19 +89,32 @@ func main() {
 			mr, err := tables.RunMigration(suites, dlxConfig(), p)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchtab:", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("-- baseline: %s list scheduling --\n", name)
 			fmt.Print(mr.Render())
 			fmt.Println()
 		}
-		return
+		return 0
 	}
 	metrics := pipeline.NewMetrics()
-	r, err := tables.RunParallel(suites, pri, *jobs, pipeline.NewCache(), metrics)
+	r, err := tables.RunParallelWith(suites, pri, pipeline.Options{
+		Workers:  *jobs,
+		Cache:    pipeline.NewCache(),
+		Metrics:  metrics,
+		Deadline: *timeout,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
-		os.Exit(1)
+		return 1
+	}
+	// A failing loop does not abort the run: its diagnostic is printed, the
+	// aggregates cover the loops that worked, and the exit status is
+	// non-zero at the end.
+	code := 0
+	for _, f := range r.Failures {
+		fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", f.Name, f.Err)
+		code = 1
 	}
 	if *stats {
 		defer func() { fmt.Printf("\nPipeline stats:\n%s", metrics.Stats()) }()
@@ -123,7 +139,7 @@ func main() {
 			fmt.Println()
 			fmt.Print(r.LoopCSV())
 		}
-		return
+		return code
 	}
 	switch *table {
 	case 1:
@@ -140,7 +156,7 @@ func main() {
 		fmt.Printf("Observation 2 (list scheduling slower at 4-issue for some benchmarks): %v\n", anoms)
 	default:
 		fmt.Fprintf(os.Stderr, "benchtab: no table %d\n", *table)
-		os.Exit(2)
+		return 2
 	}
 	if *loops {
 		fmt.Println("\nPer-loop measurements:")
@@ -151,4 +167,5 @@ func main() {
 				lr.Suite, lr.Index, lr.Template, lr.Config, lr.Ta, lr.Tb, lr.LBDa, lr.LBDb, lr.LenA, lr.LenB)
 		}
 	}
+	return code
 }

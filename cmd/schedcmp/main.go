@@ -44,13 +44,10 @@ func main() {
 	stats := flag.Bool("stats", false, "print pipeline cache and stage-latency stats")
 	trace := flag.Bool("trace", false, "print per-pass compile timings from the pipeline metrics registry")
 	dump := flag.String("dump", "", "comma-separated pass names whose artifacts to print (e.g. syncinsert,codegen; 'all' for every pass)")
+	timeout := flag.Duration("timeout", 0, "per-batch deadline (0 = none); loops cut off by it fail individually")
 	flag.Parse()
 
 	src, err := readInput(flag.Arg(0))
-	if err != nil {
-		fail(err)
-	}
-	file, err := doacross.ParseSource(src)
 	if err != nil {
 		fail(err)
 	}
@@ -74,7 +71,7 @@ func main() {
 	if *dump != "" {
 		dumpPasses = strings.Split(*dump, ",")
 	}
-	batch, err := doacross.ScheduleAllLoops(file.Loops, doacross.BatchOptions{
+	bopts := doacross.BatchOptions{
 		Workers:  *jobs,
 		Machines: []doacross.Machine{m},
 		N:        *n,
@@ -82,16 +79,33 @@ func main() {
 		Baseline: pri,
 		Cache:    doacross.NewScheduleCache(),
 		Compile:  doacross.CompileOptions{Dump: dumpPasses},
-	})
+		Deadline: *timeout,
+	}
+	var batch *doacross.Batch
+	if file, perr := doacross.ParseSource(src); perr == nil {
+		batch, err = doacross.ScheduleAllLoops(file.Loops, bopts)
+	} else if chunks := splitLoops(src); len(chunks) > 1 {
+		// A malformed loop fails file-level parsing outright; resubmit the
+		// input one loop chunk at a time so the bad loop fails alone and
+		// the rest of the batch still runs.
+		batch, err = doacross.ScheduleAll(chunks, bopts)
+	} else {
+		fail(perr)
+	}
 	if err != nil {
 		fail(err)
 	}
-	if err := batch.FirstErr(); err != nil {
-		fail(err)
-	}
 
+	// A failing loop prints its diagnostic and is skipped; the rest of the
+	// batch still renders, and the final exit status reports the failure.
+	code := 0
 	for i := range batch.Loops {
 		lr := &batch.Loops[i]
+		if lr.Err != nil {
+			fmt.Fprintf(os.Stderr, "schedcmp: %s: %v\n", lr.Name, lr.Err)
+			code = 1
+			continue
+		}
 		if len(batch.Loops) > 1 {
 			fmt.Printf("======== loop %d of %d ========\n", i+1, len(batch.Loops))
 		}
@@ -116,6 +130,9 @@ func main() {
 			continue
 		}
 		mr := lr.Machines[0]
+		if mr.Degraded {
+			fmt.Printf("\n(degraded to program-order fallback: %s)\n", mr.DegradedReason)
+		}
 		for _, s := range []*doacross.Schedule{mr.List, mr.Sync} {
 			if err := s.Validate(); err != nil {
 				fail(fmt.Errorf("%s schedule invalid: %w", s.Method, err))
@@ -139,6 +156,7 @@ func main() {
 	if *stats {
 		fmt.Printf("\nPipeline stats:\n%s", batch.Stats)
 	}
+	os.Exit(code)
 }
 
 // passTimings renders the compilation-pass rows of the pipeline metrics
@@ -165,6 +183,28 @@ func printSpans(s *doacross.Schedule) {
 		fmt.Printf("  pair %s d=%d: wait@%d send@%d  %s (span %d)\n",
 			p.Signal, p.Distance, p.WaitCycle, p.SendCycle, kind, p.Span())
 	}
+}
+
+// splitLoops cuts a source file into per-loop chunks on ENDDO lines, so a
+// loop that cannot parse can be isolated from its neighbours.
+func splitLoops(src string) []string {
+	var out []string
+	var cur []string
+	flush := func() {
+		chunk := strings.Join(cur, "\n")
+		if strings.TrimSpace(chunk) != "" {
+			out = append(out, chunk)
+		}
+		cur = nil
+	}
+	for _, line := range strings.Split(src, "\n") {
+		cur = append(cur, line)
+		if strings.EqualFold(strings.TrimSpace(line), "ENDDO") {
+			flush()
+		}
+	}
+	flush()
+	return out
 }
 
 func readInput(path string) (string, error) {

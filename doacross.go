@@ -26,6 +26,7 @@
 package doacross
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -142,22 +143,34 @@ func CompileLoop(loop *Loop) (*Program, error) {
 // by opt: optional unroll/migrate passes, if-conversion control, flow-only
 // synchronization, and per-pass artifact dumps (Program.Trace).
 func CompileWith(src string, opt CompileOptions) (*Program, error) {
-	ctx, err := passes.Compile(src, opt)
+	return CompileWithContext(context.Background(), src, opt)
+}
+
+// CompileWithContext is CompileWith under a cancellation context, checked
+// between compilation passes: a compilation caught by a deadline stops at
+// the next pass boundary and reports the context's error.
+func CompileWithContext(ctx context.Context, src string, opt CompileOptions) (*Program, error) {
+	pctx, err := passes.CompileCtx(ctx, src, opt)
 	if err != nil {
 		return nil, err
 	}
-	return programFrom(ctx), nil
+	return programFrom(pctx), nil
 }
 
 // CompileLoopWith is CompileWith over an already parsed loop. Transforming
 // passes do not modify the input loop; Program.Loop holds the rewritten
 // copy.
 func CompileLoopWith(loop *Loop, opt CompileOptions) (*Program, error) {
-	ctx, err := passes.CompileLoop(loop, opt)
+	return CompileLoopWithContext(context.Background(), loop, opt)
+}
+
+// CompileLoopWithContext is CompileLoopWith under a cancellation context.
+func CompileLoopWithContext(ctx context.Context, loop *Loop, opt CompileOptions) (*Program, error) {
+	pctx, err := passes.CompileLoopCtx(ctx, loop, opt)
 	if err != nil {
 		return nil, err
 	}
-	return programFrom(ctx), nil
+	return programFrom(pctx), nil
 }
 
 // programFrom maps a completed compile context onto the facade Program.

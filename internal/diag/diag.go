@@ -11,6 +11,7 @@
 package diag
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"strings"
@@ -105,6 +106,42 @@ func Errorf(stage string, pos Pos, format string, args ...any) *Diagnostic {
 // Warningf builds a Warning-severity diagnostic.
 func Warningf(stage string, pos Pos, format string, args ...any) *Diagnostic {
 	return &Diagnostic{Stage: stage, Severity: Warning, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// FromPanic builds an Error diagnostic for a panic recovered in the named
+// stage while processing the named request ("" when unknown). The stack is
+// reduced to a short digest: full goroutine stacks are not stable across
+// runs (addresses, goroutine ids), but the digest of their call-site lines
+// is, so identical crash signatures aggregate while staying greppable.
+func FromPanic(stage, request string, v any, stack []byte) *Diagnostic {
+	msg := fmt.Sprintf("panic: %v [stack %s]", v, StackDigest(stack))
+	if request != "" {
+		msg = fmt.Sprintf("request %s: %s", request, msg)
+	}
+	return &Diagnostic{Stage: stage, Msg: msg}
+}
+
+// StackDigest hashes the call-site lines of a debug.Stack dump into a short
+// stable signature. Lines carrying addresses, offsets or goroutine ids are
+// normalized away so two panics from the same site share a digest.
+func StackDigest(stack []byte) string {
+	h := sha256.New()
+	for _, line := range strings.Split(string(stack), "\n") {
+		line = strings.TrimSpace(line)
+		// Keep only function-name lines ("pkg.Func(...)"); file:line rows
+		// carry hex offsets and goroutine headers carry ids.
+		if line == "" || strings.HasPrefix(line, "goroutine ") {
+			continue
+		}
+		if i := strings.IndexByte(line, '('); i > 0 {
+			line = line[:i]
+		} else if strings.Contains(line, ":") {
+			continue
+		}
+		h.Write([]byte(line))
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:12]
 }
 
 // WithStmt returns a copy of the diagnostic attributed to the labeled

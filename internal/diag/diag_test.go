@@ -74,3 +74,50 @@ func TestList(t *testing.T) {
 		}
 	}
 }
+
+func TestFromPanic(t *testing.T) {
+	stack := []byte(`goroutine 17 [running]:
+runtime/debug.Stack()
+	/usr/local/go/src/runtime/debug/stack.go:26 +0x64
+doacross/internal/passes.(*Pipeline).runPass.func1()
+	/root/repo/internal/passes/pipeline.go:199 +0x84
+doacross/internal/passes.analyzePass.Run(...)
+	/root/repo/internal/passes/passes.go:140
+`)
+	d := FromPanic("analyze", "loop3", "index out of range", stack)
+	if d.Stage != "analyze" || d.Severity != Error {
+		t.Errorf("FromPanic stage/severity = %q/%v", d.Stage, d.Severity)
+	}
+	for _, want := range []string{"request loop3", "panic: index out of range", "stack "} {
+		if !strings.Contains(d.Msg, want) {
+			t.Errorf("FromPanic message %q missing %q", d.Msg, want)
+		}
+	}
+	// Without a request label the clause is omitted.
+	if d2 := FromPanic("schedule", "", "boom", stack); strings.Contains(d2.Msg, "request") {
+		t.Errorf("empty request rendered: %q", d2.Msg)
+	}
+}
+
+func TestStackDigest(t *testing.T) {
+	mk := func(goroutine, addr1, addr2 string) []byte {
+		return []byte("goroutine " + goroutine + " [running]:\n" +
+			"pkg.A(0x" + addr1 + ")\n\t/src/a.go:10 +0x" + addr1 + "\n" +
+			"pkg.B(0x" + addr2 + ")\n\t/src/b.go:20 +0x" + addr2 + "\n")
+	}
+	a := StackDigest(mk("7", "c0de", "beef"))
+	// Same call sites, different goroutine id, addresses and offsets: the
+	// digest must not move.
+	b := StackDigest(mk("42", "1234", "5678"))
+	if a != b {
+		t.Errorf("digest unstable across runs: %q vs %q", a, b)
+	}
+	if len(a) != 12 {
+		t.Errorf("digest length = %d, want 12", len(a))
+	}
+	// A different call chain digests differently.
+	c := StackDigest([]byte("goroutine 7 [running]:\npkg.C(0x1)\n\t/src/c.go:30 +0x1\n"))
+	if c == a {
+		t.Error("distinct stacks share a digest")
+	}
+}

@@ -75,7 +75,16 @@ func (p *Program) RunParallel(st *lang.Store, procs int) (ParallelResult, error)
 	remaining := n
 	for cycle := 0; remaining > 0; cycle++ {
 		if cycle > (n+2)*(len(p.Insts)+4)*4+1024 {
-			return ParallelResult{}, fmt.Errorf("dlxisa: parallel deadlock at cycle %d", cycle)
+			// Report which iterations are stuck: essential when diagnosing a
+			// bad schedule or signal pattern in a large batch.
+			var blocked []int
+			for _, s := range ps {
+				if s.iterIdx >= 0 {
+					blocked = append(blocked, lo+s.iterIdx)
+				}
+			}
+			return ParallelResult{}, fmt.Errorf("dlxisa: parallel deadlock at cycle %d (%d iterations unfinished; blocked iterations %v)",
+				cycle, remaining, blocked)
 		}
 		for _, s := range ps {
 			if s.iterIdx < 0 {

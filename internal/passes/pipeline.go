@@ -1,7 +1,9 @@
 package passes
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -37,6 +39,14 @@ type Options struct {
 	// Tracer, when non-nil, receives every pass execution (latency and
 	// failure). internal/pipeline's metrics registry implements this.
 	Tracer Tracer
+	// FaultHook, when non-nil, is probed before every pass with the pass
+	// name and the request label (internal/faults.Injector.Hook fits). A
+	// returned error fails the pass; a panic is isolated like any pass
+	// panic. Production pipelines leave it nil.
+	FaultHook func(stage, name string) error
+	// Request labels the compilation in fault probes and panic diagnostics
+	// ("" outside the batch pipeline).
+	Request string
 }
 
 // Tracer observes pass executions. Implementations must be safe for
@@ -176,17 +186,55 @@ func (p *Pipeline) dump(name string) bool {
 	return false
 }
 
+// runPass executes one pass, converting a panic — in the pass itself or in
+// the fault hook — into a structured diagnostic carrying the pass name, the
+// request label and a stack digest, so a poisoned compilation never unwinds
+// past the pass manager.
+func (p *Pipeline) runPass(pass Pass, ctx *Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Tracers that additionally count panics (the batch pipeline's
+			// metrics registry) get told; plain tracers still see the
+			// failure via PassError.
+			if pp, ok := p.opts.Tracer.(interface{ PassPanic(name string) }); ok {
+				pp.PassPanic(pass.Name())
+			}
+			err = diag.FromPanic(pass.Name(), p.opts.Request, r, debug.Stack())
+		}
+	}()
+	if p.opts.FaultHook != nil {
+		if err := p.opts.FaultHook(pass.Name(), p.opts.Request); err != nil {
+			return diag.Errorf(pass.Name(), diag.Pos{}, "%v", err)
+		}
+	}
+	return pass.Run(ctx)
+}
+
 // Run threads the context through every pass in order, recording timings,
 // artifacts and diagnostics. On the first pass failure it records the error
 // as a diagnostic and stops; the context keeps the products of the passes
-// that did complete.
+// that did complete. A pass that panics fails with a structured diagnostic
+// instead of unwinding.
 func (p *Pipeline) Run(ctx *Context) error {
+	return p.RunCtx(context.Background(), ctx)
+}
+
+// RunCtx is Run under a cancellation context, checked before every pass: a
+// compilation caught by a batch deadline stops between passes and reports
+// the context error (the completed passes' products stay in the context).
+func (p *Pipeline) RunCtx(cctx context.Context, ctx *Context) error {
 	if ctx.Trace == nil {
 		ctx.Trace = &Trace{}
 	}
 	for _, pass := range p.passes {
+		if err := cctx.Err(); err != nil {
+			err = fmt.Errorf("passes: %s: %w", pass.Name(), err)
+			ctx.Diags = append(ctx.Diags, diag.Errorf(pass.Name(), diag.Pos{}, "%v", err))
+			ctx.Trace.Diags = ctx.Diags
+			return err
+		}
 		start := time.Now()
-		err := pass.Run(ctx)
+		err := p.runPass(pass, ctx)
 		d := time.Since(start)
 		ctx.Trace.Timings = append(ctx.Trace.Timings, Timing{Pass: pass.Name(), Duration: d})
 		if p.opts.Tracer != nil {
@@ -219,8 +267,13 @@ func (p *Pipeline) Run(ctx *Context) error {
 
 // RunSource compiles loop source text through the pipeline.
 func (p *Pipeline) RunSource(src string) (*Context, error) {
+	return p.RunSourceCtx(context.Background(), src)
+}
+
+// RunSourceCtx is RunSource under a cancellation context.
+func (p *Pipeline) RunSourceCtx(cctx context.Context, src string) (*Context, error) {
 	ctx := &Context{Source: src}
-	err := p.Run(ctx)
+	err := p.RunCtx(cctx, ctx)
 	return ctx, err
 }
 
@@ -228,8 +281,13 @@ func (p *Pipeline) RunSource(src string) (*Context, error) {
 // not modified: transforming passes (unroll, migrate) replace ctx.Loop with
 // a rewritten copy.
 func (p *Pipeline) RunLoop(loop *lang.Loop) (*Context, error) {
+	return p.RunLoopCtx(context.Background(), loop)
+}
+
+// RunLoopCtx is RunLoop under a cancellation context.
+func (p *Pipeline) RunLoopCtx(cctx context.Context, loop *lang.Loop) (*Context, error) {
 	ctx := &Context{Loop: loop}
-	err := p.Run(ctx)
+	err := p.RunCtx(cctx, ctx)
 	return ctx, err
 }
 
@@ -239,7 +297,18 @@ func Compile(src string, opts Options) (*Context, error) {
 	return New(opts).RunSource(src)
 }
 
+// CompileCtx is Compile under a cancellation context, checked between
+// passes.
+func CompileCtx(cctx context.Context, src string, opts Options) (*Context, error) {
+	return New(opts).RunSourceCtx(cctx, src)
+}
+
 // CompileLoop is Compile over an already parsed loop.
 func CompileLoop(loop *lang.Loop, opts Options) (*Context, error) {
 	return New(opts).RunLoop(loop)
+}
+
+// CompileLoopCtx is CompileLoop under a cancellation context.
+func CompileLoopCtx(cctx context.Context, loop *lang.Loop, opts Options) (*Context, error) {
+	return New(opts).RunLoopCtx(cctx, loop)
 }

@@ -1,0 +1,111 @@
+package passes
+
+// Tests of the pass manager's hardened execution: panic recovery into
+// structured diagnostics, fault-hook probing, and cancellation between
+// passes.
+
+import (
+	"context"
+	"errors"
+	"regexp"
+	"strings"
+	"testing"
+
+	"doacross/internal/diag"
+)
+
+const robustSrc = `DO I = 1, N
+S1: B[I] = A[I-2] + E[I+1]
+S2: A[I] = B[I] + C[I+3]
+ENDDO`
+
+var digestRe = regexp.MustCompile(`stack [0-9a-f]{12}`)
+
+// TestPassPanicRecovered: a panic inside a pass (here: its fault probe)
+// becomes a structured diagnostic with the pass name, the request label and
+// a stable stack digest; earlier passes' products survive in the context.
+func TestPassPanicRecovered(t *testing.T) {
+	hook := func(stage, name string) error {
+		if stage == PassAnalyze {
+			panic("kaboom")
+		}
+		return nil
+	}
+	ctx, err := Compile(robustSrc, Options{FaultHook: hook, Request: "r1"})
+	if err == nil {
+		t.Fatal("panicking pass succeeded")
+	}
+	d, ok := diag.As(err)
+	if !ok {
+		t.Fatalf("panic surfaced as unstructured error: %v", err)
+	}
+	if d.Stage != PassAnalyze {
+		t.Errorf("stage = %q, want %q", d.Stage, PassAnalyze)
+	}
+	for _, want := range []string{"request r1", "panic: kaboom"} {
+		if !strings.Contains(d.Msg, want) {
+			t.Errorf("diagnostic %q missing %q", d.Msg, want)
+		}
+	}
+	if !digestRe.MatchString(d.Msg) {
+		t.Errorf("diagnostic %q carries no stack digest", d.Msg)
+	}
+	if ctx.Loop == nil {
+		t.Error("parse product lost in the panic")
+	}
+	if ctx.Analysis != nil {
+		t.Error("failed pass left a product")
+	}
+	if len(ctx.Trace.Diags.Errors()) == 0 {
+		t.Error("trace lost the panic diagnostic")
+	}
+	// Two compilations panicking at the same site share a digest: crash
+	// signatures aggregate.
+	_, err2 := Compile(robustSrc, Options{FaultHook: hook, Request: "r2"})
+	d2, _ := diag.As(err2)
+	if digestRe.FindString(d.Msg) != digestRe.FindString(d2.Msg) {
+		t.Errorf("same crash site, different digests:\n%s\n%s", d.Msg, d2.Msg)
+	}
+}
+
+// TestFaultHookError: a hook error fails the pass with a diagnostic naming
+// it; products of the completed passes stay, later ones never run.
+func TestFaultHookError(t *testing.T) {
+	hook := func(stage, name string) error {
+		if stage == PassCodegen {
+			return errors.New("injected hook failure")
+		}
+		return nil
+	}
+	ctx, err := Compile(robustSrc, Options{FaultHook: hook})
+	if err == nil {
+		t.Fatal("hook error ignored")
+	}
+	d, ok := diag.As(err)
+	if !ok || d.Stage != PassCodegen {
+		t.Fatalf("error = %v, want codegen diagnostic", err)
+	}
+	if ctx.Sync == nil {
+		t.Error("products before the failed pass lost")
+	}
+	if ctx.Code != nil || ctx.Graph != nil {
+		t.Error("passes after the failure still ran")
+	}
+}
+
+// TestRunCtxCancelled: an expired context stops the pipeline between passes
+// with the context error and a diagnostic naming the pass it stopped at.
+func TestRunCtxCancelled(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctx, err := CompileCtx(cctx, robustSrc, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(ctx.Diags.Errors()) == 0 {
+		t.Error("cancellation left no diagnostic")
+	}
+	if len(ctx.Trace.Timings) != 0 {
+		t.Error("cancelled pipeline still ran passes")
+	}
+}

@@ -85,6 +85,10 @@ type Metrics struct {
 	mu           sync.RWMutex
 	stages       map[string]*stageMetrics
 	hits, misses atomic.Int64
+	// Robustness counters: recovered worker/pass panics, requests that hit
+	// a deadline or cancellation, and schedules served by the verified
+	// program-order fallback.
+	panics, timeouts, fallbacks atomic.Int64
 }
 
 // NewMetrics returns an empty registry.
@@ -142,11 +146,25 @@ func (m *Metrics) ObservePass(name string, d time.Duration) { m.Observe(name, d)
 // PassError implements passes.Tracer.
 func (m *Metrics) PassError(name string) { m.Error(name) }
 
+// PassPanic records a panic recovered inside the named compilation pass (an
+// optional extension of passes.Tracer the pass manager probes for).
+func (m *Metrics) PassPanic(string) { m.Panic() }
+
 // CacheHit records a schedule-cache hit.
 func (m *Metrics) CacheHit() { m.hits.Add(1) }
 
 // CacheMiss records a schedule-cache miss.
 func (m *Metrics) CacheMiss() { m.misses.Add(1) }
+
+// Panic records a recovered panic (worker- or pass-level).
+func (m *Metrics) Panic() { m.panics.Add(1) }
+
+// Timeout records a request lost to a deadline or cancellation.
+func (m *Metrics) Timeout() { m.timeouts.Add(1) }
+
+// Fallback records a request served by the verified program-order fallback
+// schedule instead of the synchronization-aware one.
+func (m *Metrics) Fallback() { m.fallbacks.Add(1) }
 
 // timed runs f, records its latency under the named stage, and counts an
 // error if f reports one.
@@ -188,6 +206,10 @@ type Stats struct {
 	// pipeline order, then schedule and simulate.
 	Stages                 []StageStats
 	CacheHits, CacheMisses int64
+	// Panics counts recovered panics, Timeouts counts requests lost to
+	// deadlines or cancellation, Fallbacks counts requests served by the
+	// verified program-order fallback schedule.
+	Panics, Timeouts, Fallbacks int64
 }
 
 // Stats snapshots the registry.
@@ -224,6 +246,9 @@ func (m *Metrics) Stats() Stats {
 	}
 	out.CacheHits = m.hits.Load()
 	out.CacheMisses = m.misses.Load()
+	out.Panics = m.panics.Load()
+	out.Timeouts = m.timeouts.Load()
+	out.Fallbacks = m.fallbacks.Load()
 	return out
 }
 
@@ -266,6 +291,10 @@ func (s Stats) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "cache: %d hits, %d misses (%.1f%% hit rate)\n",
 		s.CacheHits, s.CacheMisses, 100*s.HitRate())
+	if s.Panics+s.Timeouts+s.Fallbacks > 0 {
+		fmt.Fprintf(&sb, "faults: %d panics recovered, %d timeouts, %d fallbacks\n",
+			s.Panics, s.Timeouts, s.Fallbacks)
+	}
 	for _, st := range s.Stages {
 		fmt.Fprintf(&sb, "%-10s %6d runs, %3d errors, mean %9v, max %9v, total %9v\n",
 			st.Stage, st.Count, st.Errors, st.Mean().Round(time.Microsecond),

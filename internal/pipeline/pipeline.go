@@ -9,14 +9,37 @@
 // count: every per-loop computation is a pure function of the loop source
 // and the options, and cached values are bound first-writer-wins, so a batch
 // run with 1 worker and with 8 workers yields identical numbers.
+//
+// The service is hardened against misbehaving inputs and stages:
+//
+//   - Cancellation: RunContext threads a context through the worker pool,
+//     checked between the compile, schedule and simulate stages;
+//     Options.Deadline bounds the batch and Options.RequestTimeout each
+//     request. A cancelled batch still returns every result in request
+//     order, with per-request errors on the requests that were cut off.
+//   - Panic isolation: a panic in any stage (or compilation pass) is
+//     recovered into a structured diagnostic carrying the stage, the request
+//     name and a stack digest; one poisoned loop never kills the batch.
+//   - Graceful degradation: when the synchronization-aware scheduler fails —
+//     an error, a panic, or a schedule rejected by Validate — the request is
+//     served by the program-order list schedule, which the paper guarantees
+//     is always a correct (if slower) answer. The fallback is verified with
+//     Validate before it is returned and the result is flagged Degraded with
+//     the reason.
+//   - Fault injection: Options.FaultHook (see internal/faults) is probed at
+//     every stage boundary so chaos tests can drive each failure path
+//     deterministically.
 package pipeline
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 
 	"doacross/internal/core"
 	"doacross/internal/dep"
@@ -44,9 +67,17 @@ type Request struct {
 	N int
 }
 
+// name returns the request's label in results and fault probes.
+func (r Request) name(idx int) string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return fmt.Sprintf("loop%d", idx)
+}
+
 // Options configures a batch run. The zero value schedules on the paper's
 // 4-issue machine with the program-order list baseline, n=100, GOMAXPROCS
-// workers, no cache and a private metrics registry.
+// workers, no cache, no deadline and a private metrics registry.
 type Options struct {
 	// Workers is the worker-pool size; 0 means GOMAXPROCS.
 	Workers int
@@ -73,12 +104,30 @@ type Options struct {
 	// batches: compilations by source text, schedules by DFG fingerprint +
 	// machine + scheduler options, and timings additionally by trip count
 	// and window. Sweeping trip counts or machines over a fixed corpus
-	// recompiles and reschedules nothing.
+	// recompiles and reschedules nothing. Degraded (fallback) results are
+	// never published to the cache.
 	Cache *Cache
 	// Metrics, when non-nil, receives this batch's counters (pass one
 	// registry to several batches to aggregate). Otherwise a private
 	// registry is used and returned in Batch.Stats.
 	Metrics *Metrics
+	// Deadline bounds the whole batch (0 = none). When it expires, requests
+	// not yet finished fail with context.DeadlineExceeded errors; completed
+	// results are returned as usual, in request order.
+	Deadline time.Duration
+	// RequestTimeout bounds each request (0 = none), checked between the
+	// compile, schedule and simulate stages.
+	RequestTimeout time.Duration
+	// FaultHook, when non-nil, is probed with (stage, request name) at the
+	// start of the "compile", "schedule" and "simulate" stages, once per
+	// request at "cache" consultation, and before every compilation pass
+	// (with the pass name as the stage). A returned error fails the stage —
+	// subject to the same fallback rules as organic failures — and a "cache"
+	// error drops the cached entries for the request (forcing recompute). A
+	// hook panic is isolated like any stage panic. internal/faults provides
+	// a seeded deterministic implementation; production batches leave it
+	// nil.
+	FaultHook func(stage, name string) error
 }
 
 func (o Options) workers() int {
@@ -116,6 +165,14 @@ func (o Options) compileSalt() string {
 		strings.Join(o.Compile.Dump, ","))
 }
 
+// Fault-probe stage names (the compilation passes are probed under their own
+// pass names). These mirror internal/faults' stage constants without
+// importing it: the hook signature is plain func values in both directions.
+const (
+	stageCompile = "compile"
+	stageCache   = "cache"
+)
+
 // MachineResult is one loop's outcome on one machine configuration.
 type MachineResult struct {
 	// Machine is the configuration name.
@@ -137,6 +194,14 @@ type MachineResult struct {
 	Improvement float64
 	// CacheHit reports whether the schedules came from the cache.
 	CacheHit bool
+	// Degraded reports that the synchronization-aware schedule (and Best)
+	// was replaced by the verified program-order list fallback after a
+	// scheduler or simulator failure; Sync then holds the fallback, which
+	// passed Schedule.Validate before being returned.
+	Degraded bool
+	// DegradedReason is the failure that triggered the fallback ("" unless
+	// Degraded).
+	DegradedReason string
 }
 
 // LoopResult is one request's outcome.
@@ -176,6 +241,17 @@ func (r *LoopResult) Listing() string { return tac.Listing(r.Prog.Instrs) }
 
 // GraphInfo summarizes the data-flow graph partition.
 func (r *LoopResult) GraphInfo() string { return r.Graph.SyncInfo() }
+
+// Degraded reports whether any machine's result was served by the verified
+// program-order fallback schedule.
+func (r *LoopResult) Degraded() bool {
+	for i := range r.Machines {
+		if r.Machines[i].Degraded {
+			return true
+		}
+	}
+	return false
+}
 
 // Batch is the result of one pipeline run.
 type Batch struct {
@@ -231,6 +307,16 @@ type timeEntry struct {
 // stats. Per-loop failures land in LoopResult.Err (see Batch.FirstErr); Run
 // itself only fails on unusable options.
 func Run(reqs []Request, opt Options) (*Batch, error) {
+	return RunContext(context.Background(), reqs, opt)
+}
+
+// RunContext is Run under a cancellation context, threaded through the
+// worker pool and checked between the compile, schedule and simulate stages
+// of every request. Options.Deadline additionally bounds the batch and
+// Options.RequestTimeout each request. When the context expires, the
+// requests cut off fail individually with the context's error — results are
+// still returned for every request, in request order.
+func RunContext(ctx context.Context, reqs []Request, opt Options) (*Batch, error) {
 	machines := opt.machines()
 	for _, m := range machines {
 		if err := m.Validate(); err != nil {
@@ -240,6 +326,11 @@ func Run(reqs []Request, opt Options) (*Batch, error) {
 	metrics := opt.Metrics
 	if metrics == nil {
 		metrics = NewMetrics()
+	}
+	if opt.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+		defer cancel()
 	}
 	batch := &Batch{Loops: make([]LoopResult, len(reqs))}
 	jobs := make(chan int)
@@ -253,12 +344,26 @@ func Run(reqs []Request, opt Options) (*Batch, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				batch.Loops[i] = runOne(i, reqs[i], machines, opt, metrics)
+				batch.Loops[i] = runOne(ctx, i, reqs[i], machines, opt, metrics)
 			}
 		}()
 	}
+feed:
 	for i := range reqs {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// The batch is cut off: fail the requests not yet handed to a
+			// worker (workers notice the same context between stages).
+			for j := i; j < len(reqs); j++ {
+				name := reqs[j].name(j)
+				batch.Loops[j] = LoopResult{
+					Index: j, Name: name, N: reqs[j].N,
+					Err: ctxErr(ctx, name, metrics),
+				}
+			}
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -266,14 +371,100 @@ func Run(reqs []Request, opt Options) (*Batch, error) {
 	return batch, nil
 }
 
+// ctxErr converts an expired context into a request error, counting the
+// timeout. It must only be called when ctx.Err() != nil.
+func ctxErr(ctx context.Context, name string, metrics *Metrics) error {
+	metrics.Timeout()
+	return fmt.Errorf("pipeline: request %s: %w", name, ctx.Err())
+}
+
+// safeStage runs f, recovering a panic into a structured diagnostic carrying
+// the stage, the request name and a stack digest, and counting it — one
+// poisoned loop never kills the batch.
+func safeStage(stage, name string, metrics *Metrics, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			metrics.Panic()
+			err = diag.FromPanic(stage, name, r, debug.Stack())
+		}
+	}()
+	return f()
+}
+
+// fallbackSchedule builds and verifies the degraded answer: the
+// program-order list schedule, which the paper guarantees is always correct
+// (the Best schedule's never-worse baseline). It is validated before use so
+// the service never returns an unverified schedule.
+func fallbackSchedule(g *dfg.Graph, cfg dlx.Config) (*core.Schedule, error) {
+	fb, err := core.List(g, cfg, core.ProgramOrder)
+	if err != nil {
+		return nil, err
+	}
+	if err := fb.Validate(); err != nil {
+		return nil, fmt.Errorf("fallback schedule failed validation: %w", err)
+	}
+	return fb, nil
+}
+
+// validate rejects malformed requests before they reach the parser or the
+// simulator, with a positioned diagnostic.
+func (r Request) validate(idx int) *diag.Diagnostic {
+	pos := diag.Pos{}
+	if r.Loop != nil {
+		pos = r.Loop.Pos()
+	}
+	if r.Loop == nil && r.Source == "" {
+		return diag.Errorf("pipeline", pos, "request %s has neither Source nor Loop", r.name(idx))
+	}
+	if r.N < 0 {
+		return diag.Errorf("pipeline", pos, "request %s: negative trip count N=%d", r.name(idx), r.N)
+	}
+	return nil
+}
+
 // runOne pushes one request through compile → schedule → simulate.
-func runOne(idx int, req Request, machines []dlx.Config, opt Options, metrics *Metrics) LoopResult {
-	res := LoopResult{Index: idx, Name: req.Name, N: req.N}
-	if res.Name == "" {
-		res.Name = fmt.Sprintf("loop%d", idx)
+func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, opt Options, metrics *Metrics) (res LoopResult) {
+	res = LoopResult{Index: idx, Name: req.name(idx), N: req.N}
+	// Last line of defense: a panic that escapes the per-stage recovery
+	// (e.g. in glue code or a fault hook outside a stage) fails this request
+	// only.
+	defer func() {
+		if r := recover(); r != nil {
+			metrics.Panic()
+			res.Err = diag.FromPanic("pipeline", res.Name, r, debug.Stack())
+		}
+	}()
+	if d := req.validate(idx); d != nil {
+		res.Err = d
+		return res
 	}
 	if res.N == 0 {
 		res.N = opt.n()
+	}
+	if ctx.Err() != nil {
+		res.Err = ctxErr(ctx, res.Name, metrics)
+		return res
+	}
+	if opt.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.RequestTimeout)
+		defer cancel()
+	}
+	probe := func(stage string) error {
+		if opt.FaultHook == nil {
+			return nil
+		}
+		return opt.FaultHook(stage, res.Name)
+	}
+
+	// Cache health: one probe per request decides whether this request may
+	// read the shared cache (an injected "corrupt" fault drops the cached
+	// entries, forcing a recompute; recomputed values are safe to publish).
+	useCache := opt.Cache != nil
+	if useCache {
+		if err := probe(stageCache); err != nil {
+			useCache = false
+		}
 	}
 
 	// Compile through the pass manager, via the content-addressed memo when
@@ -281,12 +472,7 @@ func runOne(idx int, req Request, machines []dlx.Config, opt Options, metrics *M
 	// parsed loops) shares one immutable compilation, trace included.
 	var srcKey dfg.Fingerprint
 	var compiled *compileEntry
-	if req.Loop == nil && req.Source == "" {
-		res.Err = fmt.Errorf("request has neither Source nor Loop")
-		metrics.Error(passes.PassParse)
-		return res
-	}
-	if opt.Cache != nil {
+	if useCache {
 		src := req.Source
 		if req.Loop != nil {
 			src = req.Loop.String()
@@ -300,23 +486,29 @@ func runOne(idx int, req Request, machines []dlx.Config, opt Options, metrics *M
 		}
 	}
 	if compiled == nil {
+		if err := probe(stageCompile); err != nil {
+			res.Err = fmt.Errorf("pipeline: compile %s: %w", res.Name, err)
+			return res
+		}
 		popts := opt.Compile
 		popts.Tracer = metrics
+		popts.FaultHook = opt.FaultHook
+		popts.Request = res.Name
 		pl := passes.New(popts)
-		var ctx *passes.Context
+		var pctx *passes.Context
 		if req.Loop != nil {
-			ctx, res.Err = pl.RunLoop(req.Loop)
+			pctx, res.Err = pl.RunLoopCtx(ctx, req.Loop)
 		} else {
-			ctx, res.Err = pl.RunSource(req.Source)
+			pctx, res.Err = pl.RunSourceCtx(ctx, req.Source)
 		}
-		res.Trace = ctx.Trace
-		res.Diags = ctx.Diags
+		res.Trace = pctx.Trace
+		res.Diags = pctx.Diags
 		if res.Err != nil {
 			return res
 		}
 		compiled = &compileEntry{
-			loop: ctx.Loop, analysis: ctx.Analysis, syncLoop: ctx.Sync,
-			prog: ctx.Code, graph: ctx.Graph, trace: ctx.Trace, diags: ctx.Diags,
+			loop: pctx.Loop, analysis: pctx.Analysis, syncLoop: pctx.Sync,
+			prog: pctx.Code, graph: pctx.Graph, trace: pctx.Trace, diags: pctx.Diags,
 		}
 		if opt.Cache != nil {
 			v, _ := opt.Cache.Put(srcKey, compiled)
@@ -335,13 +527,17 @@ func runOne(idx int, req Request, machines []dlx.Config, opt Options, metrics *M
 	salt := opt.salt()
 	res.Machines = make([]MachineResult, len(machines))
 	for k, cfg := range machines {
+		if ctx.Err() != nil {
+			res.Err = ctxErr(ctx, res.Name, metrics)
+			return res
+		}
 		mr := &res.Machines[k]
 		mr.Machine = cfg.Name
 		mr.Key = dfg.KeyFrom(fp, cfg, "sched", salt)
 
 		// Schedule, through the cache when one is attached.
 		var entry *schedEntry
-		if opt.Cache != nil {
+		if useCache {
 			if v, ok := opt.Cache.Get(mr.Key); ok {
 				entry = v.(*schedEntry)
 				mr.CacheHit = true
@@ -349,40 +545,78 @@ func runOne(idx int, req Request, machines []dlx.Config, opt Options, metrics *M
 			}
 		}
 		if entry == nil {
-			if opt.Cache != nil {
+			if useCache {
 				metrics.CacheMiss()
 			}
 			e := &schedEntry{}
-			res.Err = metrics.timed(StageSchedule, func() error {
-				var err error
-				if e.list, err = core.List(res.Graph, cfg, opt.Baseline); err != nil {
-					return err
-				}
-				if e.sync, err = core.SyncWithOptions(res.Graph, cfg, opt.Sync); err != nil {
-					return err
-				}
-				if opt.Best {
-					if e.best, err = core.Best(res.Graph, cfg); err != nil {
+			err := metrics.timed(StageSchedule, func() error {
+				return safeStage(StageSchedule, res.Name, metrics, func() error {
+					if err := probe(StageSchedule); err != nil {
 						return err
 					}
-				}
-				return nil
+					var err error
+					if e.list, err = core.List(res.Graph, cfg, opt.Baseline); err != nil {
+						return err
+					}
+					if e.sync, err = core.SyncWithOptions(res.Graph, cfg, opt.Sync); err != nil {
+						return err
+					}
+					// Post-hoc verification of the synchronization-aware
+					// schedule: a scheduler bug degrades the answer, it does
+					// not ship an invalid schedule.
+					if err := e.sync.Validate(); err != nil {
+						return fmt.Errorf("sync schedule failed validation: %w", err)
+					}
+					if opt.Best {
+						if e.best, err = core.Best(res.Graph, cfg); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
 			})
-			if res.Err != nil {
-				return res
-			}
-			entry = e
-			if opt.Cache != nil {
-				v, _ := opt.Cache.Put(mr.Key, entry)
-				entry = v.(*schedEntry)
+			if err != nil {
+				// Graceful degradation: serve the verified program-order
+				// baseline instead of failing the request. The paper
+				// guarantees it is a correct schedule whenever one exists.
+				fb, ferr := fallbackSchedule(res.Graph, cfg)
+				if ferr != nil {
+					res.Err = fmt.Errorf("pipeline: schedule %s on %s: %v (fallback failed: %w)",
+						res.Name, cfg.Name, err, ferr)
+					return res
+				}
+				e = &schedEntry{list: e.list, sync: fb}
+				if e.list == nil || e.list.Validate() != nil {
+					e.list = fb
+				}
+				if opt.Best {
+					e.best = fb
+				}
+				mr.Degraded = true
+				mr.DegradedReason = err.Error()
+				metrics.Fallback()
+				entry = e
+			} else {
+				entry = e
+				if useCache {
+					v, _ := opt.Cache.Put(mr.Key, entry)
+					entry = v.(*schedEntry)
+				}
 			}
 		}
 		mr.List, mr.Sync, mr.Best = entry.list, entry.sync, entry.best
 
+		if ctx.Err() != nil {
+			res.Err = ctxErr(ctx, res.Name, metrics)
+			return res
+		}
+
 		// Simulate; timings additionally key on trip count and window.
+		// Degraded schedules never touch the time cache.
+		simOpt := sim.Options{Lo: 1, Hi: res.N, Window: opt.Window}
 		var times *timeEntry
 		timeKey := dfg.KeyFrom(fp, cfg, "time", salt, fmt.Sprintf("n=%d w=%d", res.N, opt.Window))
-		if opt.Cache != nil {
+		if useCache && !mr.Degraded {
 			if v, ok := opt.Cache.Get(timeKey); ok {
 				times = v.(*timeEntry)
 				metrics.CacheHit()
@@ -392,35 +626,74 @@ func runOne(idx int, req Request, machines []dlx.Config, opt Options, metrics *M
 		}
 		if times == nil {
 			te := &timeEntry{}
-			res.Err = metrics.timed(StageSimulate, func() error {
-				simOpt := sim.Options{Lo: 1, Hi: res.N, Window: opt.Window}
-				lt, err := sim.Time(entry.list, simOpt)
-				if err != nil {
-					return err
-				}
-				st, err := sim.Time(entry.sync, simOpt)
-				if err != nil {
-					return err
-				}
-				te.listTime, te.listStalls = lt.Total, lt.StallCycles
-				te.syncTime, te.syncStalls = st.Total, st.StallCycles
-				te.listLBD, te.syncLBD = entry.list.NumLBD(), entry.sync.NumLBD()
-				if entry.best != nil {
-					bt, err := sim.Time(entry.best, simOpt)
+			err := metrics.timed(StageSimulate, func() error {
+				return safeStage(StageSimulate, res.Name, metrics, func() error {
+					if err := probe(StageSimulate); err != nil {
+						return err
+					}
+					lt, err := sim.Time(entry.list, simOpt)
 					if err != nil {
 						return err
 					}
-					te.bestTime = bt.Total
-				}
-				return nil
+					st, err := sim.Time(entry.sync, simOpt)
+					if err != nil {
+						return err
+					}
+					te.listTime, te.listStalls = lt.Total, lt.StallCycles
+					te.syncTime, te.syncStalls = st.Total, st.StallCycles
+					te.listLBD, te.syncLBD = entry.list.NumLBD(), entry.sync.NumLBD()
+					if entry.best != nil {
+						bt, err := sim.Time(entry.best, simOpt)
+						if err != nil {
+							return err
+						}
+						te.bestTime = bt.Total
+					}
+					return nil
+				})
 			})
-			if res.Err != nil {
-				return res
-			}
-			times = te
-			if opt.Cache != nil {
-				v, _ := opt.Cache.Put(timeKey, times)
-				times = v.(*timeEntry)
+			if err != nil {
+				if mr.Degraded {
+					// Even the fallback failed to simulate; nothing correct
+					// left to serve.
+					res.Err = fmt.Errorf("pipeline: simulate %s on %s: %w", res.Name, cfg.Name, err)
+					return res
+				}
+				// Degrade at the simulation stage: time the verified
+				// program-order fallback instead.
+				fb, ferr := fallbackSchedule(res.Graph, cfg)
+				var ft sim.Timing
+				if ferr == nil {
+					ft, ferr = sim.Time(fb, simOpt)
+				}
+				if ferr != nil {
+					res.Err = fmt.Errorf("pipeline: simulate %s on %s: %v (fallback failed: %w)",
+						res.Name, cfg.Name, err, ferr)
+					return res
+				}
+				entry = &schedEntry{list: fb, sync: fb}
+				if opt.Best {
+					entry.best = fb
+				}
+				mr.List, mr.Sync, mr.Best = entry.list, entry.sync, entry.best
+				mr.Degraded = true
+				mr.DegradedReason = err.Error()
+				metrics.Fallback()
+				te = &timeEntry{
+					listTime: ft.Total, syncTime: ft.Total,
+					listStalls: ft.StallCycles, syncStalls: ft.StallCycles,
+					listLBD: fb.NumLBD(), syncLBD: fb.NumLBD(),
+				}
+				if opt.Best {
+					te.bestTime = ft.Total
+				}
+				times = te
+			} else {
+				times = te
+				if useCache && !mr.Degraded {
+					v, _ := opt.Cache.Put(timeKey, times)
+					times = v.(*timeEntry)
+				}
 			}
 		}
 		mr.ListTime, mr.SyncTime, mr.BestTime = times.listTime, times.syncTime, times.bestTime

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"doacross/internal/diag"
 	"doacross/internal/dlx"
 	"doacross/internal/lang"
 )
@@ -229,6 +230,44 @@ func TestPerLoopErrors(t *testing.T) {
 	}
 	if b := run(t, nil, Options{}); len(b.Loops) != 0 {
 		t.Error("empty batch produced loops")
+	}
+}
+
+// TestRequestValidation: malformed requests are rejected up front with a
+// structured, positioned diagnostic instead of dying in the parser or the
+// simulator.
+func TestRequestValidation(t *testing.T) {
+	loop := lang.MustParse(fig1)
+	b, err := Run([]Request{
+		{},                                   // neither Source nor Loop
+		{Name: "neg", Source: fig1, N: -5},   // negative trip count
+		{Name: "negloop", Loop: loop, N: -1}, // negative trip count, positioned
+		{Name: "ok", Source: fig1},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wantMsg := range []string{"neither Source nor Loop", "negative trip count", "negative trip count"} {
+		lr := b.Loops[i]
+		if lr.Err == nil {
+			t.Fatalf("request %d accepted", i)
+		}
+		d, ok := diag.As(lr.Err)
+		if !ok {
+			t.Fatalf("request %d error is not a diagnostic: %v", i, lr.Err)
+		}
+		if d.Stage != "pipeline" {
+			t.Errorf("request %d diagnostic stage = %q, want pipeline", i, d.Stage)
+		}
+		if !strings.Contains(d.Msg, wantMsg) {
+			t.Errorf("request %d diagnostic = %q, want mention of %q", i, d.Msg, wantMsg)
+		}
+	}
+	if d, _ := diag.As(b.Loops[2].Err); !d.Pos.IsValid() {
+		t.Error("parsed-loop validation diagnostic lost the source position")
+	}
+	if b.Loops[3].Err != nil {
+		t.Errorf("valid request rejected: %v", b.Loops[3].Err)
 	}
 }
 

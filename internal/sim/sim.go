@@ -45,6 +45,13 @@ type Options struct {
 	// paper's idealized assumption). A window smaller than the largest
 	// dependence distance deadlocks and is reported as an error.
 	Window int
+	// MaxCycles is a hard cycle budget for the detailed simulator (Run):
+	// when the simulation reaches it with iterations unfinished, a
+	// budget-exhausted error reporting the blocked iteration set is returned
+	// instead of spinning. 0 derives a generous bound from n and the
+	// schedule length (any correct schedule finishes well inside it), so a
+	// pathological schedule is always caught.
+	MaxCycles int
 }
 
 // N returns the trip count.
@@ -325,10 +332,34 @@ func Run(s *core.Schedule, st *lang.Store, opt Options) (Timing, error) {
 			nextIter++
 		}
 	}
+	// Hard cycle budget: explicit (Options.MaxCycles) or derived from the
+	// trip count and schedule length — any correct schedule finishes well
+	// inside the derived bound, so exceeding it means a deadlock or a
+	// pathological schedule rather than slow progress.
+	budget := opt.MaxCycles
+	derived := budget <= 0
+	if derived {
+		budget = (n+1)*(m.length+8)*4 + 1024
+	}
+	blockedIters := func() []int {
+		var out []int
+		for _, p := range ps {
+			if p.idx >= 0 {
+				out = append(out, opt.Lo+p.idx)
+			}
+		}
+		return out
+	}
 	remaining := n
 	for cycle := 0; remaining > 0; cycle++ {
-		if cycle > (n+1)*(m.length+8)*4+1024 {
-			return Timing{}, fmt.Errorf("sim: deadlock at cycle %d (%d iterations unfinished)", cycle, remaining)
+		if cycle > budget {
+			blocked := blockedIters()
+			if derived {
+				return Timing{}, fmt.Errorf("sim: deadlock at cycle %d (%d iterations unfinished; blocked iterations %v)",
+					cycle, remaining, blocked)
+			}
+			return Timing{}, fmt.Errorf("sim: cycle budget %d exhausted (%d iterations unfinished; blocked iterations %v)",
+				budget, remaining, blocked)
 		}
 		for _, p := range ps {
 			if p.idx < 0 {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -344,5 +345,35 @@ func TestUnsynchronizedScheduleCorrupts(t *testing.T) {
 	}
 	if d := ref.Diff(got); d == "" {
 		t.Error("unsynchronized run produced the sequential result; differential test has no power")
+	}
+}
+
+// TestMaxCyclesBudget: Options.MaxCycles caps the detailed simulator
+// explicitly. A budget too small for the run fails with an exhaustion error
+// naming the blocked iteration set; a generous budget changes nothing.
+func TestMaxCyclesBudget(t *testing.T) {
+	b := build(t, chainSource)
+	s := mustList(t, b, dlx.Uniform(2, 1))
+	n := 100
+	_, err := Run(s, b.loop.SeedStore(n+2, 8, 5), Options{Lo: 1, Hi: n, MaxCycles: 50})
+	if err == nil {
+		t.Fatal("a 700-cycle run fit a 50-cycle budget")
+	}
+	for _, want := range []string{"cycle budget 50 exhausted", "blocked iterations"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("budget error %q missing %q", err, want)
+		}
+	}
+	tm, err := Run(s, b.loop.SeedStore(n+2, 8, 5), Options{Lo: 1, Hi: n, MaxCycles: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Total != 700 {
+		t.Errorf("budgeted run total = %d, want 700", tm.Total)
+	}
+	// The derived bound (MaxCycles 0) still reports a deadlock, not an
+	// exhausted budget.
+	if _, err := Run(s, b.loop.SeedStore(n+2, 8, 5), Options{Lo: 1, Hi: n}); err != nil {
+		t.Errorf("derived bound rejected a correct schedule: %v", err)
 	}
 }

@@ -78,6 +78,18 @@ type Result struct {
 	Summary2Issue, Summary4Issue float64
 	// Loops holds per-loop detail for drill-down reports.
 	Loops []LoopResult
+	// Failures records loops that failed in the batch pipeline (one entry
+	// per failed loop, in request order) when the harness was asked to keep
+	// going; their measurements are missing from the aggregates.
+	Failures []LoopFailure
+}
+
+// LoopFailure is one loop the batch pipeline could not measure.
+type LoopFailure struct {
+	// Name is the pipeline request name ("<suite> loop <i>").
+	Name string
+	// Err is the per-loop pipeline error.
+	Err error
 }
 
 // compiled caches one loop's analysis pipeline output.
@@ -127,6 +139,29 @@ func RunOn(suites []*perfect.Suite, baseline core.ListPriority) (*Result, error)
 // private one — the numbers still reach the caller via pipeline stats when
 // a registry is supplied).
 func RunParallel(suites []*perfect.Suite, baseline core.ListPriority, workers int, cache *pipeline.Cache, metrics *pipeline.Metrics) (*Result, error) {
+	res, err := RunParallelWith(suites, baseline, pipeline.Options{
+		Workers: workers,
+		Cache:   cache,
+		Metrics: metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Failures) > 0 {
+		f := res.Failures[0]
+		return nil, fmt.Errorf("tables: %s: %w", f.Name, f.Err)
+	}
+	return res, nil
+}
+
+// RunParallelWith produces the tables through the batch pipeline configured
+// by opt (Machines and Baseline are overridden with the paper's four
+// configurations and the given baseline; Deadline/RequestTimeout and the
+// other robustness knobs pass through). Unlike RunParallel it keeps going
+// when individual loops fail: failed loops are skipped from the aggregates
+// and recorded in Result.Failures so callers can report them and decide the
+// exit status themselves.
+func RunParallelWith(suites []*perfect.Suite, baseline core.ListPriority, opt pipeline.Options) (*Result, error) {
 	res := &Result{Suites: suites}
 	configs := dlx.PaperConfigs()
 
@@ -149,23 +184,20 @@ func RunParallel(suites []*perfect.Suite, baseline core.ListPriority, workers in
 			refs = append(refs, ref{suite: si, index: li, tpl: l.Template})
 		}
 	}
-	batch, err := pipeline.Run(reqs, pipeline.Options{
-		Workers:  workers,
-		Machines: configs,
-		Baseline: baseline,
-		Cache:    cache,
-		Metrics:  metrics,
-	})
+	opt.Machines = configs
+	opt.Baseline = baseline
+	batch, err := pipeline.Run(reqs, opt)
 	if err != nil {
-		return nil, fmt.Errorf("tables: %w", err)
-	}
-	if err := batch.FirstErr(); err != nil {
 		return nil, fmt.Errorf("tables: %w", err)
 	}
 
 	rows := make([]Row2, len(suites))
 	for i, lr := range batch.Loops {
 		r := refs[i]
+		if lr.Err != nil {
+			res.Failures = append(res.Failures, LoopFailure{Name: lr.Name, Err: lr.Err})
+			continue
+		}
 		row := &rows[r.suite]
 		for k, mr := range lr.Machines {
 			row.Ta[k] += mr.ListTime

@@ -1,0 +1,103 @@
+package doacross
+
+// Facade-level tests of the hardened execution layer: the degradation
+// contract across the whole kernel corpus, and context threading through
+// the exported batch and compile entry points.
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestFallbackValidatesAcrossKernels forces the scheduling stage to fail for
+// every kernel in the corpus and asserts the degradation contract: each loop
+// is served by the program-order fallback, flagged with a reason, and the
+// fallback passes Validate and simulates to a positive time.
+func TestFallbackValidatesAcrossKernels(t *testing.T) {
+	srcs := kernelSources(t)
+	names := make([]string, 0, len(srcs))
+	for name := range srcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var loops []*Loop
+	for _, name := range names {
+		f, err := ParseSource(srcs[name])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		loops = append(loops, f.Loops...)
+	}
+	batch, err := ScheduleAllLoops(loops, BatchOptions{
+		Machines: PaperMachines(),
+		FaultHook: func(stage, name string) error {
+			if stage == "schedule" {
+				return errors.New("forced scheduler failure")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range batch.Loops {
+		if lr.Err != nil {
+			t.Fatalf("%s: degradation failed the request: %v", lr.Name, lr.Err)
+		}
+		if !lr.Degraded() {
+			t.Fatalf("%s: scheduler failure did not degrade", lr.Name)
+		}
+		for _, mr := range lr.Machines {
+			if !mr.Degraded || !strings.Contains(mr.DegradedReason, "forced scheduler failure") {
+				t.Errorf("%s/%s: degraded=%v reason=%q", lr.Name, mr.Machine, mr.Degraded, mr.DegradedReason)
+			}
+			if err := mr.Sync.Validate(); err != nil {
+				t.Errorf("%s/%s: fallback schedule invalid: %v", lr.Name, mr.Machine, err)
+			}
+			if mr.SyncTime <= 0 {
+				t.Errorf("%s/%s: fallback not simulated (time %d)", lr.Name, mr.Machine, mr.SyncTime)
+			}
+		}
+	}
+	if batch.Stats.Fallbacks == 0 {
+		t.Error("fallbacks counter untouched")
+	}
+}
+
+// TestScheduleAllContextCancelled: a dead context fails every request
+// individually; the batch call itself still succeeds with ordered results.
+func TestScheduleAllContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	srcs := []string{"DO I = 1, N\nA[I] = A[I-1] + 1\nENDDO", "DO I = 1, N\nS = S + A[I]\nENDDO"}
+	batch, err := ScheduleAllContext(ctx, srcs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Loops) != len(srcs) {
+		t.Fatalf("got %d results, want %d", len(batch.Loops), len(srcs))
+	}
+	for i, lr := range batch.Loops {
+		if lr.Index != i {
+			t.Errorf("result %d has Index %d", i, lr.Index)
+		}
+		if !errors.Is(lr.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", lr.Name, lr.Err)
+		}
+	}
+}
+
+// TestCompileWithContextCancelled: the compile facade honors its context.
+func TestCompileWithContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompileWithContext(ctx, "DO I = 1, N\nA[I] = A[I-1] + 1\nENDDO", CompileOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if _, err := CompileWithContext(context.Background(), "DO I = 1, N\nA[I] = A[I-1] + 1\nENDDO", CompileOptions{}); err != nil {
+		t.Errorf("live context failed compilation: %v", err)
+	}
+}
