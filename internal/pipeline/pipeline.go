@@ -34,6 +34,7 @@ package pipeline
 import (
 	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -469,15 +470,20 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 
 	// Compile through the pass manager, via the content-addressed memo when
 	// a cache is attached: identical source text (or identically rendering
-	// parsed loops) shares one immutable compilation, trace included.
+	// parsed loops) shares one immutable compilation, trace included. The
+	// key is computed whenever a cache is attached — even when a cache fault
+	// disabled reads for this request — so the recompute below publishes
+	// under this request's own fingerprint, never the zero key.
 	var srcKey dfg.Fingerprint
 	var compiled *compileEntry
-	if useCache {
+	if opt.Cache != nil {
 		src := req.Source
 		if req.Loop != nil {
 			src = req.Loop.String()
 		}
 		srcKey = sourceKey(src, opt.compileSalt())
+	}
+	if useCache {
 		if v, ok := opt.Cache.Get(srcKey); ok {
 			compiled = v.(*compileEntry)
 			metrics.CacheHit()
@@ -504,6 +510,11 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 		res.Trace = pctx.Trace
 		res.Diags = pctx.Diags
 		if res.Err != nil {
+			// A deadline/cancellation that fired inside the pass manager is
+			// a timeout like any other: count it and wrap it consistently.
+			if cerr := ctx.Err(); cerr != nil && errors.Is(res.Err, cerr) {
+				res.Err = ctxErr(ctx, res.Name, metrics)
+			}
 			return res
 		}
 		compiled = &compileEntry{
@@ -677,6 +688,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 				}
 				mr.List, mr.Sync, mr.Best = entry.list, entry.sync, entry.best
 				mr.Degraded = true
+				mr.CacheHit = false // the cached schedules were replaced by the fallback
 				mr.DegradedReason = err.Error()
 				metrics.Fallback()
 				te = &timeEntry{

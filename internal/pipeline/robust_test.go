@@ -570,12 +570,23 @@ func TestChaosWithCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Fault-free, cache-free reference run: each chaos result must carry its
+	// own request's compilation. A cache-faulted recompute that published (or
+	// adopted) another request's entry would validate fine but describe the
+	// wrong loop — compare DFG fingerprints per index to catch it.
+	ref, err := Run(reqsFor(corpus(n)), Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, lr := range b.Loops {
 		if lr.Index != i {
 			t.Fatalf("result %d has Index %d", i, lr.Index)
 		}
 		if lr.Err != nil {
 			continue
+		}
+		if want := ref.Loops[i].Graph.Fingerprint(); lr.Graph.Fingerprint() != want {
+			t.Errorf("%s: result carries another request's compilation (graph fingerprint mismatch)", lr.Name)
 		}
 		for _, mr := range lr.Machines {
 			if err := mr.Sync.Validate(); err != nil {
