@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"doacross/internal/core"
+	"doacross/internal/obs"
 	"doacross/internal/pipeline"
 )
 
@@ -43,6 +44,22 @@ type (
 	ScheduleCache = pipeline.Cache
 	// ListPriority selects the baseline list scheduler's priority.
 	ListPriority = core.ListPriority
+	// TraceRecorder is the span recorder of the observability layer: set
+	// one as BatchOptions.Observer and every batch, request, stage and
+	// compilation pass records a span into its bounded lock-free ring
+	// buffer. Snapshot() returns the finished spans; WriteChromeTrace
+	// exports them as Chrome trace_event JSON (loadable in Perfetto) and
+	// WriteJSONL as a structured event log. A nil recorder disables
+	// tracing at the cost of one nil check per would-be span.
+	TraceRecorder = obs.Recorder
+	// TraceSpan is one recorded span (batch → request → stage → pass).
+	TraceSpan = obs.Span
+	// TraceSpanKind is a span's level in the hierarchy.
+	TraceSpanKind = obs.Kind
+	// AdminServer is the HTTP observability surface (/metrics, /stats,
+	// /trace, /healthz, /debug/pprof) over a recorder and a metrics
+	// registry.
+	AdminServer = obs.Server
 )
 
 // Baseline priorities for BatchOptions.Baseline.
@@ -60,6 +77,32 @@ func NewScheduleCache() *ScheduleCache { return pipeline.NewCache() }
 // NewBatchMetrics returns an empty metrics registry; pass the same registry
 // to several batches to aggregate their counters.
 func NewBatchMetrics() *BatchMetrics { return pipeline.NewMetrics() }
+
+// NewTraceRecorder returns a span recorder whose ring holds at least n
+// spans (n <= 0 picks the default capacity). Pass it as
+// BatchOptions.Observer to trace a batch end to end.
+func NewTraceRecorder(n int) *TraceRecorder { return obs.NewRecorder(n) }
+
+// NewBoundedScheduleCache returns a schedule cache holding at most capacity
+// entries; over the bound, arbitrary entries are evicted (and counted in
+// BatchStats.CacheEvictions). Every cached value is a pure function of its
+// key, so eviction costs a recompute, never correctness.
+func NewBoundedScheduleCache(capacity int) *ScheduleCache {
+	return pipeline.NewCacheBounded(capacity)
+}
+
+// NewAdminServer wires an admin server over a metrics registry and a span
+// recorder (either may be nil; the corresponding endpoints then 404).
+// Start it with Serve(addr string) — e.g. ":8080" or ":0" — and stop it
+// with Close.
+func NewAdminServer(metrics *BatchMetrics, rec *TraceRecorder) *AdminServer {
+	srv := &AdminServer{Recorder: rec}
+	if metrics != nil {
+		srv.Metrics = metrics.WritePrometheus
+		srv.Stats = func() any { return metrics.Stats() }
+	}
+	return srv
+}
 
 // ScheduleAll compiles, schedules and simulates every source loop through
 // the concurrent batch pipeline. Per-loop failures are reported in

@@ -10,6 +10,8 @@
 //	benchtab -j 8 -stats     # 8 pipeline workers + cache/latency report
 //	benchtab -trace          # per-pass compile timings from the metrics registry
 //	benchtab -dump codegen   # render a pass artifact for each suite's first loop
+//	benchtab -serve :8080    # HTTP admin surface: /metrics /stats /trace /healthz /debug/pprof
+//	benchtab -trace-out t.json  # write a Chrome trace (view in Perfetto)
 //
 // The tables are produced by the internal/pipeline batch scheduler: every
 // (loop, configuration) problem fans out over -j workers and repeated loop
@@ -22,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"doacross/internal/cliutil"
 	"doacross/internal/core"
 	"doacross/internal/dlx"
 	"doacross/internal/passes"
@@ -41,11 +44,7 @@ func run() int {
 	loops := flag.Bool("loops", false, "print per-loop measurements")
 	migration := flag.Bool("migration", false, "run the migration-vs-scheduling extension experiment")
 	format := flag.String("format", "text", "output format: text or csv")
-	jobs := flag.Int("j", 0, "pipeline workers (0 = GOMAXPROCS)")
-	stats := flag.Bool("stats", false, "print pipeline cache and stage-latency stats")
-	trace := flag.Bool("trace", false, "print per-pass compile timings from the pipeline metrics registry")
-	dump := flag.String("dump", "", "comma-separated pass names whose artifacts to print for each suite's first loop ('all' for every pass)")
-	timeout := flag.Duration("timeout", 0, "per-batch deadline (0 = none); loops cut off by it are reported like other per-loop failures")
+	cf := cliutil.Register(flag.CommandLine)
 	flag.Parse()
 
 	pri := core.CriticalPath
@@ -62,8 +61,8 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		return 1
 	}
-	if *dump != "" {
-		opts := passes.Options{Dump: strings.Split(*dump, ",")}
+	if cf.Dump != "" {
+		opts := passes.Options{Dump: cf.DumpPasses()}
 		for _, s := range suites {
 			loops := s.Doacross()
 			if len(loops) == 0 {
@@ -98,11 +97,26 @@ func run() int {
 		return 0
 	}
 	metrics := pipeline.NewMetrics()
+	ob, err := cf.Observability(metrics, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		return 1
+	}
+	defer ob.Close()
+	// Registered before the -stats/-trace printers so it executes after
+	// them: with -trace-out it writes the Chrome trace, and with -serve it
+	// blocks until Ctrl-C so the finished run stays scrapeable.
+	defer func() {
+		if err := ob.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+		}
+	}()
 	r, err := tables.RunParallelWith(suites, pri, pipeline.Options{
-		Workers:  *jobs,
+		Workers:  cf.Jobs,
 		Cache:    pipeline.NewCache(),
 		Metrics:  metrics,
-		Deadline: *timeout,
+		Deadline: cf.Timeout,
+		Observer: ob.Recorder,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
@@ -116,21 +130,12 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", f.Name, f.Err)
 		code = 1
 	}
-	if *stats {
+	if cf.Stats {
 		defer func() { fmt.Printf("\nPipeline stats:\n%s", metrics.Stats()) }()
 	}
-	if *trace {
+	if cf.Trace {
 		defer func() {
-			st := metrics.Stats()
-			fmt.Printf("\nPer-pass compile timings:\n")
-			for _, s := range st.Stages {
-				if s.Stage == pipeline.StageSchedule || s.Stage == pipeline.StageSimulate {
-					continue
-				}
-				fmt.Printf("%-10s %6d runs, mean %9v, max %9v, total %9v\n",
-					s.Stage, s.Count, s.Mean(), s.Max, s.Total)
-			}
-			fmt.Printf("%-10s %v\n", "compile", st.CompileTime())
+			fmt.Printf("\nPer-pass compile timings:\n%s", cliutil.PassTimings(metrics.Stats()))
 		}()
 	}
 	if *format == "csv" {

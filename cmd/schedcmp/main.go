@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	schedcmp [-issue 4] [-fu 1] [-uniform] [-n 100] [-baseline cp] [-j 8] [-stats] [-trace] [-dump pass,...] [file]
+//	schedcmp [-issue 4] [-fu 1] [-uniform] [-n 100] [-baseline cp] [-j 8] [-stats] [-trace] [-dump pass,...] [-serve :8080] [-trace-out t.json] [file]
 //
 // With no file, the loops are read from standard input. Example loop:
 //
@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"doacross"
+	"doacross/internal/cliutil"
 )
 
 func main() {
@@ -40,11 +41,7 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print per-cycle function-unit occupancy charts")
 	dot := flag.Bool("dot", false, "print the data-flow graphs in Graphviz DOT format and exit")
 	window := flag.Int("window", 0, "signal hardware window (0 = unbounded)")
-	jobs := flag.Int("j", 0, "pipeline workers (0 = GOMAXPROCS)")
-	stats := flag.Bool("stats", false, "print pipeline cache and stage-latency stats")
-	trace := flag.Bool("trace", false, "print per-pass compile timings from the pipeline metrics registry")
-	dump := flag.String("dump", "", "comma-separated pass names whose artifacts to print (e.g. syncinsert,codegen; 'all' for every pass)")
-	timeout := flag.Duration("timeout", 0, "per-batch deadline (0 = none); loops cut off by it fail individually")
+	cf := cliutil.Register(flag.CommandLine)
 	flag.Parse()
 
 	src, err := readInput(flag.Arg(0))
@@ -67,19 +64,23 @@ func main() {
 		fail(fmt.Errorf("unknown baseline %q", *baseline))
 	}
 
-	var dumpPasses []string
-	if *dump != "" {
-		dumpPasses = strings.Split(*dump, ",")
+	metrics := doacross.NewBatchMetrics()
+	ob, err := cf.Observability(metrics, os.Stderr)
+	if err != nil {
+		fail(err)
 	}
+	defer ob.Close()
 	bopts := doacross.BatchOptions{
-		Workers:  *jobs,
+		Workers:  cf.Jobs,
 		Machines: []doacross.Machine{m},
 		N:        *n,
 		Window:   *window,
 		Baseline: pri,
 		Cache:    doacross.NewScheduleCache(),
-		Compile:  doacross.CompileOptions{Dump: dumpPasses},
-		Deadline: *timeout,
+		Metrics:  metrics,
+		Compile:  doacross.CompileOptions{Dump: cf.DumpPasses()},
+		Deadline: cf.Timeout,
+		Observer: ob.Recorder,
 	}
 	var batch *doacross.Batch
 	if file, perr := doacross.ParseSource(src); perr == nil {
@@ -148,30 +149,20 @@ func main() {
 		}
 		fmt.Printf("\nlist: %d cycles (%d stall), sync: %d cycles (%d stall) at n=%d\n",
 			mr.ListTime, mr.ListStalls, mr.SyncTime, mr.SyncStalls, lr.N)
+		fmt.Printf("signals sent: %d (sync), arcs %d LBD / %d LFD\n",
+			mr.SyncSignals, mr.SyncLBD, mr.SyncLFD)
 		fmt.Printf("improvement: %.2f%%\n", mr.Improvement)
 	}
-	if *trace {
-		fmt.Printf("\nPer-pass compile timings:\n%s", passTimings(batch.Stats))
+	if cf.Trace {
+		fmt.Printf("\nPer-pass compile timings:\n%s", cliutil.PassTimings(batch.Stats))
 	}
-	if *stats {
+	if cf.Stats {
 		fmt.Printf("\nPipeline stats:\n%s", batch.Stats)
 	}
-	os.Exit(code)
-}
-
-// passTimings renders the compilation-pass rows of the pipeline metrics
-// registry (scheduling and simulation stages are left to -stats).
-func passTimings(st doacross.BatchStats) string {
-	var sb strings.Builder
-	for _, s := range st.Stages {
-		if s.Stage == "schedule" || s.Stage == "simulate" {
-			continue
-		}
-		fmt.Fprintf(&sb, "%-10s %6d runs, mean %9v, max %9v, total %9v\n",
-			s.Stage, s.Count, s.Mean(), s.Max, s.Total)
+	if err := ob.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "schedcmp:", err)
 	}
-	fmt.Fprintf(&sb, "%-10s %v\n", "compile", st.CompileTime())
-	return sb.String()
+	os.Exit(code)
 }
 
 func printSpans(s *doacross.Schedule) {

@@ -1,0 +1,158 @@
+// Package cliutil holds the flag wiring and observability plumbing shared
+// by cmd/benchtab and cmd/schedcmp, so the two binaries register the same
+// pipeline flags (-j, -stats, -trace, -dump, -timeout, -serve, -trace-out)
+// with the same semantics and stop drifting apart.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"doacross/internal/obs"
+	"doacross/internal/pipeline"
+)
+
+// Flags are the pipeline flags common to the batch-scheduling commands.
+type Flags struct {
+	// Jobs is -j: the pipeline worker count (0 = GOMAXPROCS).
+	Jobs int
+	// Stats is -stats: print the pipeline cache/latency report at exit.
+	Stats bool
+	// Trace is -trace: print per-pass compile timings at exit.
+	Trace bool
+	// Dump is -dump: comma-separated pass names whose artifacts to print.
+	Dump string
+	// Timeout is -timeout: the per-batch deadline (0 = none).
+	Timeout time.Duration
+	// Serve is -serve: the address of the HTTP admin surface ("" = off).
+	Serve string
+	// TraceOut is -trace-out: a file to write the Chrome trace to ("" =
+	// off).
+	TraceOut string
+}
+
+// Register installs the shared flags on fs (flag.CommandLine in the cmds).
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.IntVar(&f.Jobs, "j", 0, "pipeline workers (0 = GOMAXPROCS)")
+	fs.BoolVar(&f.Stats, "stats", false, "print pipeline cache and stage-latency stats")
+	fs.BoolVar(&f.Trace, "trace", false, "print per-pass compile timings from the pipeline metrics registry")
+	fs.StringVar(&f.Dump, "dump", "", "comma-separated pass names whose artifacts to print ('all' for every pass)")
+	fs.DurationVar(&f.Timeout, "timeout", 0, "per-batch deadline (0 = none); loops cut off by it fail individually")
+	fs.StringVar(&f.Serve, "serve", "", "serve the observability admin surface on this address (e.g. :8080 or :0; /metrics, /stats, /trace, /healthz, /debug/pprof)")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace_event JSON file of the run (view in Perfetto)")
+	return f
+}
+
+// DumpPasses splits -dump into pass names (nil when unset).
+func (f *Flags) DumpPasses() []string {
+	if f.Dump == "" {
+		return nil
+	}
+	return strings.Split(f.Dump, ",")
+}
+
+// Observability is the wired-up observability side of one command run: the
+// span recorder handed to the pipeline (nil when tracing is off) and the
+// admin server (nil when -serve is off).
+type Observability struct {
+	// Recorder is non-nil when -serve or -trace-out asked for spans; pass
+	// it as pipeline.Options.Observer.
+	Recorder *obs.Recorder
+	// Server is the running admin server, nil without -serve.
+	Server *obs.Server
+	// Addr is the bound address of the admin server ("" without -serve).
+	Addr string
+
+	flags    *Flags
+	announce io.Writer
+}
+
+// Observability starts the observability side requested by the flags: a
+// span recorder when -serve or -trace-out is set, plus the admin server
+// (publishing metrics to expvar as well) when -serve is set. The bound
+// address is announced on w (so scripts can scrape ":0" runs). Callers must
+// Close the result.
+func (f *Flags) Observability(metrics *pipeline.Metrics, w io.Writer) (*Observability, error) {
+	if w == nil {
+		w = os.Stderr
+	}
+	o := &Observability{flags: f, announce: w}
+	if f.Serve == "" && f.TraceOut == "" {
+		return o, nil
+	}
+	o.Recorder = obs.NewRecorder(0)
+	if f.Serve == "" {
+		return o, nil
+	}
+	metrics.PublishExpvar("")
+	o.Server = &obs.Server{
+		Recorder: o.Recorder,
+		Metrics:  metrics.WritePrometheus,
+		Stats:    func() any { return metrics.Stats() },
+	}
+	addr, err := o.Server.Start(f.Serve)
+	if err != nil {
+		return nil, err
+	}
+	o.Addr = addr.String()
+	fmt.Fprintf(w, "obs: serving on http://%s (/metrics /stats /trace /healthz /debug/pprof)\n", o.Addr)
+	return o, nil
+}
+
+// Finish completes the observability side after the batch ran: it writes
+// the -trace-out file if requested, and with -serve it keeps the admin
+// surface up until SIGINT/SIGTERM so the finished run can still be scraped
+// and its trace downloaded.
+func (o *Observability) Finish() error {
+	if o.flags.TraceOut != "" && o.Recorder != nil {
+		fh, err := os.Create(o.flags.TraceOut)
+		if err != nil {
+			return err
+		}
+		if err := o.Recorder.WriteChromeTrace(fh); err != nil {
+			fh.Close()
+			return err
+		}
+		if err := fh.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.announce, "obs: wrote Chrome trace to %s (open in ui.perfetto.dev)\n", o.flags.TraceOut)
+	}
+	if o.Server != nil {
+		fmt.Fprintf(o.announce, "obs: batch done; still serving on http://%s — Ctrl-C to exit\n", o.Addr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		signal.Stop(ch)
+	}
+	return nil
+}
+
+// Close tears the admin server down (safe on every Observability).
+func (o *Observability) Close() {
+	if o.Server != nil {
+		_ = o.Server.Close()
+	}
+}
+
+// PassTimings renders the compilation-pass rows of a stats snapshot
+// (scheduling and simulation stages are left to the -stats report).
+func PassTimings(st pipeline.Stats) string {
+	var sb strings.Builder
+	for _, s := range st.Stages {
+		if s.Stage == pipeline.StageSchedule || s.Stage == pipeline.StageSimulate {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-10s %6d runs, mean %9v, max %9v, total %9v\n",
+			s.Stage, s.Count, s.Mean(), s.Max, s.Total)
+	}
+	fmt.Fprintf(&sb, "%-10s %v\n", "compile", st.CompileTime())
+	return sb.String()
+}

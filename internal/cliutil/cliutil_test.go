@@ -1,0 +1,142 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"doacross/internal/obs"
+	"doacross/internal/pipeline"
+)
+
+func TestRegisterAndDumpPasses(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	err := fs.Parse([]string{
+		"-j", "4", "-stats", "-trace", "-dump", "parse,codegen",
+		"-timeout", "2s", "-serve", ":0", "-trace-out", "t.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Jobs != 4 || !f.Stats || !f.Trace || f.Timeout != 2*time.Second {
+		t.Fatalf("parsed flags = %+v", f)
+	}
+	if f.Serve != ":0" || f.TraceOut != "t.json" {
+		t.Fatalf("parsed flags = %+v", f)
+	}
+	got := f.DumpPasses()
+	if len(got) != 2 || got[0] != "parse" || got[1] != "codegen" {
+		t.Fatalf("DumpPasses = %v", got)
+	}
+	empty := Register(flag.NewFlagSet("empty", flag.ContinueOnError))
+	if empty.DumpPasses() != nil {
+		t.Fatal("unset -dump should yield nil")
+	}
+}
+
+// TestObservabilityOff: without -serve or -trace-out the wiring is inert —
+// no recorder, no server, and Finish/Close are cheap no-ops.
+func TestObservabilityOff(t *testing.T) {
+	f := &Flags{}
+	var out bytes.Buffer
+	ob, err := f.Observability(pipeline.NewMetrics(), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ob.Close()
+	if ob.Recorder != nil || ob.Server != nil || ob.Addr != "" {
+		t.Fatalf("observability not inert: %+v", ob)
+	}
+	if err := ob.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("inert observability announced: %q", out.String())
+	}
+}
+
+// TestObservabilityServe: -serve starts the admin surface on the announced
+// address and serves live metrics from the wired registry.
+func TestObservabilityServe(t *testing.T) {
+	f := &Flags{Serve: "127.0.0.1:0"}
+	metrics := pipeline.NewMetrics()
+	metrics.CacheHit()
+	var out bytes.Buffer
+	ob, err := f.Observability(metrics, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ob.Close()
+	if ob.Recorder == nil || ob.Server == nil || ob.Addr == "" {
+		t.Fatalf("serve wiring incomplete: %+v", ob)
+	}
+	if !strings.Contains(out.String(), ob.Addr) {
+		t.Fatalf("bound address not announced: %q", out.String())
+	}
+	resp, err := http.Get("http://" + ob.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.String(), "doacross_cache_hits_total 1") {
+		t.Fatalf("/metrics not wired to the registry:\n%s", body.String())
+	}
+}
+
+// TestObservabilityTraceOut: -trace-out alone creates a recorder (no server)
+// and Finish writes the Chrome trace file.
+func TestObservabilityTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f := &Flags{TraceOut: path}
+	var out bytes.Buffer
+	ob, err := f.Observability(pipeline.NewMetrics(), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ob.Close()
+	if ob.Recorder == nil {
+		t.Fatal("-trace-out did not create a recorder")
+	}
+	if ob.Server != nil {
+		t.Fatal("-trace-out alone should not start a server")
+	}
+	sp := ob.Recorder.Start(obs.KindBatch, "batch", obs.Span{})
+	ob.Recorder.End(&sp, nil)
+	if err := ob.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "traceEvents") {
+		t.Fatalf("trace file malformed:\n%s", b)
+	}
+	if !strings.Contains(out.String(), path) {
+		t.Fatalf("trace path not announced: %q", out.String())
+	}
+}
+
+func TestPassTimings(t *testing.T) {
+	m := pipeline.NewMetrics()
+	m.Observe("parse", time.Millisecond)
+	m.Observe(pipeline.StageSchedule, time.Millisecond)
+	m.Observe(pipeline.StageSimulate, time.Millisecond)
+	s := PassTimings(m.Stats())
+	if !strings.Contains(s, "parse") || !strings.Contains(s, "compile") {
+		t.Fatalf("PassTimings missing rows:\n%s", s)
+	}
+	if strings.Contains(s, pipeline.StageSchedule) || strings.Contains(s, pipeline.StageSimulate) {
+		t.Fatalf("PassTimings leaked pipeline stages:\n%s", s)
+	}
+}

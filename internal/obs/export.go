@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// chromeEvent is one Chrome trace_event "complete" (ph=X) event. The format
+// is the one chrome://tracing and Perfetto load: timestamps and durations in
+// microseconds, pid/tid selecting the display track, args free-form.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  uint64         `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the trace_event JSON object format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// attrArgs renders a span's attributes (plus its error, if any) as trace
+// args.
+func attrArgs(s Span) map[string]any {
+	if len(s.Attrs) == 0 && s.Err == "" {
+		return nil
+	}
+	args := make(map[string]any, len(s.Attrs)+1)
+	for _, a := range s.Attrs {
+		if a.Str != "" {
+			args[a.Key] = a.Str
+		} else {
+			args[a.Key] = a.Int
+		}
+	}
+	if s.Err != "" {
+		args["error"] = s.Err
+	}
+	return args
+}
+
+// WriteChromeTrace writes the spans as Chrome trace_event JSON relative to
+// epoch (zero epoch: the earliest span's start). The output loads directly
+// in Perfetto (ui.perfetto.dev) and chrome://tracing; request spans appear
+// as separate tracks with their stage and pass spans nested inside.
+func WriteChromeTrace(w io.Writer, spans []Span, epoch time.Time) error {
+	if epoch.IsZero() {
+		for _, s := range spans {
+			if epoch.IsZero() || s.Start.Before(epoch) {
+				epoch = s.Start
+			}
+		}
+	}
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Kind.String(),
+			Ph:   "X",
+			TS:   float64(s.Start.Sub(epoch).Nanoseconds()) / 1e3,
+			Dur:  float64(s.Duration.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  s.Track,
+			Args: attrArgs(s),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeTrace exports the recorder's current snapshot; see the package
+// function.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, r.Snapshot(), r.Epoch())
+}
+
+// jsonlSpan is the JSONL event-log shape of one span.
+type jsonlSpan struct {
+	ID     uint64         `json:"id"`
+	Parent uint64         `json:"parent,omitempty"`
+	Kind   string         `json:"kind"`
+	Name   string         `json:"name"`
+	Start  string         `json:"start"`
+	DurNS  int64          `json:"dur_ns"`
+	Err    string         `json:"err,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// WriteJSONL writes the spans as a structured JSONL event log, one JSON
+// object per line, in the given order.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range spans {
+		js := jsonlSpan{
+			ID:     uint64(s.ID),
+			Parent: uint64(s.Parent),
+			Kind:   s.Kind.String(),
+			Name:   s.Name,
+			Start:  s.Start.Format(time.RFC3339Nano),
+			DurNS:  s.Duration.Nanoseconds(),
+			Err:    s.Err,
+			Attrs:  attrArgs(s),
+		}
+		// attrArgs folds Err into the map for Chrome args; the JSONL shape
+		// carries it as its own field instead.
+		if js.Attrs != nil {
+			delete(js.Attrs, "error")
+			if len(js.Attrs) == 0 {
+				js.Attrs = nil
+			}
+		}
+		if err := enc.Encode(js); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL exports the recorder's current snapshot; see the package
+// function.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, r.Snapshot())
+}
+
+// Tree groups a span snapshot by parent ID, for reconstructing the
+// batch → request → stage → pass hierarchy.
+type Tree struct {
+	// ByID indexes every span.
+	ByID map[SpanID]Span
+	// Children maps a span ID to its children in start order; Children[0]
+	// holds the roots.
+	Children map[SpanID][]Span
+}
+
+// BuildTree indexes a snapshot (as returned by Recorder.Snapshot) into a
+// parent/child tree. A span whose parent was dropped by ring wrap-around is
+// treated as a root.
+func BuildTree(spans []Span) *Tree {
+	t := &Tree{
+		ByID:     make(map[SpanID]Span, len(spans)),
+		Children: make(map[SpanID][]Span),
+	}
+	for _, s := range spans {
+		t.ByID[s.ID] = s
+	}
+	for _, s := range spans {
+		parent := s.Parent
+		if _, ok := t.ByID[parent]; !ok {
+			parent = 0
+		}
+		t.Children[parent] = append(t.Children[parent], s)
+	}
+	return t
+}
+
+// Path returns the kinds from the root down to the span, e.g.
+// [batch request stage pass].
+func (t *Tree) Path(id SpanID) []Kind {
+	var kinds []Kind
+	for id != 0 {
+		s, ok := t.ByID[id]
+		if !ok {
+			break
+		}
+		kinds = append([]Kind{s.Kind}, kinds...)
+		id = s.Parent
+	}
+	return kinds
+}
+
+// String renders the tree for debugging.
+func (t *Tree) String() string {
+	var b []byte
+	var walk func(id SpanID, depth int)
+	walk = func(id SpanID, depth int) {
+		for _, c := range t.Children[id] {
+			for i := 0; i < depth; i++ {
+				b = append(b, ' ', ' ')
+			}
+			b = append(b, fmt.Sprintf("%s %s (%v)\n", c.Kind, c.Name, c.Duration)...)
+			walk(c.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	return string(b)
+}

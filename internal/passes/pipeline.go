@@ -12,6 +12,7 @@ import (
 	"doacross/internal/diag"
 	"doacross/internal/lang"
 	"doacross/internal/migrate"
+	"doacross/internal/obs"
 	"doacross/internal/syncop"
 	"doacross/internal/tac"
 )
@@ -47,6 +48,14 @@ type Options struct {
 	// Request labels the compilation in fault probes and panic diagnostics
 	// ("" outside the batch pipeline).
 	Request string
+	// Observer, when non-nil, records one span per executed pass into its
+	// ring buffer, parented under ParentSpan (the batch pipeline passes its
+	// per-request compile-stage span). A nil Observer costs one nil check
+	// per pass.
+	Observer *obs.Recorder
+	// ParentSpan is the span the pass spans nest under (zero: the pass
+	// spans are roots).
+	ParentSpan obs.Span
 }
 
 // Tracer observes pass executions. Implementations must be safe for
@@ -233,9 +242,11 @@ func (p *Pipeline) RunCtx(cctx context.Context, ctx *Context) error {
 			ctx.Trace.Diags = ctx.Diags
 			return err
 		}
+		sp := p.opts.Observer.Start(obs.KindPass, pass.Name(), p.opts.ParentSpan)
 		start := time.Now()
 		err := p.runPass(pass, ctx)
 		d := time.Since(start)
+		p.opts.Observer.End(&sp, err)
 		ctx.Trace.Timings = append(ctx.Trace.Timings, Timing{Pass: pass.Name(), Duration: d})
 		if p.opts.Tracer != nil {
 			p.opts.Tracer.ObservePass(pass.Name(), d)

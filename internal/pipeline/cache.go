@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"doacross/internal/dfg"
 )
@@ -18,9 +19,14 @@ const cacheShards = 32
 // key is bound, later Puts return the existing value instead of replacing
 // it, so every reader of a key observes one immutable value regardless of
 // worker interleaving. A Cache may be shared across batches (and across
-// goroutines); the zero value is NOT ready — use NewCache.
+// goroutines); the zero value is NOT ready — use NewCache or NewCacheBounded.
 type Cache struct {
 	shards [cacheShards]cacheShard
+	// perShard bounds each shard's entry count (0 = unbounded). Because
+	// every cached value is recomputable from its key, eviction is safe: a
+	// victim is simply dropped and the next reader recomputes it.
+	perShard  int
+	evictions atomic.Int64
 }
 
 type cacheShard struct {
@@ -28,9 +34,19 @@ type cacheShard struct {
 	m  map[dfg.Fingerprint]any
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache {
+// NewCache returns an empty, unbounded cache.
+func NewCache() *Cache { return NewCacheBounded(0) }
+
+// NewCacheBounded returns an empty cache holding at most capacity entries
+// (approximately: the bound is enforced per shard). capacity <= 0 means
+// unbounded. When a full shard admits a new key, an arbitrary resident entry
+// is evicted and counted — cached values are pure functions of their keys,
+// so an evicted entry costs only a recompute, never correctness.
+func NewCacheBounded(capacity int) *Cache {
 	c := &Cache{}
+	if capacity > 0 {
+		c.perShard = (capacity + cacheShards - 1) / cacheShards
+	}
 	for i := range c.shards {
 		c.shards[i].m = make(map[dfg.Fingerprint]any)
 	}
@@ -52,13 +68,22 @@ func (c *Cache) Get(k dfg.Fingerprint) (any, bool) {
 
 // Put binds k to v unless k is already bound, returning the bound value and
 // whether it was already present (compare-and-swap publication: the first
-// writer wins, later writers adopt the winner's value).
+// writer wins, later writers adopt the winner's value). On a bounded cache,
+// admitting a new key to a full shard evicts an arbitrary resident entry
+// first.
 func (c *Cache) Put(k dfg.Fingerprint, v any) (any, bool) {
 	s := c.shard(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if old, ok := s.m[k]; ok {
 		return old, true
+	}
+	if c.perShard > 0 && len(s.m) >= c.perShard {
+		for victim := range s.m {
+			delete(s.m, victim)
+			c.evictions.Add(1)
+			break
+		}
 	}
 	s.m[k] = v
 	return v, false
@@ -75,3 +100,7 @@ func (c *Cache) Len() int {
 	}
 	return n
 }
+
+// Evictions returns how many entries have been evicted by the capacity
+// bound (always 0 on an unbounded cache).
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }

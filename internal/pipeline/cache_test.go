@@ -148,3 +148,60 @@ func TestFingerprintProperties(t *testing.T) {
 		t.Error("KeyFrom diverges from ConfigKey")
 	}
 }
+
+// TestCacheBoundedEviction: a bounded cache admits new keys by evicting an
+// arbitrary resident entry, counts the evictions, and still honors
+// first-writer-wins for keys that stay resident.
+func TestCacheBoundedEviction(t *testing.T) {
+	c := NewCacheBounded(cacheShards) // one entry per shard
+	key := func(shard, n byte) dfg.Fingerprint {
+		var k dfg.Fingerprint
+		k[0], k[1] = shard, n
+		return k
+	}
+	// Three distinct keys that land in the same shard: each newcomer evicts
+	// the resident entry.
+	for n := byte(0); n < 3; n++ {
+		if _, loaded := c.Put(key(7, n), int(n)); loaded {
+			t.Fatalf("fresh key %d reported as already bound", n)
+		}
+	}
+	if got := c.Evictions(); got != 2 {
+		t.Fatalf("Evictions = %d, want 2", got)
+	}
+	resident := 0
+	for n := byte(0); n < 3; n++ {
+		if _, ok := c.Get(key(7, n)); ok {
+			resident++
+		}
+	}
+	if resident != 1 {
+		t.Fatalf("%d entries resident in the shard, want 1", resident)
+	}
+	// Re-Putting the resident key is first-writer-wins, not an eviction.
+	if v, loaded := c.Put(key(7, 2), "other"); !loaded || v != 2 {
+		t.Fatalf("resident re-Put = %v, %v; want first writer's value", v, loaded)
+	}
+	if got := c.Evictions(); got != 2 {
+		t.Fatalf("re-Put evicted: Evictions = %d, want 2", got)
+	}
+	// Different shards do not contend for the bound.
+	if _, loaded := c.Put(key(8, 0), "b"); loaded {
+		t.Fatal("other shard's key reported as bound")
+	}
+	if got := c.Evictions(); got != 2 {
+		t.Fatalf("cross-shard Put evicted: Evictions = %d, want 2", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+
+	// An unbounded cache never evicts.
+	u := NewCache()
+	for n := byte(0); n < 100; n++ {
+		u.Put(key(7, n), n)
+	}
+	if u.Evictions() != 0 || u.Len() != 100 {
+		t.Fatalf("unbounded cache: Len=%d Evictions=%d", u.Len(), u.Evictions())
+	}
+}

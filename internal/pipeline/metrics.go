@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -89,6 +90,16 @@ type Metrics struct {
 	// a deadline or cancellation, and schedules served by the verified
 	// program-order fallback.
 	panics, timeouts, fallbacks atomic.Int64
+	// Liveness gauges: requests currently inside a worker and requests not
+	// yet handed to one, maintained by the batch pipeline.
+	inFlight, queueDepth atomic.Int64
+	// Paper-level simulation counters for the schedules actually served:
+	// Send_Signal issues, wait-stall cycles, and the LBD/LFD split of the
+	// synchronization arcs (the paper's LBD loop theorem quantities).
+	signals, stallCycles, lbdArcs, lfdArcs atomic.Int64
+	// cache, when attached, supplies occupancy and eviction gauges to
+	// snapshots.
+	cache atomic.Pointer[Cache]
 }
 
 // NewMetrics returns an empty registry.
@@ -166,6 +177,34 @@ func (m *Metrics) Timeout() { m.timeouts.Add(1) }
 // schedule instead of the synchronization-aware one.
 func (m *Metrics) Fallback() { m.fallbacks.Add(1) }
 
+// WorkerStart marks a request entering a worker; WorkerDone its exit.
+func (m *Metrics) WorkerStart() { m.inFlight.Add(1) }
+
+// WorkerDone marks a request leaving a worker.
+func (m *Metrics) WorkerDone() { m.inFlight.Add(-1) }
+
+// QueueAdd adjusts the queued-request gauge by delta (positive when a batch
+// enqueues its requests, -1 as each is handed to a worker).
+func (m *Metrics) QueueAdd(delta int64) { m.queueDepth.Add(delta) }
+
+// ObserveSim records the paper-level counters of one served result: signals
+// sent and wait-stall cycles from the simulator, and the schedule's LBD/LFD
+// synchronization-arc split.
+func (m *Metrics) ObserveSim(signals, stalls, lbd, lfd int64) {
+	m.signals.Add(signals)
+	m.stallCycles.Add(stalls)
+	m.lbdArcs.Add(lbd)
+	m.lfdArcs.Add(lfd)
+}
+
+// AttachCache points snapshots at the batch's schedule cache, whose
+// occupancy and eviction count then appear as gauges in Stats.
+func (m *Metrics) AttachCache(c *Cache) {
+	if c != nil {
+		m.cache.Store(c)
+	}
+}
+
 // timed runs f, records its latency under the named stage, and counts an
 // error if f reports one.
 func (m *Metrics) timed(name string, f func() error) error {
@@ -198,6 +237,66 @@ func (s StageStats) Mean() time.Duration {
 	return s.Total / time.Duration(s.Count)
 }
 
+// bucketEdges returns the latency range bucket i covers, using max as the
+// overflow bucket's upper edge. The first bucket's lower edge is a decade
+// below its bound, matching the log-spaced bucket layout.
+func bucketEdges(i int, max time.Duration) (lo, hi time.Duration) {
+	switch {
+	case i == 0:
+		return bucketBounds[0] / 10, bucketBounds[0]
+	case i < len(bucketBounds):
+		return bucketBounds[i-1], bucketBounds[i]
+	default:
+		lo = bucketBounds[len(bucketBounds)-1]
+		if max > lo {
+			return lo, max
+		}
+		return lo, lo
+	}
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the stage's latency
+// distribution by log-linear interpolation inside the bucket containing the
+// target rank: the buckets are decade-spaced, so latency is interpolated on
+// a log scale between the bucket's edges. The overflow bucket interpolates
+// up to the observed maximum. Returns 0 when the stage never ran.
+func (s StageStats) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i := 0; i < numBuckets; i++ {
+		c := float64(s.Buckets[i])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank || i == numBuckets-1 {
+			lo, hi := bucketEdges(i, s.Max)
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			if lo <= 0 || hi <= lo {
+				return hi
+			}
+			v := math.Exp(math.Log(float64(lo)) + frac*(math.Log(float64(hi))-math.Log(float64(lo))))
+			return time.Duration(v)
+		}
+		cum += c
+	}
+	return s.Max
+}
+
 // Stats is a consistent-enough snapshot of a Metrics registry (each counter
 // is read atomically; the set is not a transaction, which is fine for
 // monitoring).
@@ -210,6 +309,18 @@ type Stats struct {
 	// deadlines or cancellation, Fallbacks counts requests served by the
 	// verified program-order fallback schedule.
 	Panics, Timeouts, Fallbacks int64
+	// InFlight and QueueDepth are point-in-time gauges: requests inside a
+	// worker and requests enqueued but not yet picked up.
+	InFlight, QueueDepth int64
+	// CacheEntries and CacheEvictions are gauges of the attached schedule
+	// cache (0 when no cache was attached; evictions stay 0 on an
+	// unbounded cache).
+	CacheEntries, CacheEvictions int64
+	// Paper-level counters over the served results: Send_Signal issues and
+	// wait-stall cycles from the simulator, and the LBD/LFD split of the
+	// synchronization arcs.
+	SignalsSent, WaitStallCycles int64
+	LBDArcs, LFDArcs             int64
 }
 
 // Stats snapshots the registry.
@@ -249,6 +360,16 @@ func (m *Metrics) Stats() Stats {
 	out.Panics = m.panics.Load()
 	out.Timeouts = m.timeouts.Load()
 	out.Fallbacks = m.fallbacks.Load()
+	out.InFlight = m.inFlight.Load()
+	out.QueueDepth = m.queueDepth.Load()
+	out.SignalsSent = m.signals.Load()
+	out.WaitStallCycles = m.stallCycles.Load()
+	out.LBDArcs = m.lbdArcs.Load()
+	out.LFDArcs = m.lfdArcs.Load()
+	if c := m.cache.Load(); c != nil {
+		out.CacheEntries = int64(c.Len())
+		out.CacheEvictions = c.Evictions()
+	}
 	return out
 }
 
@@ -272,6 +393,13 @@ func (s Stats) Stage(name string) StageStats {
 	return StageStats{}
 }
 
+// Quantile estimates the q-quantile of the named stage's latency
+// distribution from its buckets (see StageStats.Quantile); 0 when the stage
+// never ran.
+func (s Stats) Quantile(stage string, q float64) time.Duration {
+	return s.Stage(stage).Quantile(q)
+}
+
 // CompileTime sums the latency of every stage that is a compilation pass
 // (everything except schedule and simulate) — the old coarse "compile"
 // stage's total, derivable from the per-pass buckets.
@@ -291,9 +419,17 @@ func (s Stats) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "cache: %d hits, %d misses (%.1f%% hit rate)\n",
 		s.CacheHits, s.CacheMisses, 100*s.HitRate())
+	if s.CacheEntries > 0 || s.CacheEvictions > 0 {
+		fmt.Fprintf(&sb, "cache: %d entries resident, %d evicted\n",
+			s.CacheEntries, s.CacheEvictions)
+	}
 	if s.Panics+s.Timeouts+s.Fallbacks > 0 {
 		fmt.Fprintf(&sb, "faults: %d panics recovered, %d timeouts, %d fallbacks\n",
 			s.Panics, s.Timeouts, s.Fallbacks)
+	}
+	if s.SignalsSent+s.WaitStallCycles+s.LBDArcs+s.LFDArcs > 0 {
+		fmt.Fprintf(&sb, "sync: %d signals sent, %d wait-stall cycles, arcs %d LBD / %d LFD\n",
+			s.SignalsSent, s.WaitStallCycles, s.LBDArcs, s.LFDArcs)
 	}
 	for _, st := range s.Stages {
 		fmt.Fprintf(&sb, "%-10s %6d runs, %3d errors, mean %9v, max %9v, total %9v\n",
@@ -302,6 +438,10 @@ func (s Stats) String() string {
 		if st.Count == 0 {
 			continue
 		}
+		fmt.Fprintf(&sb, "           p50 %9v, p95 %9v, p99 %9v\n",
+			st.Quantile(0.50).Round(time.Microsecond),
+			st.Quantile(0.95).Round(time.Microsecond),
+			st.Quantile(0.99).Round(time.Microsecond))
 		sb.WriteString("           latency:")
 		for b := 0; b < numBuckets; b++ {
 			if st.Buckets[b] == 0 {

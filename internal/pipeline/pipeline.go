@@ -49,6 +49,7 @@ import (
 	"doacross/internal/dlx"
 	"doacross/internal/lang"
 	"doacross/internal/model"
+	"doacross/internal/obs"
 	"doacross/internal/passes"
 	"doacross/internal/sim"
 	"doacross/internal/syncop"
@@ -129,6 +130,12 @@ type Options struct {
 	// a seeded deterministic implementation; production batches leave it
 	// nil.
 	FaultHook func(stage, name string) error
+	// Observer, when non-nil, records a span per batch, request, stage and
+	// compilation pass into its bounded ring buffer (see internal/obs),
+	// reconstructible as a batch → request → stage → pass tree and
+	// exportable as a Chrome trace. A nil Observer costs one nil check per
+	// would-be span.
+	Observer *obs.Recorder
 }
 
 func (o Options) workers() int {
@@ -189,8 +196,13 @@ type MachineResult struct {
 	// ListStalls and SyncStalls are the simulators' stall-cycle counts.
 	ListStalls, SyncStalls int
 	// ListLBD and SyncLBD count synchronization pairs left lexically
-	// backward by each schedule.
+	// backward by each schedule; ListLFD and SyncLFD the pairs placed
+	// lexically forward (together they partition the sync arcs).
 	ListLBD, SyncLBD int
+	ListLFD, SyncLFD int
+	// ListSignals and SyncSignals count Send_Signal issues during each
+	// schedule's simulation (paper-level synchronization traffic).
+	ListSignals, SyncSignals int
 	// Improvement is the paper's Table 3 percentage, list vs sync.
 	Improvement float64
 	// CacheHit reports whether the schedules came from the cache.
@@ -302,6 +314,8 @@ type timeEntry struct {
 	listTime, syncTime, bestTime int
 	listStalls, syncStalls       int
 	listLBD, syncLBD             int
+	listLFD, syncLFD             int
+	listSignals, syncSignals     int
 }
 
 // Run schedules every request and returns per-loop results plus aggregate
@@ -328,6 +342,7 @@ func RunContext(ctx context.Context, reqs []Request, opt Options) (*Batch, error
 	if metrics == nil {
 		metrics = NewMetrics()
 	}
+	metrics.AttachCache(opt.Cache)
 	if opt.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
@@ -340,12 +355,17 @@ func RunContext(ctx context.Context, reqs []Request, opt Options) (*Batch, error
 	if workers > len(reqs) && len(reqs) > 0 {
 		workers = len(reqs)
 	}
+	bspan := opt.Observer.Start(obs.KindBatch, "batch", obs.Span{})
+	metrics.QueueAdd(int64(len(reqs)))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				batch.Loops[i] = runOne(ctx, i, reqs[i], machines, opt, metrics)
+				metrics.QueueAdd(-1)
+				metrics.WorkerStart()
+				batch.Loops[i] = runOne(ctx, i, reqs[i], machines, opt, metrics, bspan)
+				metrics.WorkerDone()
 			}
 		}()
 	}
@@ -358,6 +378,7 @@ feed:
 			// worker (workers notice the same context between stages).
 			for j := i; j < len(reqs); j++ {
 				name := reqs[j].name(j)
+				metrics.QueueAdd(-1)
 				batch.Loops[j] = LoopResult{
 					Index: j, Name: name, N: reqs[j].N,
 					Err: ctxErr(ctx, name, metrics),
@@ -368,6 +389,16 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
+	failed := 0
+	for i := range batch.Loops {
+		if batch.Loops[i].Err != nil {
+			failed++
+		}
+	}
+	opt.Observer.End(&bspan, nil,
+		obs.I("requests", int64(len(reqs))),
+		obs.I("workers", int64(workers)),
+		obs.I("failed", int64(failed)))
 	batch.Stats = metrics.Stats()
 	return batch, nil
 }
@@ -424,8 +455,12 @@ func (r Request) validate(idx int) *diag.Diagnostic {
 }
 
 // runOne pushes one request through compile → schedule → simulate.
-func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, opt Options, metrics *Metrics) (res LoopResult) {
+func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, opt Options, metrics *Metrics, bspan obs.Span) (res LoopResult) {
 	res = LoopResult{Index: idx, Name: req.name(idx), N: req.N}
+	rspan := opt.Observer.Start(obs.KindRequest, res.Name, bspan)
+	defer func() {
+		opt.Observer.End(&rspan, res.Err, obs.I("index", int64(idx)))
+	}()
 	// Last line of defense: a panic that escapes the per-stage recovery
 	// (e.g. in glue code or a fault hook outside a stage) fails this request
 	// only.
@@ -483,9 +518,15 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 		}
 		srcKey = sourceKey(src, opt.compileSalt())
 	}
+	cspan := opt.Observer.Start(obs.KindStage, stageCompile, rspan)
+	compileCached := false
+	endCompile := func(err error) {
+		opt.Observer.End(&cspan, err, obs.B("cache_hit", compileCached))
+	}
 	if useCache {
 		if v, ok := opt.Cache.Get(srcKey); ok {
 			compiled = v.(*compileEntry)
+			compileCached = true
 			metrics.CacheHit()
 		} else {
 			metrics.CacheMiss()
@@ -494,12 +535,15 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 	if compiled == nil {
 		if err := probe(stageCompile); err != nil {
 			res.Err = fmt.Errorf("pipeline: compile %s: %w", res.Name, err)
+			endCompile(res.Err)
 			return res
 		}
 		popts := opt.Compile
 		popts.Tracer = metrics
 		popts.FaultHook = opt.FaultHook
 		popts.Request = res.Name
+		popts.Observer = opt.Observer
+		popts.ParentSpan = cspan
 		pl := passes.New(popts)
 		var pctx *passes.Context
 		if req.Loop != nil {
@@ -515,6 +559,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 			if cerr := ctx.Err(); cerr != nil && errors.Is(res.Err, cerr) {
 				res.Err = ctxErr(ctx, res.Name, metrics)
 			}
+			endCompile(res.Err)
 			return res
 		}
 		compiled = &compileEntry{
@@ -526,6 +571,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 			compiled = v.(*compileEntry)
 		}
 	}
+	endCompile(nil)
 	res.Loop = compiled.loop
 	res.Analysis = compiled.analysis
 	res.SyncLoop = compiled.syncLoop
@@ -547,6 +593,11 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 		mr.Key = dfg.KeyFrom(fp, cfg, "sched", salt)
 
 		// Schedule, through the cache when one is attached.
+		sspan := opt.Observer.Start(obs.KindStage, StageSchedule, rspan)
+		endSched := func(err error) {
+			opt.Observer.End(&sspan, err, obs.S("machine", cfg.Name),
+				obs.B("cache_hit", mr.CacheHit), obs.B("degraded", mr.Degraded))
+		}
 		var entry *schedEntry
 		if useCache {
 			if v, ok := opt.Cache.Get(mr.Key); ok {
@@ -594,6 +645,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 				if ferr != nil {
 					res.Err = fmt.Errorf("pipeline: schedule %s on %s: %v (fallback failed: %w)",
 						res.Name, cfg.Name, err, ferr)
+					endSched(res.Err)
 					return res
 				}
 				e = &schedEntry{list: e.list, sync: fb}
@@ -616,6 +668,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 			}
 		}
 		mr.List, mr.Sync, mr.Best = entry.list, entry.sync, entry.best
+		endSched(nil)
 
 		if ctx.Err() != nil {
 			res.Err = ctxErr(ctx, res.Name, metrics)
@@ -625,11 +678,14 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 		// Simulate; timings additionally key on trip count and window.
 		// Degraded schedules never touch the time cache.
 		simOpt := sim.Options{Lo: 1, Hi: res.N, Window: opt.Window}
+		mspan := opt.Observer.Start(obs.KindStage, StageSimulate, rspan)
 		var times *timeEntry
+		timeCached := false
 		timeKey := dfg.KeyFrom(fp, cfg, "time", salt, fmt.Sprintf("n=%d w=%d", res.N, opt.Window))
 		if useCache && !mr.Degraded {
 			if v, ok := opt.Cache.Get(timeKey); ok {
 				times = v.(*timeEntry)
+				timeCached = true
 				metrics.CacheHit()
 			} else {
 				metrics.CacheMiss()
@@ -652,7 +708,9 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 					}
 					te.listTime, te.listStalls = lt.Total, lt.StallCycles
 					te.syncTime, te.syncStalls = st.Total, st.StallCycles
-					te.listLBD, te.syncLBD = entry.list.NumLBD(), entry.sync.NumLBD()
+					te.listSignals, te.syncSignals = lt.SignalsSent, st.SignalsSent
+					te.listLBD, te.listLFD = arcSplit(entry.list)
+					te.syncLBD, te.syncLFD = arcSplit(entry.sync)
 					if entry.best != nil {
 						bt, err := sim.Time(entry.best, simOpt)
 						if err != nil {
@@ -668,6 +726,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 					// Even the fallback failed to simulate; nothing correct
 					// left to serve.
 					res.Err = fmt.Errorf("pipeline: simulate %s on %s: %w", res.Name, cfg.Name, err)
+					endSim(mspan, res.Err, mr, nil, timeCached, opt.Observer)
 					return res
 				}
 				// Degrade at the simulation stage: time the verified
@@ -680,6 +739,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 				if ferr != nil {
 					res.Err = fmt.Errorf("pipeline: simulate %s on %s: %v (fallback failed: %w)",
 						res.Name, cfg.Name, err, ferr)
+					endSim(mspan, res.Err, mr, nil, timeCached, opt.Observer)
 					return res
 				}
 				entry = &schedEntry{list: fb, sync: fb}
@@ -691,10 +751,13 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 				mr.CacheHit = false // the cached schedules were replaced by the fallback
 				mr.DegradedReason = err.Error()
 				metrics.Fallback()
+				fbLBD, fbLFD := arcSplit(fb)
 				te = &timeEntry{
 					listTime: ft.Total, syncTime: ft.Total,
 					listStalls: ft.StallCycles, syncStalls: ft.StallCycles,
-					listLBD: fb.NumLBD(), syncLBD: fb.NumLBD(),
+					listSignals: ft.SignalsSent, syncSignals: ft.SignalsSent,
+					listLBD: fbLBD, syncLBD: fbLBD,
+					listLFD: fbLFD, syncLFD: fbLFD,
 				}
 				if opt.Best {
 					te.bestTime = ft.Total
@@ -711,7 +774,41 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 		mr.ListTime, mr.SyncTime, mr.BestTime = times.listTime, times.syncTime, times.bestTime
 		mr.ListStalls, mr.SyncStalls = times.listStalls, times.syncStalls
 		mr.ListLBD, mr.SyncLBD = times.listLBD, times.syncLBD
+		mr.ListLFD, mr.SyncLFD = times.listLFD, times.syncLFD
+		mr.ListSignals, mr.SyncSignals = times.listSignals, times.syncSignals
 		mr.Improvement = model.Speedup(times.listTime, times.syncTime)
+		// Paper-level counters describe the schedule actually served (the
+		// synchronization-aware one, or the fallback standing in for it).
+		metrics.ObserveSim(int64(times.syncSignals), int64(times.syncStalls),
+			int64(times.syncLBD), int64(times.syncLFD))
+		endSim(mspan, nil, mr, times, timeCached, opt.Observer)
 	}
 	return res
+}
+
+// arcSplit partitions a schedule's synchronization pairs into lexically
+// backward and forward arcs.
+func arcSplit(s *core.Schedule) (lbd, lfd int) {
+	lbd = s.NumLBD()
+	return lbd, len(s.PairSpans()) - lbd
+}
+
+// endSim finishes a simulate-stage span with the paper-level attributes of
+// the served result (times may be nil when the stage failed outright).
+func endSim(sp obs.Span, err error, mr *MachineResult, times *timeEntry, cached bool, rec *obs.Recorder) {
+	attrs := []obs.Attr{
+		obs.S("machine", mr.Machine),
+		obs.B("cache_hit", cached),
+		obs.B("degraded", mr.Degraded),
+	}
+	if times != nil {
+		attrs = append(attrs,
+			obs.I("signals_sent", int64(times.syncSignals)),
+			obs.I("wait_stall_cycles", int64(times.syncStalls)),
+			obs.I("lbd_arcs", int64(times.syncLBD)),
+			obs.I("lfd_arcs", int64(times.syncLFD)),
+			obs.I("sync_cycles", int64(times.syncTime)),
+			obs.I("list_cycles", int64(times.listTime)))
+	}
+	rec.End(&sp, err, attrs...)
 }

@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// statsJSON marshals a snapshot for expvar (errors cannot happen: Stats is
+// a plain struct of integers, strings and durations).
+func statsJSON(s Stats) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Prometheus text-format exposition of the metrics registry. The per-stage
+// latency buckets synthesize native Prometheus histograms (the bucket
+// bounds become cumulative `le` labels), the cache/robustness counters and
+// the liveness/cache gauges are exported under stable doacross_* names, and
+// the paper-level simulation counters ride along so dashboards can plot
+// Send_Signal traffic and wait-stall cycles next to wall-clock latency.
+
+// promBounds renders the shared bucket bounds as Prometheus `le` values in
+// seconds.
+func promBounds() []string {
+	out := make([]string, len(bucketBounds))
+	for i, b := range bucketBounds {
+		out[i] = strconv.FormatFloat(b.Seconds(), 'g', -1, 64)
+	}
+	return out
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Histogram buckets are cumulative per the format;
+// the registry's per-stage buckets are disjoint, so they are summed on the
+// way out.
+func (s Stats) WritePrometheus(w io.Writer) {
+	le := promBounds()
+	fmt.Fprintln(w, "# HELP doacross_stage_duration_seconds Latency of pipeline stages and compilation passes.")
+	fmt.Fprintln(w, "# TYPE doacross_stage_duration_seconds histogram")
+	for _, st := range s.Stages {
+		cum := int64(0)
+		for i, bound := range le {
+			cum += st.Buckets[i]
+			fmt.Fprintf(w, "doacross_stage_duration_seconds_bucket{stage=%q,le=%q} %d\n", st.Stage, bound, cum)
+		}
+		fmt.Fprintf(w, "doacross_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", st.Stage, st.Count)
+		fmt.Fprintf(w, "doacross_stage_duration_seconds_sum{stage=%q} %s\n", st.Stage,
+			strconv.FormatFloat(st.Total.Seconds(), 'g', -1, 64))
+		fmt.Fprintf(w, "doacross_stage_duration_seconds_count{stage=%q} %d\n", st.Stage, st.Count)
+	}
+
+	fmt.Fprintln(w, "# HELP doacross_stage_runs_total Completed executions per stage.")
+	fmt.Fprintln(w, "# TYPE doacross_stage_runs_total counter")
+	for _, st := range s.Stages {
+		fmt.Fprintf(w, "doacross_stage_runs_total{stage=%q} %d\n", st.Stage, st.Count)
+	}
+	fmt.Fprintln(w, "# HELP doacross_stage_errors_total Failed executions per stage.")
+	fmt.Fprintln(w, "# TYPE doacross_stage_errors_total counter")
+	for _, st := range s.Stages {
+		fmt.Fprintf(w, "doacross_stage_errors_total{stage=%q} %d\n", st.Stage, st.Errors)
+	}
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("doacross_cache_hits_total", "Schedule-cache hits.", s.CacheHits)
+	counter("doacross_cache_misses_total", "Schedule-cache misses.", s.CacheMisses)
+	counter("doacross_cache_evictions_total", "Schedule-cache entries evicted by the capacity bound.", s.CacheEvictions)
+	counter("doacross_panics_recovered_total", "Panics recovered inside workers, stages and passes.", s.Panics)
+	counter("doacross_request_timeouts_total", "Requests lost to deadlines or cancellation.", s.Timeouts)
+	counter("doacross_fallbacks_total", "Requests served by the verified program-order fallback schedule.", s.Fallbacks)
+	counter("doacross_sim_signals_sent_total", "Send_Signal issues across served simulations (paper-level sync traffic).", s.SignalsSent)
+	counter("doacross_sim_wait_stall_cycles_total", "Cycles lost to Wait_Signal stalls across served simulations.", s.WaitStallCycles)
+	counter("doacross_sched_lbd_arcs_total", "Synchronization arcs left lexically backward by served schedules.", s.LBDArcs)
+	counter("doacross_sched_lfd_arcs_total", "Synchronization arcs placed lexically forward by served schedules.", s.LFDArcs)
+	gauge("doacross_workers_in_flight", "Requests currently executing inside a worker.", s.InFlight)
+	gauge("doacross_queue_depth", "Requests enqueued but not yet picked up by a worker.", s.QueueDepth)
+	gauge("doacross_cache_entries", "Entries resident in the attached schedule cache.", s.CacheEntries)
+}
+
+// WritePrometheus snapshots the registry and writes the exposition; the
+// obs.Server /metrics hook is exactly this method.
+func (m *Metrics) WritePrometheus(w io.Writer) { m.Stats().WritePrometheus(w) }
+
+// expvarMu serializes expvar publication (expvar.Publish panics on
+// duplicate names, and tests publish concurrently under -race).
+var expvarMu sync.Mutex
+
+// PublishExpvar publishes the registry under the given expvar name (default
+// "doacross.pipeline"): `GET /debug/vars` then carries the full Stats
+// snapshot as JSON. Publishing the same name twice rebinds it to the latest
+// registry instead of panicking.
+func (m *Metrics) PublishExpvar(name string) {
+	if name == "" {
+		name = "doacross.pipeline"
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if v := expvar.Get(name); v != nil {
+		if h, ok := v.(*expvarHolder); ok {
+			h.mu.Lock()
+			h.m = m
+			h.mu.Unlock()
+			return
+		}
+		return // name taken by someone else; leave it alone
+	}
+	h := &expvarHolder{m: m}
+	expvar.Publish(name, h)
+}
+
+// expvarHolder adapts a Metrics registry to expvar.Var, rebinding-friendly.
+type expvarHolder struct {
+	mu sync.Mutex
+	m  *Metrics
+}
+
+// String implements expvar.Var: the JSON of a fresh Stats snapshot.
+func (h *expvarHolder) String() string {
+	h.mu.Lock()
+	m := h.m
+	h.mu.Unlock()
+	return statsJSON(m.Stats())
+}

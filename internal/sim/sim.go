@@ -81,6 +81,10 @@ type Timing struct {
 	// StallCycles counts cycles lost to synchronization waits, summed over
 	// all iterations.
 	StallCycles int
+	// SignalsSent counts Send_Signal issues over all iterations — the
+	// paper-level synchronization traffic (every send issues once per
+	// iteration regardless of whether a consumer iteration exists).
+	SignalsSent int
 	// IterIssue[i] is the issue time of the first row of iteration Lo+i;
 	// IterDone[i] the completion time of its last instruction.
 	IterIssue, IterDone []int
@@ -249,6 +253,7 @@ func Time(s *core.Schedule, opt Options) (Timing, error) {
 				}
 			}
 			t.StallCycles += earliest - unconstrained
+			t.SignalsSent += len(m.sends[r])
 			issue[r] = earliest
 		}
 		t.IterIssue[idx] = issue[0]
@@ -411,6 +416,7 @@ func Run(s *core.Schedule, st *lang.Store, opt Options) (Timing, error) {
 				in := s.Prog.Instrs[v]
 				if in.Op == tac.Send {
 					signals[in.Signal][p.idx] = cycle
+					t.SignalsSent++
 					continue
 				}
 				if err := tac.Exec(in, p.frame, st); err != nil {
