@@ -41,6 +41,7 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print per-cycle function-unit occupancy charts")
 	dot := flag.Bool("dot", false, "print the data-flow graphs in Graphviz DOT format and exit")
 	window := flag.Int("window", 0, "signal hardware window (0 = unbounded)")
+	lint := flag.Bool("lint", false, "print synchronization-linter findings for each loop (see schedlint)")
 	cf := cliutil.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -152,6 +153,12 @@ func main() {
 		fmt.Printf("signals sent: %d (sync), arcs %d LBD / %d LFD\n",
 			mr.SyncSignals, mr.SyncLBD, mr.SyncLFD)
 		fmt.Printf("improvement: %.2f%%\n", mr.Improvement)
+		if *lint && len(lr.Lint) > 0 {
+			fmt.Printf("\n== lint findings ==\n")
+			for _, d := range lr.Lint {
+				fmt.Printf("  %s: %s\n", d.Severity, d.Error())
+			}
+		}
 	}
 	if cf.Trace {
 		fmt.Printf("\nPer-pass compile timings:\n%s", cliutil.PassTimings(batch.Stats))

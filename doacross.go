@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"strings"
 
+	"doacross/internal/check"
 	"doacross/internal/core"
 	"doacross/internal/dep"
 	"doacross/internal/dfg"
@@ -82,6 +83,15 @@ type (
 	Diagnostics = diag.List
 	// SourcePos is a source position (line, column).
 	SourcePos = diag.Pos
+	// Severity grades a Diagnostic: SeverityError fails the compilation (or
+	// the lint run), SeverityWarning is advisory.
+	Severity = diag.Severity
+)
+
+// Diagnostic severities.
+const (
+	SeverityError   = diag.Error
+	SeverityWarning = diag.Warning
 )
 
 // Machine constructors mirroring the paper's configurations.
@@ -290,6 +300,41 @@ func (p *Program) RunSequential(st *Store) error { return p.Loop.Run(st) }
 
 // Predict applies the paper's LBD loop theorem to a schedule.
 func Predict(s *Schedule, n int) int { return model.Predict(s, n) }
+
+// Verify checks a schedule with the independent static verifier
+// (internal/check): it re-derives the dependence edges from the compiled
+// code attached to the schedule — deliberately sharing no code with the
+// data-flow graph or the schedulers — and re-checks intra-iteration
+// dependence preservation, the paper's synchronization conditions 1 and 2,
+// issue-width and function-unit feasibility, cross-iteration deadlock
+// freedom and the LBD accounting. An empty list means the schedule passed;
+// findings of Error severity mean it must not be executed.
+//
+// This is the same checker the batch pipeline applies to every schedule
+// before serving it. CompileOptions.Verify additionally runs it (plus the
+// linter) as a compilation pass.
+func Verify(s *Schedule) Diagnostics { return check.Verify(s) }
+
+// VerifyTiming audits a simulated execution time for a schedule against the
+// analytical model: total must cover at least one full iteration and at
+// least the LBD loop theorem's closed-form bound T = (n/d)(i-j) + l.
+func VerifyTiming(s *Schedule, total, n int) Diagnostics {
+	return check.VerifyTiming(s, total, n)
+}
+
+// Lint runs the DOACROSS synchronization linter over a parsed loop's
+// explicit Send_Signal/Wait_Signal statements: statically deadlocking
+// waits, dead or duplicate sends, mismatched or non-positive distances,
+// self-synchronization, and redundant waits subsumed by transitive
+// synchronization. Findings carry source positions.
+func Lint(loop *Loop) Diagnostics { return check.Lint(loop) }
+
+// Lint runs the synchronization linter over the program: the explicit sync
+// statements of its source loop and the compiler-inserted synchronization
+// of its DOACROSS form.
+func (p *Program) Lint() Diagnostics {
+	return append(check.Lint(p.Loop), check.LintSync(p.Sync)...)
+}
 
 // Speedup returns the Table 3 improvement percentage between two times.
 func Speedup(ta, tb int) float64 { return model.Speedup(ta, tb) }

@@ -1,0 +1,202 @@
+package check_test
+
+import (
+	"testing"
+
+	"doacross"
+	"doacross/internal/check"
+	"doacross/internal/core"
+)
+
+// paperSrc is the paper's running example (Fig. 1(a)).
+const paperSrc = `DO I = 1, N
+  S1: B[I] = A[I-2] + E[I+1]
+  S2: G[I-3] = A[I-1] * E[I+2]
+  S3: A[I] = B[I] + C[I+3]
+ENDDO`
+
+// condSrc exercises if-conversion (merge loads) and scalar references.
+const condSrc = `DO I = 1, N
+  S1: T = A[I-1] * 3
+  S2: IF (T > 0) A[I] = T + B[I]
+  S3: C[I] = A[I] / 2
+ENDDO`
+
+func machines() []doacross.Machine {
+	return []doacross.Machine{
+		doacross.NewMachine(4, 1),
+		doacross.Machine2Issue(2),
+		doacross.UniformMachine(2, 1),
+	}
+}
+
+func schedules(t *testing.T, src string) []*core.Schedule {
+	t.Helper()
+	p, err := doacross.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var out []*core.Schedule
+	for _, m := range machines() {
+		for _, build := range []func(doacross.Machine) (*core.Schedule, error){
+			p.ScheduleList, p.ScheduleListProgramOrder, p.ScheduleSync, p.ScheduleBest,
+		} {
+			s, err := build(m)
+			if err != nil {
+				t.Fatalf("schedule: %v", err)
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// rebuildRows recomputes Rows from Cycle after a mutation, keeping the
+// schedule shape self-consistent so only the mutated property is violated.
+func rebuildRows(s *core.Schedule) {
+	max := 0
+	for _, c := range s.Cycle {
+		if c > max {
+			max = c
+		}
+	}
+	s.Rows = make([][]int, max+1)
+	for v, c := range s.Cycle {
+		s.Rows[c] = append(s.Rows[c], v)
+	}
+}
+
+func cloneSchedule(s *core.Schedule) *core.Schedule {
+	cp := *s
+	cp.Cycle = append([]int(nil), s.Cycle...)
+	rebuildRows(&cp)
+	return &cp
+}
+
+func TestVerifyAcceptsEmittedSchedules(t *testing.T) {
+	for _, src := range []string{paperSrc, condSrc} {
+		for _, s := range schedules(t, src) {
+			if l := check.Verify(s); check.Err(l) != nil {
+				t.Errorf("%s schedule rejected:\n%s", s.Method, l)
+			}
+			total := doacross.Simulate(s, 12).Total
+			if l := check.VerifyTiming(s, total, 12); check.Err(l) != nil {
+				t.Errorf("%s timing audit failed:\n%s", s.Method, l)
+			}
+		}
+	}
+}
+
+func TestEdgesCoverAllKinds(t *testing.T) {
+	p := doacross.MustCompile(paperSrc)
+	edges, err := check.Edges(p.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[check.EdgeKind]int{}
+	for _, e := range edges {
+		kinds[e.Kind]++
+		if e.From == e.To {
+			t.Errorf("self edge %v", e)
+		}
+	}
+	for _, k := range []check.EdgeKind{check.EdgeData, check.EdgeMem, check.EdgeSrcToSend, check.EdgeWaitToSnk} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v edges derived from the paper loop", k)
+		}
+	}
+}
+
+// TestVerifyMutationKill breaks every single derived dependence edge in
+// turn and demands the verifier notice each time.
+func TestVerifyMutationKill(t *testing.T) {
+	for _, src := range []string{paperSrc, condSrc} {
+		p, err := doacross.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges, err := check.Edges(p.Code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range machines() {
+			s, err := p.ScheduleSync(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range edges {
+				mut := cloneSchedule(s)
+				// Latencies are >= 1, so issuing To together with From
+				// violates the edge.
+				mut.Cycle[e.To] = mut.Cycle[e.From]
+				rebuildRows(mut)
+				if check.Err(check.Verify(mut)) == nil {
+					t.Errorf("machine %s: broken %v edge %d->%d not flagged", m.Name, e.Kind, e.From, e.To)
+				}
+			}
+		}
+	}
+}
+
+func TestVerifyShapeMutations(t *testing.T) {
+	p := doacross.MustCompile(paperSrc)
+	s, err := p.ScheduleSync(doacross.NewMachine(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dropping an instruction from the schedule.
+	mut := cloneSchedule(s)
+	mut.Cycle = mut.Cycle[:len(mut.Cycle)-1]
+	rebuildRows(mut)
+	if check.Err(check.Verify(mut)) == nil {
+		t.Error("truncated schedule not flagged")
+	}
+
+	// Scheduling a node twice.
+	mut = cloneSchedule(s)
+	mut.Rows[0] = append(mut.Rows[0], mut.Rows[0][0])
+	if check.Err(check.Verify(mut)) == nil {
+		t.Error("double-scheduled node not flagged")
+	}
+
+	// Cramming everything into cycle 0 overflows the issue width (and
+	// every dependence).
+	mut = cloneSchedule(s)
+	for v := range mut.Cycle {
+		mut.Cycle[v] = 0
+	}
+	rebuildRows(mut)
+	if check.Err(check.Verify(mut)) == nil {
+		t.Error("width overflow not flagged")
+	}
+
+	// Rows and Cycle disagreeing.
+	mut = cloneSchedule(s)
+	if len(mut.Rows) > 1 && len(mut.Rows[0]) > 0 {
+		v := mut.Rows[0][0]
+		mut.Rows[0] = mut.Rows[0][1:]
+		mut.Rows[1] = append(mut.Rows[1], v)
+		if check.Err(check.Verify(mut)) == nil {
+			t.Error("row/cycle disagreement not flagged")
+		}
+	}
+}
+
+func TestVerifyTimingMutations(t *testing.T) {
+	p := doacross.MustCompile(paperSrc)
+	s, err := p.ScheduleSync(doacross.NewMachine(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := check.VerifyTiming(s, s.CompletionLength()-1, 12); check.Err(l) == nil {
+		t.Error("total below completion length not flagged")
+	}
+	total := doacross.Simulate(s, 12).Total
+	if pred := doacross.Predict(s, 12); pred > 1 {
+		if l := check.VerifyTiming(s, pred-1, 12); check.Err(l) == nil && pred-1 >= s.CompletionLength() {
+			t.Error("total below prediction not flagged")
+		}
+		_ = total
+	}
+}

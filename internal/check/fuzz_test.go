@@ -1,0 +1,88 @@
+package check_test
+
+import (
+	"testing"
+
+	"doacross"
+	"doacross/internal/check"
+)
+
+// fuzzCorpus are the loops FuzzVerify mutates schedules of. Fuzzing varies
+// the mutation, not the source: the target exercises the verifier, not the
+// compiler (FuzzParse already covers the front end).
+var fuzzCorpus = []string{
+	paperSrc,
+	condSrc,
+	"DO I = 1, N\n  S1: A[I] = A[I-1] + B[I]\nENDDO",
+	"DO I = 1, N\n  S1: A[I] = B[I-3] / C[I]\n  S2: B[I] = A[I-2] * A[I-1]\nENDDO",
+}
+
+// FuzzVerify checks two properties of the verifier under arbitrary
+// schedule mutations: it never panics, and any mutation that breaks a
+// derived dependence edge is flagged (mutation kill). The unmutated
+// schedule must always be accepted.
+func FuzzVerify(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint16(1), uint16(2), uint16(7))
+	f.Add(uint8(1), uint8(1), uint16(9), uint16(0), uint16(3))
+	f.Add(uint8(2), uint8(2), uint16(4), uint16(4), uint16(4))
+	f.Add(uint8(3), uint8(0), uint16(0), uint16(65535), uint16(1))
+	f.Fuzz(func(t *testing.T, srcIdx, machineIdx uint8, a, b, c uint16) {
+		src := fuzzCorpus[int(srcIdx)%len(fuzzCorpus)]
+		ms := machines()
+		m := ms[int(machineIdx)%len(ms)]
+		p, err := doacross.Compile(src)
+		if err != nil {
+			t.Fatalf("corpus loop does not compile: %v", err)
+		}
+		s, err := p.ScheduleSync(m)
+		if err != nil {
+			t.Fatalf("schedule: %v", err)
+		}
+		if l := check.Verify(s); check.Err(l) != nil {
+			t.Fatalf("organic schedule rejected:\n%s", l)
+		}
+
+		// Arbitrary mutation: reassign a few cycles pseudo-randomly from
+		// the fuzz ints. Verify must never panic, whatever comes out.
+		mut := cloneSchedule(s)
+		n := len(mut.Cycle)
+		rng := uint32(a)<<16 | uint32(b) + uint32(c)*2654435761
+		next := func() int {
+			rng ^= rng << 13
+			rng ^= rng >> 17
+			rng ^= rng << 5
+			return int(rng % uint32(n*2+4))
+		}
+		for i := 0; i < int(c%5)+1; i++ {
+			mut.Cycle[next()%n] = next()
+		}
+		rebuildRows(mut)
+		_ = check.Verify(mut)
+
+		// Deletion mutation: always flagged.
+		if n > 1 {
+			mut = cloneSchedule(s)
+			mut.Cycle = mut.Cycle[:n-1-int(a)%(n-1)]
+			rebuildRows(mut)
+			if check.Err(check.Verify(mut)) == nil {
+				t.Fatal("truncated schedule accepted")
+			}
+		}
+
+		// Edge-targeted mutation kill: breaking one derived dependence or
+		// synchronization-condition edge must be flagged.
+		edges, err := check.Edges(p.Code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(edges) > 0 {
+			e := edges[int(b)%len(edges)]
+			mut = cloneSchedule(s)
+			mut.Cycle[e.To] = mut.Cycle[e.From]
+			rebuildRows(mut)
+			if check.Err(check.Verify(mut)) == nil {
+				t.Fatalf("broken %v edge %d->%d accepted", e.Kind, e.From, e.To)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package check_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"doacross/internal/check"
+	"doacross/internal/lang"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenLintDiagnostics pins the linter's rendered findings for a set
+// of source fixtures to golden files. Each fixture is one loop in
+// testdata/<name>.loop; its findings (or "clean\n") live in
+// testdata/<name>_lint.golden. Regenerate with:
+// go test ./internal/check -run Golden -update
+func TestGoldenLintDiagnostics(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "*.loop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("no lint fixtures in testdata/")
+	}
+	for _, src := range fixtures {
+		name := strings.TrimSuffix(filepath.Base(src), ".loop")
+		t.Run(name, func(t *testing.T) {
+			text, err := os.ReadFile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loop, err := lang.Parse(string(text))
+			if err != nil {
+				t.Fatalf("parse %s: %v", src, err)
+			}
+			got := check.Lint(loop).String()
+			if got == "" {
+				got = "clean\n"
+			}
+			path := filepath.Join("testdata", name+"_lint.golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("lint findings diverge from %s:\n-- got --\n%s-- want --\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,261 @@
+package check
+
+import (
+	"fmt"
+
+	"doacross/internal/dep"
+	"doacross/internal/diag"
+	"doacross/internal/lang"
+	"doacross/internal/syncop"
+)
+
+// LintStage is the diagnostic stage name of the source linter.
+const LintStage = "lint"
+
+// lintOp is the linter's neutral view of one synchronization operation,
+// shared between explicitly written Send_Signal/Wait_Signal statements
+// (lang.SyncOp) and compiler-inserted ones (syncop.Op).
+type lintOp struct {
+	wait   bool
+	signal string
+	dist   int // wait distance d; 0 for sends
+	seq    int // textual order among sync ops and statements
+	prev   int // statement index textually before the op, -1 if none
+	next   int // statement index textually after the op, len(Body) if none
+	pos    diag.Pos
+	stmt   string // label of the anchor statement, "" past the last one
+}
+
+// Lint checks the explicitly written synchronization of a source loop and
+// returns positioned findings (stage "lint"): waits that can never be
+// satisfied (static deadlock), dead sends, non-positive or mismatched
+// distances, self-synchronization, and redundant waits subsumed by the
+// transitive closure of the remaining synchronization. A loop without
+// explicit sync ops has nothing to lint and yields nil.
+func Lint(loop *lang.Loop) diag.List {
+	if loop == nil || len(loop.Syncs) == 0 {
+		return nil
+	}
+	var ops []lintOp
+	seq := 0
+	k := 0 // statements emitted so far
+	for _, o := range loop.Syncs {
+		// Syncs are recorded in textual order with nondecreasing anchors.
+		for k < o.At {
+			k++
+			seq++
+		}
+		op := lintOp{
+			wait: o.Wait, signal: o.Signal, dist: o.Dist,
+			seq: seq, prev: k - 1, next: k,
+			pos: o.Pos(),
+		}
+		if k < len(loop.Body) {
+			op.stmt = loop.Body[k].Label
+		}
+		ops = append(ops, op)
+		seq++
+	}
+	return lintOps(loop, dep.Analyze(loop), ops)
+}
+
+// LintSync checks compiler-inserted synchronization. The same rules apply;
+// in particular it surfaces waits made redundant by transitivity, which
+// syncop.Insert does not eliminate.
+func LintSync(sl *syncop.Loop) diag.List {
+	if sl == nil {
+		return nil
+	}
+	var ops []lintOp
+	for seq, it := range sl.Items() {
+		if it.Op == nil {
+			continue
+		}
+		op := lintOp{
+			wait:   it.Op.Kind == syncop.Wait,
+			signal: it.Op.Src,
+			dist:   it.Op.Distance,
+			seq:    seq,
+			pos:    sl.Base.Body[it.StmtIndex].Pos(),
+			stmt:   sl.Base.Body[it.StmtIndex].Label,
+		}
+		if op.wait {
+			op.prev, op.next = it.StmtIndex-1, it.StmtIndex
+		} else {
+			op.prev, op.next = it.StmtIndex, it.StmtIndex+1
+		}
+		ops = append(ops, op)
+	}
+	return lintOps(sl.Base, sl.Analysis, ops)
+}
+
+// lintOps runs every lint rule over the neutral op list.
+func lintOps(base *lang.Loop, a *dep.Analysis, ops []lintOp) diag.List {
+	var out diag.List
+	report := func(op lintOp, err bool, format string, args ...any) {
+		var d *diag.Diagnostic
+		if err {
+			d = diag.Errorf(LintStage, op.pos, format, args...)
+		} else {
+			d = diag.Warningf(LintStage, op.pos, format, args...)
+		}
+		if op.stmt != "" {
+			d = d.WithStmt(op.stmt)
+		}
+		out = append(out, d)
+	}
+	render := func(op lintOp) string {
+		if !op.wait {
+			return fmt.Sprintf("Send_Signal(%s)", op.signal)
+		}
+		switch {
+		case op.dist == 0:
+			return fmt.Sprintf("Wait_Signal(%s, %s)", op.signal, base.Var)
+		case op.dist < 0:
+			return fmt.Sprintf("Wait_Signal(%s, %s+%d)", op.signal, base.Var, -op.dist)
+		default:
+			return fmt.Sprintf("Wait_Signal(%s, %s-%d)", op.signal, base.Var, op.dist)
+		}
+	}
+
+	srcOf := func(signal string) int { return base.StmtIndex(signal) }
+	firstSendSeq := map[string]int{}
+	awaited := map[string]bool{}
+	for _, op := range ops {
+		if op.wait {
+			awaited[op.signal] = true
+		} else if _, dup := firstSendSeq[op.signal]; !dup {
+			firstSendSeq[op.signal] = op.seq
+		}
+	}
+
+	for _, op := range ops {
+		src := srcOf(op.signal)
+		if src < 0 {
+			report(op, true, "%s references unknown statement label %q", render(op), op.signal)
+			continue
+		}
+		if op.wait {
+			sendSeq, sent := firstSendSeq[op.signal]
+			if !sent {
+				report(op, true, "static deadlock: %s has no matching Send_Signal(%s)", render(op), op.signal)
+				continue
+			}
+			if op.dist < 0 {
+				report(op, true, "%s waits on a future iteration (negative distance %d)", render(op), op.dist)
+				continue
+			}
+			if op.dist == 0 {
+				if sendSeq > op.seq {
+					if src == op.next {
+						report(op, true, "self-synchronization deadlock: %s waits for its own statement's signal within the same iteration", render(op))
+					} else {
+						report(op, true, "static deadlock: %s waits within the iteration for Send_Signal(%s), which executes after it", render(op), op.signal)
+					}
+				} else {
+					report(op, false, "%s is always satisfied by the preceding Send_Signal(%s); redundant", render(op), op.signal)
+				}
+				continue
+			}
+			// Distance audit against the dependence analysis: the wait
+			// guards its anchor statement against the signal's source.
+			if a != nil && op.next < len(base.Body) {
+				var dists []int
+				match := false
+				for _, d := range a.Deps {
+					if d.Src.Stmt == src && d.Snk.Stmt == op.next && d.Distance > 0 {
+						dists = append(dists, d.Distance)
+						if d.Distance == op.dist {
+							match = true
+						}
+					}
+				}
+				if len(dists) == 0 {
+					report(op, false, "no loop-carried dependence from %s to %s requires %s", op.signal, base.Body[op.next].Label, render(op))
+				} else if !match {
+					report(op, false, "%s distance %d matches no analyzed dependence %s->%s (analysis finds distances %v)",
+						render(op), op.dist, op.signal, base.Body[op.next].Label, dists)
+				}
+			}
+		} else {
+			if op.prev < src {
+				report(op, true, "%s precedes its source statement %s (synchronization condition 1)", render(op), op.signal)
+			}
+			if !awaited[op.signal] {
+				report(op, false, "signal %s is sent but never awaited (dead synchronization)", op.signal)
+			}
+			if firstSendSeq[op.signal] != op.seq {
+				report(op, false, "duplicate %s", render(op))
+			}
+		}
+	}
+
+	lintRedundantWaits(base, ops, report, render)
+	return out
+}
+
+// lintRedundantWaits flags waits subsumed by the transitive closure of the
+// other waits. A wait W for signal src(W) with distance d guarantees that
+// statement src(W) of iteration i-d completed before W's anchor statement
+// of iteration i starts. A chain of other waits V1..Vm re-establishes that
+// guarantee when src(V1) >= src(W), src(V(k+1)) >= anchor(Vk), anchor(Vm)
+// <= anchor(W), and the distances sum to exactly d — the exact-sum
+// requirement matters because iterations of a DOACROSS loop are otherwise
+// unordered. Waits already flagged redundant are excluded from chains, so
+// of two identical waits only the later is flagged.
+func lintRedundantWaits(base *lang.Loop, ops []lintOp, report func(lintOp, bool, string, ...any), render func(lintOp) string) {
+	// Waits eligible to participate: positive distance, known signal.
+	var waits []lintOp
+	for _, op := range ops {
+		if op.wait && op.dist > 0 && base.StmtIndex(op.signal) >= 0 {
+			waits = append(waits, op)
+		}
+	}
+	redundant := map[int]bool{} // seq -> flagged
+	for _, w := range waits {
+		srcW := base.StmtIndex(w.signal)
+		type state struct {
+			anchor, used int
+		}
+		type entry struct {
+			st    state
+			chain []string
+		}
+		var queue []entry
+		seen := map[state]bool{}
+		push := func(st state, chain []string) {
+			if st.used > w.dist || seen[st] {
+				return
+			}
+			seen[st] = true
+			queue = append(queue, entry{st: st, chain: chain})
+		}
+		for _, v := range waits {
+			if v.seq == w.seq || redundant[v.seq] {
+				continue
+			}
+			if base.StmtIndex(v.signal) >= srcW {
+				push(state{anchor: v.next, used: v.dist}, []string{render(v)})
+			}
+		}
+		found := false
+		for len(queue) > 0 && !found {
+			e := queue[0]
+			queue = queue[1:]
+			if e.st.used == w.dist && e.st.anchor <= w.next {
+				report(w, false, "%s is redundant: subsumed by transitive synchronization through %v", render(w), e.chain)
+				redundant[w.seq] = true
+				found = true
+				break
+			}
+			for _, v := range waits {
+				if v.seq == w.seq || redundant[v.seq] {
+					continue
+				}
+				if base.StmtIndex(v.signal) >= e.st.anchor {
+					push(state{anchor: v.next, used: e.st.used + v.dist}, append(append([]string{}, e.chain...), render(v)))
+				}
+			}
+		}
+	}
+}

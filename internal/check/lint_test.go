@@ -1,0 +1,226 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"doacross/internal/check"
+	"doacross/internal/dep"
+	"doacross/internal/lang"
+	"doacross/internal/syncop"
+)
+
+func lint(t *testing.T, src string) (errs, warns []string) {
+	t.Helper()
+	loop, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	l := check.Lint(loop)
+	for _, d := range l.Errors() {
+		errs = append(errs, d.Error())
+	}
+	for _, d := range l.Warnings() {
+		warns = append(warns, d.Error())
+	}
+	return errs, warns
+}
+
+func wantFinding(t *testing.T, got []string, frag string) {
+	t.Helper()
+	for _, g := range got {
+		if strings.Contains(g, frag) {
+			return
+		}
+	}
+	t.Errorf("no finding mentions %q; got %q", frag, got)
+}
+
+func TestLintCleanLoop(t *testing.T) {
+	// The paper's Fig. 1(b): explicit synchronization exactly matching the
+	// analyzed dependences.
+	errs, warns := lint(t, `DOACROSS I = 1, N
+  Wait_Signal(S3, I-2)
+  S1: B[I] = A[I-2] + E[I+1]
+  Wait_Signal(S3, I-1)
+  S2: G[I-3] = A[I-1] * E[I+2]
+  S3: A[I] = B[I] + C[I+3]
+  Send_Signal(S3)
+ENDDO`)
+	if len(errs) != 0 || len(warns) != 0 {
+		t.Errorf("clean loop has findings: errors %q, warnings %q", errs, warns)
+	}
+}
+
+func TestLintMissingSend(t *testing.T) {
+	errs, warns := lint(t, `DOACROSS I = 1, N
+  Wait_Signal(S2, I-1)
+  S1: A[I] = B[I-1] + 1
+  Send_Signal(S1)
+  S2: B[I] = A[I-1] * 2
+ENDDO`)
+	wantFinding(t, errs, "static deadlock")
+	wantFinding(t, errs, "no matching Send_Signal(S2)")
+	wantFinding(t, warns, "never awaited")
+}
+
+func TestLintUnknownLabel(t *testing.T) {
+	errs, _ := lint(t, `DOACROSS I = 1, N
+  Wait_Signal(S9, I-1)
+  S1: A[I] = A[I-1] + 1
+  Send_Signal(S1)
+  Wait_Signal(S1, I-1)
+  S2: B[I] = A[I-1] + 2
+ENDDO`)
+	wantFinding(t, errs, `unknown statement label "S9"`)
+}
+
+func TestLintNegativeDistance(t *testing.T) {
+	errs, _ := lint(t, `DOACROSS I = 1, N
+  Wait_Signal(S1, I+1)
+  S1: A[I] = A[I-1] + 1
+  Send_Signal(S1)
+ENDDO`)
+	wantFinding(t, errs, "future iteration")
+}
+
+func TestLintSelfSynchronization(t *testing.T) {
+	errs, _ := lint(t, `DOACROSS I = 1, N
+  S1: A[I] = A[I-1] + 1
+  Wait_Signal(S2, I)
+  S2: B[I] = A[I] * 2
+  Send_Signal(S2)
+ENDDO`)
+	wantFinding(t, errs, "self-synchronization deadlock")
+}
+
+func TestLintDistanceZeroRedundant(t *testing.T) {
+	_, warns := lint(t, `DOACROSS I = 1, N
+  S1: A[I] = A[I-1] + 1
+  Send_Signal(S1)
+  Wait_Signal(S1, I)
+  S2: B[I] = A[I] * 2
+ENDDO`)
+	wantFinding(t, warns, "always satisfied")
+}
+
+func TestLintSendBeforeSource(t *testing.T) {
+	errs, _ := lint(t, `DOACROSS I = 1, N
+  Send_Signal(S1)
+  S1: A[I] = A[I-1] + 1
+  Wait_Signal(S1, I-1)
+  S2: B[I] = A[I-1] + 2
+ENDDO`)
+	wantFinding(t, errs, "precedes its source statement")
+}
+
+func TestLintDistanceMismatch(t *testing.T) {
+	_, warns := lint(t, `DOACROSS I = 1, N
+  S1: A[I] = B[I] + 1
+  Send_Signal(S1)
+  Wait_Signal(S1, I-3)
+  S2: C[I] = A[I-2] * 2
+ENDDO`)
+	wantFinding(t, warns, "matches no analyzed dependence")
+}
+
+func TestLintDuplicateSend(t *testing.T) {
+	_, warns := lint(t, `DOACROSS I = 1, N
+  S1: A[I] = A[I-1] + 1
+  Send_Signal(S1)
+  Send_Signal(S1)
+  Wait_Signal(S1, I-1)
+  S2: B[I] = A[I-1] + 2
+ENDDO`)
+	wantFinding(t, warns, "duplicate Send_Signal(S1)")
+}
+
+// TestLintTransitiveRedundancy: Wait_Signal(S3, I-1) before S1 makes both
+// other waits redundant — Wait_Signal(S1, I-1) directly (completing S3 of
+// the previous iteration implies completing its S1), and the trailing
+// Wait_Signal(S3, I-2) by chaining the S3 wait across two iterations
+// (distances sum to 2 and the anchors compose). The load-bearing wait
+// itself must not be flagged.
+func TestLintTransitiveRedundancy(t *testing.T) {
+	loop, err := lang.Parse(`DOACROSS I = 1, N
+  Wait_Signal(S3, I-1)
+  S1: A[I] = C[I-1] + 1
+  Wait_Signal(S1, I-1)
+  S2: B[I] = A[I-1] * 2
+  Wait_Signal(S3, I-2)
+  S3: C[I] = B[I-1] + 3
+  Send_Signal(S1)
+  Send_Signal(S3)
+ENDDO`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := check.Lint(loop)
+	var redundant []string
+	for _, d := range l {
+		if strings.Contains(d.Error(), "subsumed by transitive synchronization") {
+			redundant = append(redundant, d.Error())
+		}
+	}
+	if len(redundant) != 2 {
+		t.Fatalf("want two transitive-redundancy findings, got %q (all: %s)", redundant, l)
+	}
+	wantFinding(t, redundant, "Wait_Signal(S1, I-1) is redundant")
+	wantFinding(t, redundant, "Wait_Signal(S3, I-2) is redundant")
+	for _, r := range redundant {
+		if strings.Contains(r, "Wait_Signal(S3, I-1) is redundant") {
+			t.Errorf("load-bearing wait flagged: %s", r)
+		}
+	}
+}
+
+// TestLintDuplicateWait: of two identical waits only the later is flagged
+// (the first serves as its chain, then stays).
+func TestLintDuplicateWait(t *testing.T) {
+	loop, err := lang.Parse(`DOACROSS I = 1, N
+  Wait_Signal(S2, I-1)
+  S1: A[I] = B[I-1] + 1
+  Wait_Signal(S2, I-1)
+  S2: B[I] = A[I-1] * 2
+  Send_Signal(S2)
+ENDDO`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := check.Lint(loop)
+	count := 0
+	for _, d := range l {
+		if strings.Contains(d.Error(), "subsumed by transitive synchronization") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("want 1 duplicate-wait finding, got %d:\n%s", count, l)
+	}
+}
+
+// TestLintSyncCompilerOutput: compiler-inserted synchronization never
+// produces lint errors (warnings — e.g. transitivity-redundant waits — are
+// legitimate findings on it).
+func TestLintSyncCompilerOutput(t *testing.T) {
+	for _, src := range []string{paperSrc, condSrc} {
+		loop, err := lang.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sl := syncop.Insert(dep.Analyze(loop), syncop.Options{})
+		if l := check.LintSync(sl); len(l.Errors()) != 0 {
+			t.Errorf("compiler-inserted sync lints with errors:\n%s", l.Errors())
+		}
+	}
+}
+
+func TestLintNoSyncOps(t *testing.T) {
+	loop, err := lang.Parse("DO I = 1, N\n  S1: A[I] = B[I] + 1\nENDDO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := check.Lint(loop); len(l) != 0 {
+		t.Errorf("loop without sync ops has findings: %s", l)
+	}
+}

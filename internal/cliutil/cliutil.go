@@ -147,7 +147,7 @@ func (o *Observability) Close() {
 func PassTimings(st pipeline.Stats) string {
 	var sb strings.Builder
 	for _, s := range st.Stages {
-		if s.Stage == pipeline.StageSchedule || s.Stage == pipeline.StageSimulate {
+		if s.Stage == pipeline.StageSchedule || s.Stage == pipeline.StageVerify || s.Stage == pipeline.StageSimulate {
 			continue
 		}
 		fmt.Fprintf(&sb, "%-10s %6d runs, mean %9v, max %9v, total %9v\n",

@@ -11,7 +11,8 @@
 // Grammar (case-insensitive keywords):
 //
 //	loop    := ("DO" | "DOACROSS") ident "=" expr "," expr stmt* "ENDDO"
-//	stmt    := [label ":"] ref "=" expr
+//	stmt    := [label ":"] ref "=" expr | sync
+//	sync    := "Send_Signal" "(" ident ")" | "Wait_Signal" "(" ident "," expr ")"
 //	ref     := ident | ident "[" expr "]" | ident "(" expr ")"
 //	expr    := term (("+"|"-") term)*
 //	term    := factor (("*"|"/") factor)*
@@ -276,6 +277,46 @@ func (a *Assign) String() string {
 	return s
 }
 
+// SyncOp is an explicit synchronization statement written in the source:
+// Send_Signal(S1) or Wait_Signal(S1, I-2). The compiler inserts its own
+// synchronization from the dependence analysis (internal/syncop); explicit
+// ops exist so hand-annotated DOACROSS loops can be linted statically
+// (internal/check, cmd/schedlint) against what the analysis requires.
+type SyncOp struct {
+	// Wait distinguishes Wait_Signal from Send_Signal.
+	Wait bool
+	// Signal names the statement label whose signal is sent or awaited.
+	Signal string
+	// Dist is the iteration distance of a Wait: Wait_Signal(S, I-d) has
+	// Dist d. Sends carry no distance. A non-positive distance is accepted
+	// by the parser (Wait_Signal(S, I+1) has Dist -1) so the linter can
+	// report it with a source position.
+	Dist int
+	// At anchors the op before Body[At]; ops after the last statement have
+	// At == len(Body).
+	At int
+	// Line and Col locate the op's first token in the source text.
+	Line, Col int
+}
+
+// Pos returns the op's source position.
+func (o *SyncOp) Pos() diag.Pos { return diag.Pos{Line: o.Line, Col: o.Col} }
+
+// String renders the op; iv is the loop's induction variable (used for the
+// Wait distance spelling).
+func (o *SyncOp) String(iv string) string {
+	if !o.Wait {
+		return fmt.Sprintf("Send_Signal(%s)", o.Signal)
+	}
+	switch {
+	case o.Dist > 0:
+		return fmt.Sprintf("Wait_Signal(%s, %s-%d)", o.Signal, iv, o.Dist)
+	case o.Dist < 0:
+		return fmt.Sprintf("Wait_Signal(%s, %s+%d)", o.Signal, iv, -o.Dist)
+	}
+	return fmt.Sprintf("Wait_Signal(%s, %s)", o.Signal, iv)
+}
+
 // Loop is a singly nested DO/DOACROSS loop.
 type Loop struct {
 	// Doacross records whether the loop was written DOACROSS. The dependence
@@ -285,6 +326,11 @@ type Loop struct {
 	Var      string
 	Lo, Hi   Expr
 	Body     []*Assign
+	// Syncs holds explicit Send_Signal/Wait_Signal statements in textual
+	// order, anchored by SyncOp.At. The compile pipeline ignores them (it
+	// derives synchronization from the dependence analysis); they feed the
+	// source linter.
+	Syncs []*SyncOp
 	// Line and Col locate the loop header keyword (0 for synthesized loops).
 	Line, Col int
 }
@@ -300,9 +346,17 @@ func (l *Loop) String() string {
 		kw = "DOACROSS"
 	}
 	fmt.Fprintf(&sb, "%s %s = %s, %s\n", kw, l.Var, l.Lo, l.Hi)
-	for _, st := range l.Body {
+	syncs := 0
+	emit := func(anchor int) {
+		for ; syncs < len(l.Syncs) && l.Syncs[syncs].At <= anchor; syncs++ {
+			fmt.Fprintf(&sb, "  %s\n", l.Syncs[syncs].String(l.Var))
+		}
+	}
+	for k, st := range l.Body {
+		emit(k)
 		fmt.Fprintf(&sb, "  %s: %s\n", st.Label, st)
 	}
+	emit(len(l.Body))
 	sb.WriteString("ENDDO\n")
 	return sb.String()
 }
@@ -336,6 +390,10 @@ func (l *Loop) Clone() *Loop {
 			LHS: CloneExpr(st.LHS), RHS: CloneExpr(st.RHS),
 			Line: st.Line, Col: st.Col,
 		})
+	}
+	for _, o := range l.Syncs {
+		cp := *o
+		out.Syncs = append(out.Syncs, &cp)
 	}
 	return out
 }

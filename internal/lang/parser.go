@@ -138,6 +138,14 @@ func (p *parser) parseLoop() (*Loop, error) {
 				return nil, p.errorf(t, "nested loops are not supported by this subset")
 			}
 		}
+		if t.Kind == TokIdent && isSyncIdent(t.Text) && p.peekN(1).Kind == TokLBracket && p.peekN(1).Paren {
+			op, err := p.parseSync(loop)
+			if err != nil {
+				return nil, err
+			}
+			loop.Syncs = append(loop.Syncs, op)
+			continue
+		}
 		st, err := p.parseStmt()
 		if err != nil {
 			return nil, err
@@ -170,6 +178,62 @@ func (p *parser) normalizeLabels(loop *Loop, used map[string]bool) {
 			}
 		}
 	}
+}
+
+// isSyncIdent reports whether ident spells an explicit synchronization
+// statement. Like keywords, the spelling is case-insensitive; unlike
+// keywords, the ident only acts as a statement when followed by '(' at
+// statement head, so variables of the same name stay usable in expressions.
+func isSyncIdent(ident string) bool {
+	return strings.EqualFold(ident, "Send_Signal") || strings.EqualFold(ident, "Wait_Signal")
+}
+
+// parseSync parses an explicit synchronization statement:
+//
+//	Send_Signal(label)
+//	Wait_Signal(label, iv-d)
+//
+// The Wait iteration expression must be affine in the loop's induction
+// variable with coefficient 1; its constant offset becomes -Dist.
+func (p *parser) parseSync(loop *Loop) (*SyncOp, error) {
+	kw := p.next()
+	op := &SyncOp{Wait: strings.EqualFold(kw.Text, "Wait_Signal"), At: len(loop.Body), Line: kw.Line, Col: kw.Col}
+	if _, err := p.expect(TokLBracket); err != nil {
+		return nil, err
+	}
+	sig, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if keywordOf(sig.Text) != "" {
+		return nil, p.errorf(sig, "keyword %q cannot be a signal label", sig.Text)
+	}
+	op.Signal = sig.Text
+	if op.Wait {
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		it, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		coef, off, ok := AffineIndex(it, loop.Var)
+		if !ok || coef != 1 {
+			return nil, p.errorf(kw, "Wait_Signal iteration must be %s, %s-d or %s+d", loop.Var, loop.Var, loop.Var)
+		}
+		op.Dist = -off
+	}
+	cl, err := p.expect(TokRBracket)
+	if err != nil {
+		return nil, err
+	}
+	if !cl.Paren {
+		return nil, p.errorf(cl, "mismatched ')' and ']'")
+	}
+	if t := p.peek(); t.Kind != TokNewline && t.Kind != TokEOF {
+		return nil, p.errorf(t, "expected end of statement, found %s %q", t.Kind, t.Text)
+	}
+	return op, nil
 }
 
 func (p *parser) parseStmt() (*Assign, error) {

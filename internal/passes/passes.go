@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"strings"
 
+	"doacross/internal/check"
 	"doacross/internal/dep"
 	"doacross/internal/dfg"
 	"doacross/internal/diag"
@@ -54,6 +55,7 @@ const (
 	PassSyncInsert = "syncinsert"
 	PassCodegen    = "codegen"
 	PassGraph      = "graph"
+	PassVerify     = "verify"
 )
 
 // parsePass turns source text into a Loop. A context seeded with an already
@@ -234,3 +236,46 @@ func (graphPass) Run(ctx *Context) error {
 }
 
 func (graphPass) Artifact(ctx *Context) string { return ctx.Graph.SyncInfo() }
+
+// verifyPass is the opt-in static verification stage: it re-derives the
+// dependence edges from the compiled code and the analysis (internal/check,
+// which deliberately shares no code with internal/dfg), audits the built
+// data-flow graph against them — every derived edge must be present, or
+// the graph the schedulers are about to consume is missing a constraint —
+// and runs the synchronization linter over both the compiler-inserted sync
+// ops and any explicit Send_Signal/Wait_Signal statements of the source.
+// Lint findings land in the diagnostics; findings of Error severity (a
+// statically deadlocking source, a missing graph arc) fail the pass.
+type verifyPass struct{}
+
+func (verifyPass) Name() string { return PassVerify }
+
+func (verifyPass) Run(ctx *Context) error {
+	edges, err := check.Edges(ctx.Code)
+	if err != nil {
+		return diag.Errorf(check.Stage, ctx.Loop.Pos(), "%v", err)
+	}
+	ctx.VerifyEdges = len(edges)
+	present := make(map[[2]int]bool, len(ctx.Graph.Arcs))
+	for _, a := range ctx.Graph.Arcs {
+		present[[2]int{a.From, a.To}] = true
+	}
+	for _, e := range edges {
+		if !present[[2]int{e.From, e.To}] {
+			return diag.Errorf(check.Stage, ctx.Loop.Pos(),
+				"dfg audit: derived %s edge %d->%d missing from the data-flow graph", e.Kind, e.From+1, e.To+1)
+		}
+	}
+	lint := append(check.Lint(ctx.Loop), check.LintSync(ctx.Sync)...)
+	ctx.LintFindings = lint
+	ctx.Diags = append(ctx.Diags, lint...)
+	if errs := lint.Errors(); len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+func (verifyPass) Artifact(ctx *Context) string {
+	return fmt.Sprintf("verified %d derived dependence edges against the data-flow graph\n%d lint findings\n",
+		ctx.VerifyEdges, len(ctx.LintFindings))
+}

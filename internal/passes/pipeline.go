@@ -34,6 +34,11 @@ type Options struct {
 	// FlowOnly limits synchronization insertion to loop-carried flow
 	// dependences (syncop.Options.FlowOnly).
 	FlowOnly bool
+	// Verify appends the static verification pass: re-derive the dependence
+	// edges independently of the data-flow graph, audit the graph against
+	// them, and lint the loop's synchronization (internal/check). Lint
+	// findings of Error severity fail the compilation.
+	Verify bool
 	// Dump lists pass names whose artifacts are rendered into the trace;
 	// "all" (or "*") dumps every pass.
 	Dump []string
@@ -135,6 +140,12 @@ type Context struct {
 	// IfConverted lists the labels of guarded statements the ifconvert pass
 	// cleared for lowering.
 	IfConverted []string
+	// VerifyEdges is the number of dependence edges the verify pass
+	// re-derived and cross-checked against the graph (0 unless it ran).
+	VerifyEdges int
+	// LintFindings are the synchronization-linter findings of the verify
+	// pass (also appended to Diags).
+	LintFindings diag.List
 	// Diags collects every diagnostic reported so far.
 	Diags diag.List
 	// Trace holds timings and artifacts.
@@ -153,7 +164,7 @@ type Pipeline struct {
 
 // New builds the pipeline for the given options:
 //
-//	parse [unroll] [ifconvert] analyze [migrate] syncinsert codegen graph
+//	parse [unroll] [ifconvert] analyze [migrate] syncinsert codegen graph [verify]
 func New(opts Options) *Pipeline {
 	ps := []Pass{parsePass{}}
 	if opts.Unroll != 0 && opts.Unroll != 1 {
@@ -173,6 +184,9 @@ func New(opts Options) *Pipeline {
 		codegenPass{},
 		graphPass{},
 	)
+	if opts.Verify {
+		ps = append(ps, verifyPass{})
+	}
 	return &Pipeline{passes: ps, opts: opts}
 }
 

@@ -20,6 +20,11 @@ import (
 const (
 	// StageSchedule covers building the list/sync/best schedules.
 	StageSchedule = "schedule"
+	// StageVerify covers the independent post-schedule verification of the
+	// schedules about to be served (internal/check re-derives the dependence
+	// edges and re-checks the synchronization conditions; the name matches
+	// the check package's diagnostic stage).
+	StageVerify = "check"
 	// StageSimulate covers timing the schedules.
 	StageSimulate = "simulate"
 )
@@ -30,7 +35,7 @@ const (
 var stageOrder = []string{
 	passes.PassParse, passes.PassUnroll, passes.PassIfConvert, passes.PassAnalyze,
 	passes.PassMigrate, passes.PassSyncInsert, passes.PassCodegen, passes.PassGraph,
-	StageSchedule, StageSimulate,
+	StageSchedule, StageVerify, StageSimulate,
 }
 
 // stageRank maps a stage name to its reporting position.
@@ -90,6 +95,10 @@ type Metrics struct {
 	// a deadline or cancellation, and schedules served by the verified
 	// program-order fallback.
 	panics, timeouts, fallbacks atomic.Int64
+	// Verification counters: schedule sets the independent verifier
+	// (internal/check) accepted respectively rejected before serving, and
+	// synchronization-linter findings recorded at compile time.
+	verified, rejected, lintFindings atomic.Int64
 	// Liveness gauges: requests currently inside a worker and requests not
 	// yet handed to one, maintained by the batch pipeline.
 	inFlight, queueDepth atomic.Int64
@@ -176,6 +185,19 @@ func (m *Metrics) Timeout() { m.timeouts.Add(1) }
 // Fallback records a request served by the verified program-order fallback
 // schedule instead of the synchronization-aware one.
 func (m *Metrics) Fallback() { m.fallbacks.Add(1) }
+
+// Verified records one schedule set accepted by the independent
+// post-schedule verifier.
+func (m *Metrics) Verified() { m.verified.Add(1) }
+
+// Rejected records one schedule set the independent post-schedule verifier
+// refused to serve.
+func (m *Metrics) Rejected() { m.rejected.Add(1) }
+
+// LintFindings records n synchronization-linter findings from one fresh
+// compilation (cache hits share the original compilation's findings and are
+// not recounted).
+func (m *Metrics) LintFindings(n int64) { m.lintFindings.Add(n) }
 
 // WorkerStart marks a request entering a worker; WorkerDone its exit.
 func (m *Metrics) WorkerStart() { m.inFlight.Add(1) }
@@ -309,6 +331,11 @@ type Stats struct {
 	// deadlines or cancellation, Fallbacks counts requests served by the
 	// verified program-order fallback schedule.
 	Panics, Timeouts, Fallbacks int64
+	// Verified and Rejected count schedule sets the independent verifier
+	// (internal/check) accepted respectively refused before serving;
+	// LintFindings counts synchronization-linter findings across fresh
+	// compilations.
+	Verified, Rejected, LintFindings int64
 	// InFlight and QueueDepth are point-in-time gauges: requests inside a
 	// worker and requests enqueued but not yet picked up.
 	InFlight, QueueDepth int64
@@ -360,6 +387,9 @@ func (m *Metrics) Stats() Stats {
 	out.Panics = m.panics.Load()
 	out.Timeouts = m.timeouts.Load()
 	out.Fallbacks = m.fallbacks.Load()
+	out.Verified = m.verified.Load()
+	out.Rejected = m.rejected.Load()
+	out.LintFindings = m.lintFindings.Load()
 	out.InFlight = m.inFlight.Load()
 	out.QueueDepth = m.queueDepth.Load()
 	out.SignalsSent = m.signals.Load()
@@ -406,7 +436,7 @@ func (s Stats) Quantile(stage string, q float64) time.Duration {
 func (s Stats) CompileTime() time.Duration {
 	var total time.Duration
 	for _, st := range s.Stages {
-		if st.Stage == StageSchedule || st.Stage == StageSimulate {
+		if st.Stage == StageSchedule || st.Stage == StageVerify || st.Stage == StageSimulate {
 			continue
 		}
 		total += st.Total
@@ -426,6 +456,10 @@ func (s Stats) String() string {
 	if s.Panics+s.Timeouts+s.Fallbacks > 0 {
 		fmt.Fprintf(&sb, "faults: %d panics recovered, %d timeouts, %d fallbacks\n",
 			s.Panics, s.Timeouts, s.Fallbacks)
+	}
+	if s.Verified+s.Rejected+s.LintFindings > 0 {
+		fmt.Fprintf(&sb, "verify: %d schedule sets verified, %d rejected, %d lint findings\n",
+			s.Verified, s.Rejected, s.LintFindings)
 	}
 	if s.SignalsSent+s.WaitStallCycles+s.LBDArcs+s.LFDArcs > 0 {
 		fmt.Fprintf(&sb, "sync: %d signals sent, %d wait-stall cycles, arcs %d LBD / %d LFD\n",

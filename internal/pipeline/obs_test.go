@@ -36,7 +36,7 @@ func TestSpanTree(t *testing.T) {
 			requests++
 		case obs.KindStage:
 			stages++
-			if s.Name != "compile" && s.Name != StageSchedule && s.Name != StageSimulate {
+			if s.Name != "compile" && s.Name != StageSchedule && s.Name != StageVerify && s.Name != StageSimulate {
 				t.Errorf("unexpected stage span %q", s.Name)
 			}
 		case obs.KindPass:
@@ -60,9 +60,9 @@ func TestSpanTree(t *testing.T) {
 	if requests != len(srcs) {
 		t.Errorf("got %d request spans, want %d", requests, len(srcs))
 	}
-	// Each request runs compile, schedule and simulate (one machine).
-	if stages != 3*len(srcs) {
-		t.Errorf("got %d stage spans, want %d", stages, 3*len(srcs))
+	// Each request runs compile, schedule, verify and simulate (one machine).
+	if stages != 4*len(srcs) {
+		t.Errorf("got %d stage spans, want %d", stages, 4*len(srcs))
 	}
 	if passes == 0 {
 		t.Error("no pass spans recorded")

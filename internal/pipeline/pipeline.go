@@ -26,6 +26,15 @@
 //     is always a correct (if slower) answer. The fallback is verified with
 //     Validate before it is returned and the result is flagged Degraded with
 //     the reason.
+//   - Independent verification: every freshly built schedule — organic or
+//     fallback — passes through internal/check before it is served or
+//     published to the cache. The checker re-derives the dependence edges
+//     from the compiled code and re-checks the paper's synchronization
+//     conditions, resource feasibility and deadlock freedom without sharing
+//     code with the schedulers; cache hits therefore only ever serve
+//     schedules that already passed. A rejected schedule degrades onto the
+//     fallback exactly like a scheduler panic; fresh compilations
+//     additionally run the synchronization linter (LoopResult.Lint).
 //   - Fault injection: Options.FaultHook (see internal/faults) is probed at
 //     every stage boundary so chaos tests can drive each failure path
 //     deterministically.
@@ -42,6 +51,7 @@ import (
 	"sync"
 	"time"
 
+	"doacross/internal/check"
 	"doacross/internal/core"
 	"doacross/internal/dep"
 	"doacross/internal/dfg"
@@ -121,8 +131,8 @@ type Options struct {
 	// compile, schedule and simulate stages.
 	RequestTimeout time.Duration
 	// FaultHook, when non-nil, is probed with (stage, request name) at the
-	// start of the "compile", "schedule" and "simulate" stages, once per
-	// request at "cache" consultation, and before every compilation pass
+	// start of the "compile", "schedule", "check" and "simulate" stages, once
+	// per request at "cache" consultation, and before every compilation pass
 	// (with the pass name as the stage). A returned error fails the stage —
 	// subject to the same fallback rules as organic failures — and a "cache"
 	// error drops the cached entries for the request (forcing recompute). A
@@ -242,6 +252,11 @@ type LoopResult struct {
 	// Diags are the compile diagnostics (warnings, and the error when
 	// Err != nil) with source positions.
 	Diags diag.List
+	// Lint are the synchronization-linter findings over the compiled loop
+	// (internal/check): redundant waits, dead sends, suspicious distances.
+	// Purely advisory here — lint errors fail the compilation only under
+	// Options.Compile.Verify.
+	Lint diag.List
 	// Machines holds one result per Options.Machines entry, in order.
 	Machines []MachineResult
 }
@@ -295,6 +310,7 @@ type compileEntry struct {
 	graph    *dfg.Graph
 	trace    *passes.Trace
 	diags    diag.List
+	lint     diag.List
 }
 
 // sourceKey addresses the compile memo: a hash of the loop's source text and
@@ -562,9 +578,18 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 			endCompile(res.Err)
 			return res
 		}
+		// Lint the synchronization placement of every fresh compilation.
+		// Under Compile.Verify the verify pass already ran the linter (and
+		// failed on errors); otherwise the findings are advisory.
+		lint := pctx.LintFindings
+		if !opt.Compile.Verify {
+			lint = append(check.Lint(pctx.Loop), check.LintSync(pctx.Sync)...)
+		}
+		metrics.LintFindings(int64(len(lint)))
 		compiled = &compileEntry{
 			loop: pctx.Loop, analysis: pctx.Analysis, syncLoop: pctx.Sync,
 			prog: pctx.Code, graph: pctx.Graph, trace: pctx.Trace, diags: pctx.Diags,
+			lint: lint,
 		}
 		if opt.Cache != nil {
 			v, _ := opt.Cache.Put(srcKey, compiled)
@@ -579,6 +604,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 	res.Graph = compiled.graph
 	res.Trace = compiled.trace
 	res.Diags = compiled.diags
+	res.Lint = compiled.lint
 
 	fp := res.Graph.Fingerprint()
 	salt := opt.salt()
@@ -606,6 +632,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 				metrics.CacheHit()
 			}
 		}
+		fresh := entry == nil
 		if entry == nil {
 			if useCache {
 				metrics.CacheMiss()
@@ -661,14 +688,79 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 				entry = e
 			} else {
 				entry = e
-				if useCache {
-					v, _ := opt.Cache.Put(mr.Key, entry)
-					entry = v.(*schedEntry)
-				}
 			}
 		}
 		mr.List, mr.Sync, mr.Best = entry.list, entry.sync, entry.best
 		endSched(nil)
+
+		// Independent verification of every freshly built schedule —
+		// organic or fallback — before it is served or published:
+		// internal/check re-derives the dependence edges from the compiled
+		// code (sharing no code with the schedulers) and re-checks the
+		// synchronization conditions, resource feasibility and deadlock
+		// freedom. A rejected schedule degrades onto the program-order
+		// fallback exactly like a scheduler panic does; a rejected fallback
+		// fails the request. Only verified, non-degraded entries reach the
+		// cache, so cache hits serve schedules that already passed and skip
+		// the stage.
+		if fresh {
+			vspan := opt.Observer.Start(obs.KindStage, StageVerify, rspan)
+			endVerify := func(err error) {
+				opt.Observer.End(&vspan, err, obs.S("machine", cfg.Name),
+					obs.B("degraded", mr.Degraded))
+			}
+			verr := metrics.timed(StageVerify, func() error {
+				return safeStage(StageVerify, res.Name, metrics, func() error {
+					if err := probe(StageVerify); err != nil {
+						return err
+					}
+					for _, s := range []*core.Schedule{entry.list, entry.sync, entry.best} {
+						if s == nil {
+							continue
+						}
+						if err := check.Err(check.Verify(s)); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			})
+			if verr != nil {
+				metrics.Rejected()
+				if mr.Degraded {
+					// Even the fallback was rejected; nothing verified is
+					// left to serve.
+					res.Err = fmt.Errorf("pipeline: verify %s on %s: %w", res.Name, cfg.Name, verr)
+					endVerify(res.Err)
+					return res
+				}
+				fb, ferr := fallbackSchedule(res.Graph, cfg)
+				if ferr == nil {
+					ferr = check.Err(check.Verify(fb))
+				}
+				if ferr != nil {
+					res.Err = fmt.Errorf("pipeline: verify %s on %s: %v (fallback failed: %w)",
+						res.Name, cfg.Name, verr, ferr)
+					endVerify(res.Err)
+					return res
+				}
+				entry = &schedEntry{list: fb, sync: fb}
+				if opt.Best {
+					entry.best = fb
+				}
+				mr.Degraded = true
+				mr.DegradedReason = verr.Error()
+				metrics.Fallback()
+			} else {
+				metrics.Verified()
+				if useCache && !mr.Degraded {
+					v, _ := opt.Cache.Put(mr.Key, entry)
+					entry = v.(*schedEntry)
+				}
+			}
+			mr.List, mr.Sync, mr.Best = entry.list, entry.sync, entry.best
+			endVerify(nil)
+		}
 
 		if ctx.Err() != nil {
 			res.Err = ctxErr(ctx, res.Name, metrics)
@@ -730,8 +822,12 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 					return res
 				}
 				// Degrade at the simulation stage: time the verified
-				// program-order fallback instead.
+				// program-order fallback instead. It too must pass the
+				// independent verifier before being served.
 				fb, ferr := fallbackSchedule(res.Graph, cfg)
+				if ferr == nil {
+					ferr = check.Err(check.Verify(fb))
+				}
 				var ft sim.Timing
 				if ferr == nil {
 					ft, ferr = sim.Time(fb, simOpt)
@@ -777,6 +873,17 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 		mr.ListLFD, mr.SyncLFD = times.listLFD, times.syncLFD
 		mr.ListSignals, mr.SyncSignals = times.listSignals, times.syncSignals
 		mr.Improvement = model.Speedup(times.listTime, times.syncTime)
+		// Independent timing audit: the simulated total must cover at least
+		// one full iteration and at least the closed-form lower bound
+		// T = (n/d)(i-j) + l of the served schedule. A violation means the
+		// simulator and the analytical model disagree about this schedule —
+		// there is no better answer to fall back on, so the request fails.
+		if err := check.Err(check.VerifyTiming(mr.Sync, mr.SyncTime, res.N)); err != nil {
+			metrics.Error(StageVerify)
+			res.Err = fmt.Errorf("pipeline: verify %s on %s: %w", res.Name, cfg.Name, err)
+			endSim(mspan, res.Err, mr, times, timeCached, opt.Observer)
+			return res
+		}
 		// Paper-level counters describe the schedule actually served (the
 		// synchronization-aware one, or the fallback standing in for it).
 		metrics.ObserveSim(int64(times.syncSignals), int64(times.syncStalls),

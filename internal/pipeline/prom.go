@@ -79,6 +79,9 @@ func (s Stats) WritePrometheus(w io.Writer) {
 	counter("doacross_panics_recovered_total", "Panics recovered inside workers, stages and passes.", s.Panics)
 	counter("doacross_request_timeouts_total", "Requests lost to deadlines or cancellation.", s.Timeouts)
 	counter("doacross_fallbacks_total", "Requests served by the verified program-order fallback schedule.", s.Fallbacks)
+	counter("doacross_schedules_verified_total", "Schedule sets accepted by the independent post-schedule verifier.", s.Verified)
+	counter("doacross_schedules_rejected_total", "Schedule sets the independent post-schedule verifier refused to serve.", s.Rejected)
+	counter("doacross_lint_findings_total", "Synchronization-linter findings across fresh compilations.", s.LintFindings)
 	counter("doacross_sim_signals_sent_total", "Send_Signal issues across served simulations (paper-level sync traffic).", s.SignalsSent)
 	counter("doacross_sim_wait_stall_cycles_total", "Cycles lost to Wait_Signal stalls across served simulations.", s.WaitStallCycles)
 	counter("doacross_sched_lbd_arcs_total", "Synchronization arcs left lexically backward by served schedules.", s.LBDArcs)

@@ -22,6 +22,10 @@ func TestPrometheusGolden(t *testing.T) {
 	m.Panic()
 	m.Timeout()
 	m.Fallback()
+	m.Verified()
+	m.Verified()
+	m.Rejected()
+	m.LintFindings(5)
 	m.ObserveSim(10, 20, 3, 4)
 	m.WorkerStart()
 	m.QueueAdd(2)
@@ -63,6 +67,15 @@ doacross_request_timeouts_total 1
 # HELP doacross_fallbacks_total Requests served by the verified program-order fallback schedule.
 # TYPE doacross_fallbacks_total counter
 doacross_fallbacks_total 1
+# HELP doacross_schedules_verified_total Schedule sets accepted by the independent post-schedule verifier.
+# TYPE doacross_schedules_verified_total counter
+doacross_schedules_verified_total 2
+# HELP doacross_schedules_rejected_total Schedule sets the independent post-schedule verifier refused to serve.
+# TYPE doacross_schedules_rejected_total counter
+doacross_schedules_rejected_total 1
+# HELP doacross_lint_findings_total Synchronization-linter findings across fresh compilations.
+# TYPE doacross_lint_findings_total counter
+doacross_lint_findings_total 5
 # HELP doacross_sim_signals_sent_total Send_Signal issues across served simulations (paper-level sync traffic).
 # TYPE doacross_sim_signals_sent_total counter
 doacross_sim_signals_sent_total 10

@@ -347,11 +347,14 @@ type chaosOutcome struct {
 	degraded  bool
 	panics    int64
 	fallbacks int64
+	verified  int64
+	rejected  int64
 	counts    faults.Counts
 }
 
 // expectOutcome mirrors runOne's probe order for an uncached request:
-// compile probe, then each compilation pass, then schedule, then simulate.
+// compile probe, then each compilation pass, then schedule, then the
+// independent verifier, then simulate.
 func expectOutcome(in *faults.Injector, passNames []string, name string) chaosOutcome {
 	var o chaosOutcome
 	record := func(k faults.Kind) {
@@ -402,6 +405,25 @@ func expectOutcome(in *faults.Injector, passNames []string, name string) chaosOu
 			o.degraded = true
 			o.fallbacks++
 		}
+	}
+	if k, ok := in.Decide(StageVerify, name); ok && (k == faults.Panic || k == faults.Error) {
+		record(k)
+		if k == faults.Panic {
+			o.panics++
+		}
+		o.rejected++
+		if o.degraded {
+			// Even the fallback was rejected: the request errs.
+			o.err = true
+			return o
+		}
+		o.degraded = true
+		o.fallbacks++
+	} else {
+		if ok {
+			record(k) // a Delay fault fired and the stage went on to pass
+		}
+		o.verified++
 	}
 	if k, ok := in.Decide(StageSimulate, name); ok {
 		record(k)
@@ -476,13 +498,15 @@ func TestChaos(t *testing.T) {
 	// Precompute the expected outcome of every request from the plan alone.
 	oracle := faults.MustNew(chaosPlan(seed))
 	var wantCounts faults.Counts
-	var wantPanics, wantFallbacks int64
+	var wantPanics, wantFallbacks, wantVerified, wantRejected int64
 	erred, degraded := 0, 0
 	for i := range srcs {
 		o := expectOutcome(oracle, passNames, Request{}.name(i))
 		wantCounts = addCounts(wantCounts, o.counts)
 		wantPanics += o.panics
 		wantFallbacks += o.fallbacks
+		wantVerified += o.verified
+		wantRejected += o.rejected
 		lr := b.Loops[i]
 		if lr.Index != i {
 			t.Fatalf("result %d has Index %d", i, lr.Index)
@@ -529,6 +553,15 @@ func TestChaos(t *testing.T) {
 	}
 	if b.Stats.Fallbacks != wantFallbacks {
 		t.Errorf("fallbacks counter = %d, plan predicts %d", b.Stats.Fallbacks, wantFallbacks)
+	}
+	if b.Stats.Verified != wantVerified {
+		t.Errorf("verified counter = %d, plan predicts %d", b.Stats.Verified, wantVerified)
+	}
+	if b.Stats.Rejected != wantRejected {
+		t.Errorf("rejected counter = %d, plan predicts %d", b.Stats.Rejected, wantRejected)
+	}
+	if wantRejected == 0 {
+		t.Errorf("chaos plan fired no verify-stage faults for seed %d: rejection path untested", seed)
 	}
 	if b.Stats.Timeouts != 0 {
 		t.Errorf("timeouts counter = %d without any deadline", b.Stats.Timeouts)
