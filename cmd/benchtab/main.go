@@ -12,6 +12,7 @@
 //	benchtab -dump codegen   # render a pass artifact for each suite's first loop
 //	benchtab -serve :8080    # HTTP admin surface: /metrics /stats /trace /healthz /debug/pprof
 //	benchtab -trace-out t.json  # write a Chrome trace (view in Perfetto)
+//	benchtab -backend exact  # serve the sync slot from the branch-and-bound backend
 //
 // The tables are produced by the internal/pipeline batch scheduler: every
 // (loop, configuration) problem fans out over -j workers and repeated loop
@@ -117,6 +118,7 @@ func run() int {
 		Metrics:  metrics,
 		Deadline: cf.Timeout,
 		Observer: ob.Recorder,
+		Compile:  cf.BackendOptions(passes.Options{}),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)

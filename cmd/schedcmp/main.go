@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	schedcmp [-issue 4] [-fu 1] [-uniform] [-n 100] [-baseline cp] [-j 8] [-stats] [-trace] [-dump pass,...] [-serve :8080] [-trace-out t.json] [file]
+//	schedcmp [-issue 4] [-fu 1] [-uniform] [-n 100] [-baseline cp] [-backend exact] [-exact-budget 200000] [-j 8] [-stats] [-trace] [-dump pass,...] [-serve :8080] [-trace-out t.json] [file]
 //
 // With no file, the loops are read from standard input. Example loop:
 //
@@ -79,7 +79,7 @@ func main() {
 		Baseline: pri,
 		Cache:    doacross.NewScheduleCache(),
 		Metrics:  metrics,
-		Compile:  doacross.CompileOptions{Dump: cf.DumpPasses()},
+		Compile:  cf.BackendOptions(doacross.CompileOptions{Dump: cf.DumpPasses()}),
 		Deadline: cf.Timeout,
 		Observer: ob.Recorder,
 	}
@@ -134,6 +134,18 @@ func main() {
 		mr := lr.Machines[0]
 		if mr.Degraded {
 			fmt.Printf("\n(degraded to program-order fallback: %s)\n", mr.DegradedReason)
+		}
+		if mr.Backend != "" && mr.Backend != "sync" {
+			fmt.Printf("\nbackend %s: predicted T=%d", mr.Backend, mr.PredictedT)
+			if mr.Optimal {
+				fmt.Printf(" — proven optimal (%d search nodes)", mr.SearchNodes)
+			} else if mr.LowerBound > 0 {
+				fmt.Printf(" — proven lower bound %d (%d search nodes)", mr.LowerBound, mr.SearchNodes)
+			}
+			fmt.Println()
+			if mr.BackendNote != "" {
+				fmt.Printf("  note: %s\n", mr.BackendNote)
+			}
 		}
 		for _, s := range []*doacross.Schedule{mr.List, mr.Sync} {
 			if err := s.Validate(); err != nil {

@@ -49,7 +49,7 @@ func main() {
 	bopts := doacross.BatchOptions{
 		Workers:  cf.Jobs,
 		Metrics:  metrics,
-		Compile:  doacross.CompileOptions{Dump: cf.DumpPasses()},
+		Compile:  cf.BackendOptions(doacross.CompileOptions{Dump: cf.DumpPasses()}),
 		Deadline: cf.Timeout,
 		Observer: ob.Recorder,
 	}

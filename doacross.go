@@ -37,6 +37,7 @@ import (
 	"doacross/internal/diag"
 	"doacross/internal/dlx"
 	"doacross/internal/dlxisa"
+	"doacross/internal/exact"
 	"doacross/internal/lang"
 	"doacross/internal/migrate"
 	"doacross/internal/model"
@@ -67,6 +68,16 @@ type (
 	Dependence = dep.Dependence
 	// SyncOptions holds ablation knobs for the new scheduler.
 	SyncOptions = core.SyncOptions
+	// Scheduler is the pluggable scheduling-backend seam: the paper's
+	// heuristic, the list baselines, the never-degrades Best pick and the
+	// exact branch-and-bound solver all implement it.
+	Scheduler = core.Scheduler
+	// ScheduleOutcome is a backend's schedule plus its optimality evidence
+	// (objective value, proven lower bound, search-node count, diagnostic).
+	ScheduleOutcome = core.Outcome
+	// ExactOptions configures the exact branch-and-bound backend: the
+	// objective's trip count and the search's node/time budget.
+	ExactOptions = exact.Options
 	// CompileOptions selects and configures the compilation passes: the
 	// optional unroll/migrate/if-conversion passes, flow-only
 	// synchronization, artifact dumps, and a pass tracer.
@@ -246,6 +257,36 @@ func (p *Program) ScheduleSyncWithOptions(m Machine, opt SyncOptions) (*Schedule
 // the paper's never-degrades guarantee.
 func (p *Program) ScheduleBest(m Machine) (*Schedule, error) {
 	return core.Best(p.Graph, m)
+}
+
+// BackendNames lists the recognized scheduling backend names ("sync" the
+// paper's heuristic, "list" and "order" the baselines, "best" the
+// never-degrades pick, "exact" the branch-and-bound solver).
+func BackendNames() []string { return passes.BackendNames() }
+
+// Backend resolves a scheduling backend by name with default knobs; the
+// empty name is "sync". Unknown names fail with the accepted list.
+func Backend(name string) (Scheduler, error) {
+	return passes.Backend(name, passes.BackendConfig{})
+}
+
+// Schedule builds a schedule through the named backend. Unlike the
+// Schedule* shorthands it returns the backend's full outcome, including any
+// optimality evidence the exact backend proves.
+func (p *Program) Schedule(backend string, m Machine) (*ScheduleOutcome, error) {
+	sch, err := Backend(backend)
+	if err != nil {
+		return nil, err
+	}
+	return sch.Schedule(p.Graph, m)
+}
+
+// ScheduleExact runs the branch-and-bound solver (internal/exact): it
+// minimizes the paper's T = (n/d)(i-j) + l directly and returns the schedule
+// with its proof — Optimal when the search completed, otherwise the best
+// schedule found plus a proven lower bound and a budget diagnostic.
+func (p *Program) ScheduleExact(m Machine, opt ExactOptions) (*ScheduleOutcome, error) {
+	return exact.Backend{Opt: opt}.Schedule(p.Graph, m)
 }
 
 // Simulate computes the parallel execution time of n iterations on n

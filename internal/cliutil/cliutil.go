@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"doacross/internal/obs"
+	"doacross/internal/passes"
 	"doacross/internal/pipeline"
 )
 
@@ -35,6 +36,12 @@ type Flags struct {
 	// TraceOut is -trace-out: a file to write the Chrome trace to ("" =
 	// off).
 	TraceOut string
+	// Backend is -backend: the scheduling backend serving the
+	// synchronization-aware slot ("" = sync, the paper's heuristic).
+	Backend string
+	// ExactBudget is -exact-budget: the exact backend's branch-and-bound
+	// node budget (0 = default, negative = unlimited).
+	ExactBudget int64
 }
 
 // Register installs the shared flags on fs (flag.CommandLine in the cmds).
@@ -47,7 +54,17 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.Timeout, "timeout", 0, "per-batch deadline (0 = none); loops cut off by it fail individually")
 	fs.StringVar(&f.Serve, "serve", "", "serve the observability admin surface on this address (e.g. :8080 or :0; /metrics, /stats, /trace, /healthz, /debug/pprof)")
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace_event JSON file of the run (view in Perfetto)")
+	fs.StringVar(&f.Backend, "backend", "", "scheduling backend: "+strings.Join(passes.BackendNames(), ", ")+" (default sync, the paper's heuristic)")
+	fs.Int64Var(&f.ExactBudget, "exact-budget", 0, "exact backend branch-and-bound node budget (0 = default, negative = unlimited)")
 	return f
+}
+
+// BackendOptions merges the -backend/-exact-budget selection into base (the
+// command's other compile options) for pipeline.Options.Compile.
+func (f *Flags) BackendOptions(base passes.Options) passes.Options {
+	base.Backend = f.Backend
+	base.Exact.MaxNodes = f.ExactBudget
+	return base
 }
 
 // DumpPasses splits -dump into pass names (nil when unset).

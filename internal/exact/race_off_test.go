@@ -1,0 +1,5 @@
+//go:build !race
+
+package exact
+
+const raceEnabled = false

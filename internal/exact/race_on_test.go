@@ -1,0 +1,7 @@
+//go:build race
+
+package exact
+
+// raceEnabled reports that the race detector (and its ~6x slowdown) is
+// compiled in; the corpus proof budget shrinks to an anytime budget under it.
+const raceEnabled = true

@@ -1,0 +1,55 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"doacross/internal/core"
+	"doacross/internal/exact"
+)
+
+// BackendConfig carries the per-backend knobs a resolved Scheduler is built
+// with. The zero value configures every backend with its defaults (the
+// paper's heuristic, critical-path list priority, the exact solver's
+// default trip count and node budget).
+type BackendConfig struct {
+	// Sync configures the paper's heuristic ("sync" backend).
+	Sync core.SyncOptions
+	// Exact configures the branch-and-bound solver ("exact" backend).
+	Exact exact.Options
+}
+
+// BackendNames lists the recognized scheduling backend names, sorted. The
+// empty name is accepted as an alias for "sync" (the paper's heuristic, the
+// historical default).
+func BackendNames() []string {
+	return []string{"best", "exact", "list", "order", "sync"}
+}
+
+// Backend resolves a backend name to its Scheduler:
+//
+//	""/"sync"  the paper's Sig/Wat/Sigwat heuristic
+//	"list"     critical-path list scheduling (no sync awareness)
+//	"order"    program-order list scheduling (the naive baseline)
+//	"best"     the never-degrades pick among sync and both list baselines
+//	"exact"    the branch-and-bound solver (internal/exact)
+//
+// Unknown names fail with the accepted list, so a mistyped -backend flag
+// surfaces before any compilation work happens.
+func Backend(name string, cfg BackendConfig) (core.Scheduler, error) {
+	switch name {
+	case "", "sync":
+		return core.SyncScheduler{Opts: cfg.Sync}, nil
+	case "list":
+		return core.ListScheduler{Priority: core.CriticalPath}, nil
+	case "order":
+		return core.ListScheduler{Priority: core.ProgramOrder}, nil
+	case "best":
+		return core.BestScheduler{}, nil
+	case "exact":
+		return exact.Backend{Opt: cfg.Exact}, nil
+	default:
+		return nil, fmt.Errorf("passes: unknown scheduling backend %q (have %s)",
+			name, strings.Join(BackendNames(), ", "))
+	}
+}

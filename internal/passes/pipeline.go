@@ -10,6 +10,7 @@ import (
 	"doacross/internal/dep"
 	"doacross/internal/dfg"
 	"doacross/internal/diag"
+	"doacross/internal/exact"
 	"doacross/internal/lang"
 	"doacross/internal/migrate"
 	"doacross/internal/obs"
@@ -39,6 +40,15 @@ type Options struct {
 	// them, and lint the loop's synchronization (internal/check). Lint
 	// findings of Error severity fail the compilation.
 	Verify bool
+	// Backend names the scheduling backend consumers of the compiled graph
+	// should use ("" = "sync", the paper's heuristic; see BackendNames).
+	// The compile passes themselves stop at the data-flow graph — the
+	// facade's Program.Schedule and the batch pipeline resolve the name via
+	// Backend() when they schedule.
+	Backend string
+	// Exact configures the exact branch-and-bound backend when Backend is
+	// "exact" (trip count for the objective, node/time budget).
+	Exact exact.Options
 	// Dump lists pass names whose artifacts are rendered into the trace;
 	// "all" (or "*") dumps every pass.
 	Dump []string

@@ -1,0 +1,160 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"doacross/internal/exact"
+	"doacross/internal/passes"
+)
+
+// exactOpts returns batch options scheduling the sync slot through the exact
+// backend with the given node budget.
+func exactOpts(budget int64, cache *Cache) Options {
+	return Options{
+		Cache:   cache,
+		Compile: passes.Options{Backend: "exact", Exact: exact.Options{MaxNodes: budget}},
+	}
+}
+
+// TestExactBackendPipeline drives the exact backend through the full batch
+// pipeline: the served schedule must carry a proof, pass the verify stage,
+// and be restored intact from the cache on a second batch.
+func TestExactBackendPipeline(t *testing.T) {
+	cache := NewCache()
+	b := run(t, []string{fig1}, exactOpts(0, cache))
+	if err := b.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	mr := b.Loops[0].Machines[0]
+	if mr.Backend != "exact" {
+		t.Fatalf("backend = %q, want exact", mr.Backend)
+	}
+	if mr.Degraded {
+		t.Fatalf("degraded: %s", mr.DegradedReason)
+	}
+	if !mr.Optimal {
+		t.Fatalf("default budget did not prove fig1 optimal: %s", mr.BackendNote)
+	}
+	if mr.LowerBound != mr.PredictedT {
+		t.Fatalf("optimal but bound %d != T=%d", mr.LowerBound, mr.PredictedT)
+	}
+	if mr.SearchNodes == 0 {
+		t.Fatal("no search nodes recorded")
+	}
+	if mr.Sync.Method != "exact" {
+		t.Fatalf("served schedule method %q", mr.Sync.Method)
+	}
+	if mr.SyncTime < mr.PredictedT {
+		t.Fatalf("simulated %d below the predicted bound %d", mr.SyncTime, mr.PredictedT)
+	}
+	// Second batch: the proven result is served from the cache with its
+	// evidence intact.
+	b2 := run(t, []string{fig1}, exactOpts(0, cache))
+	mr2 := b2.Loops[0].Machines[0]
+	if !mr2.CacheHit {
+		t.Fatal("proven-optimal exact result missed the cache")
+	}
+	if !mr2.Optimal || mr2.PredictedT != mr.PredictedT || mr2.LowerBound != mr.LowerBound ||
+		mr2.SearchNodes != mr.SearchNodes || mr2.Backend != "exact" {
+		t.Fatalf("cache hit lost the outcome evidence: %+v vs %+v", mr2, mr)
+	}
+	if n := b2.Stats.Stage("schedule").Count; n != 0 {
+		t.Fatalf("second batch rescheduled %d times, want 0", n)
+	}
+}
+
+// TestExactBudgetExhaustedNeverCached is the regression test for the
+// verify-before-publish cache path: a budget-exhausted exact result must be
+// marked non-optimal with a diagnostic, still be served (verified, not
+// degraded) — and never be published to the schedule cache, so a later run
+// with more budget is free to do better.
+func TestExactBudgetExhaustedNeverCached(t *testing.T) {
+	cache := NewCache()
+	b := run(t, []string{fig1}, exactOpts(1, cache))
+	if err := b.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	mr := b.Loops[0].Machines[0]
+	if mr.Backend != "exact" {
+		t.Fatalf("backend = %q, want exact", mr.Backend)
+	}
+	if mr.Optimal {
+		t.Fatal("budget-exhausted result claims optimality")
+	}
+	if !strings.Contains(mr.BackendNote, "budget exhausted") {
+		t.Fatalf("note %q does not name budget exhaustion", mr.BackendNote)
+	}
+	if mr.Degraded {
+		t.Fatalf("anytime result needlessly degraded: %s", mr.DegradedReason)
+	}
+	if mr.Sync == nil || mr.Sync.Validate() != nil {
+		t.Fatal("served schedule invalid")
+	}
+	if mr.LowerBound > mr.PredictedT {
+		t.Fatalf("bound %d above served T=%d", mr.LowerBound, mr.PredictedT)
+	}
+	// Second batch over the same cache: the compile memo may hit, but the
+	// schedule must be recomputed — the non-optimal entry was not published.
+	b2 := run(t, []string{fig1}, exactOpts(1, cache))
+	if err := b2.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	mr2 := b2.Loops[0].Machines[0]
+	if mr2.CacheHit {
+		t.Fatal("budget-exhausted exact result was served from the cache")
+	}
+	if n := b2.Stats.Stage("schedule").Count; n != 1 {
+		t.Fatalf("second batch ran schedule %d times, want 1 (recompute)", n)
+	}
+	if mr2.Optimal {
+		t.Fatal("recomputed budget-exhausted result claims optimality")
+	}
+	// A third batch with an adequate budget must now be allowed to publish
+	// its proven result under the same options-independent key space.
+	b3 := run(t, []string{fig1}, exactOpts(0, cache))
+	mr3 := b3.Loops[0].Machines[0]
+	if !mr3.Optimal {
+		t.Fatalf("default budget did not prove fig1: %s", mr3.BackendNote)
+	}
+	if mr3.PredictedT > mr.PredictedT {
+		t.Fatalf("bigger budget produced worse T: %d vs %d", mr3.PredictedT, mr.PredictedT)
+	}
+	b4 := run(t, []string{fig1}, exactOpts(0, cache))
+	if !b4.Loops[0].Machines[0].CacheHit {
+		t.Fatal("proven result from the bigger budget was not published")
+	}
+}
+
+// TestBackendCacheKeysDisjoint: entries produced under different backends
+// must never cross in a shared cache.
+func TestBackendCacheKeysDisjoint(t *testing.T) {
+	cache := NewCache()
+	b := run(t, []string{fig1}, Options{Cache: cache})
+	if b.Loops[0].Machines[0].Backend != "sync" {
+		t.Fatalf("default backend = %q", b.Loops[0].Machines[0].Backend)
+	}
+	b2 := run(t, []string{fig1}, Options{Cache: cache, Compile: passes.Options{Backend: "order"}})
+	mr2 := b2.Loops[0].Machines[0]
+	if mr2.CacheHit {
+		t.Fatal("order backend served the sync backend's cached schedule")
+	}
+	if mr2.Backend != "order" {
+		t.Fatalf("backend = %q, want order", mr2.Backend)
+	}
+	if n := b2.Stats.Stage("schedule").Count; n != 1 {
+		t.Fatalf("schedule ran %d times, want 1", n)
+	}
+}
+
+// TestBackendUnknownFailsFast: a mistyped backend fails the batch before any
+// compilation, naming the accepted backends.
+func TestBackendUnknownFailsFast(t *testing.T) {
+	_, err := Run([]Request{{Source: fig1}}, Options{Compile: passes.Options{Backend: "exacto"}})
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if !strings.Contains(err.Error(), "exact") {
+		t.Fatalf("error %q does not list the accepted backends", err)
+	}
+}

@@ -111,6 +111,13 @@ type Options struct {
 	// migrate passes, if-conversion, flow-only synchronization, artifact
 	// dumps). Tracer is overridden: per-pass latencies always land in the
 	// batch's metrics registry.
+	//
+	// Compile.Backend additionally selects the scheduling backend that
+	// serves the synchronization-aware slot of every result ("" = "sync",
+	// the paper's heuristic; see passes.BackendNames). The "exact" backend
+	// evaluates its objective at each request's trip count unless
+	// Compile.Exact.N pins one, and its budget-exhausted (non-optimal)
+	// results are never published to the schedule cache.
 	Compile passes.Options
 	// Cache, when non-nil, memoizes all three stages across loops and
 	// batches: compilations by source text, schedules by DFG fingerprint +
@@ -169,10 +176,50 @@ func (o Options) machines() []dlx.Config {
 	return []dlx.Config{dlx.Standard(4, 1)}
 }
 
-// salt renders the scheduling-relevant options into the cache-key salt.
+// salt renders the scheduling-relevant options into the cache-key salt. The
+// backend name is part of it: the same DFG on the same machine schedules
+// differently under different backends, and cached entries must never cross.
 func (o Options) salt() string {
-	return fmt.Sprintf("base=%d sync=%v/%v/%v/%v best=%v", int(o.Baseline),
-		o.Sync.NoPairArcs, o.Sync.NoLazyWaits, o.Sync.NoSPPriority, o.Sync.AscendingSP, o.Best)
+	return fmt.Sprintf("base=%d sync=%v/%v/%v/%v best=%v backend=%s", int(o.Baseline),
+		o.Sync.NoPairArcs, o.Sync.NoLazyWaits, o.Sync.NoSPPriority, o.Sync.AscendingSP, o.Best,
+		o.backendName())
+}
+
+// backendName normalizes Compile.Backend ("" is the historical "sync").
+func (o Options) backendName() string {
+	if o.Compile.Backend == "" {
+		return "sync"
+	}
+	return o.Compile.Backend
+}
+
+// backendScheduler resolves the configured scheduling backend for a request
+// simulated with trip count n. The exact backend's objective T = (n/d)(i-j)+l
+// depends on the trip count, so unless Compile.Exact.N pins one it is
+// evaluated at the trip count the result will be simulated (and audited) at.
+func (o Options) backendScheduler(n int) (core.Scheduler, error) {
+	bc := passes.BackendConfig{Sync: o.Sync, Exact: o.Compile.Exact}
+	if bc.Exact.N == 0 {
+		bc.Exact.N = n
+	}
+	return passes.Backend(o.Compile.Backend, bc)
+}
+
+// exactSalt returns the extra cache-key salt of exact-backend scheduling
+// problems ("" for every other backend): the objective's trip count changes
+// which schedule is optimal, so it must split the key space. The node budget
+// is deliberately NOT part of the key — only proven-optimal results are ever
+// published, and those are budget-invariant (a completed search returns the
+// same schedule under any budget large enough to complete).
+func (o Options) exactSalt(n int) string {
+	if o.backendName() != "exact" {
+		return ""
+	}
+	en := o.Compile.Exact.N
+	if en == 0 {
+		en = n
+	}
+	return fmt.Sprintf("exactN=%d", en)
 }
 
 // compileSalt renders the compile-relevant options into the compile-memo
@@ -215,6 +262,26 @@ type MachineResult struct {
 	ListSignals, SyncSignals int
 	// Improvement is the paper's Table 3 percentage, list vs sync.
 	Improvement float64
+	// Backend names the scheduler that produced the Sync slot ("sync" unless
+	// Options.Compile.Backend selected another; see passes.Backend).
+	Backend string
+	// PredictedT is the backend's closed-form objective T = (n/d)(i-j)+l for
+	// the served Sync schedule at this request's trip count.
+	PredictedT int
+	// Optimal reports that the backend proved PredictedT optimal (always
+	// false for the heuristic backends, which claim nothing). A
+	// budget-exhausted exact result is explicitly non-optimal and is never
+	// published to the schedule cache.
+	Optimal bool
+	// LowerBound is the backend's proven lower bound on the objective (0 when
+	// the backend proves none; equals PredictedT when Optimal).
+	LowerBound int
+	// SearchNodes counts branch-and-bound nodes expanded by the exact
+	// backend (0 for heuristics).
+	SearchNodes int64
+	// BackendNote carries the backend's diagnostic, e.g. the exact solver's
+	// budget-exhaustion note ("" when the result is clean).
+	BackendNote string
 	// CacheHit reports whether the schedules came from the cache.
 	CacheHit bool
 	// Degraded reports that the synchronization-aware schedule (and Best)
@@ -320,9 +387,36 @@ func sourceKey(src, salt string) dfg.Fingerprint {
 	return dfg.Fingerprint(sha256.Sum256([]byte("compile\x00" + salt + "\x00" + src)))
 }
 
-// schedEntry is the cached product of StageSchedule for one ConfigKey.
+// schedEntry is the cached product of StageSchedule for one ConfigKey. The
+// outcome fields mirror the backend's evidence so cache hits restore it;
+// entries with optimal=false under the exact backend are never published
+// (see the verify stage), so every cached exact entry carries a proof.
 type schedEntry struct {
 	list, sync, best *core.Schedule
+	backend          string
+	predictedT       int
+	optimal          bool
+	lowerBound       int
+	searchNodes      int64
+	note             string
+}
+
+// fillOutcome copies a schedule entry's backend evidence into the result.
+func (e *schedEntry) fillOutcome(mr *MachineResult) {
+	mr.Backend = e.backend
+	mr.PredictedT = e.predictedT
+	mr.Optimal = e.optimal
+	mr.LowerBound = e.lowerBound
+	mr.SearchNodes = e.searchNodes
+	mr.BackendNote = e.note
+}
+
+// cacheable reports whether a verified, non-degraded entry may be published
+// to the schedule cache. Budget-exhausted (non-optimal) exact results never
+// are: a bigger budget could still improve them, and a cache hit would
+// launder "budget exhausted" into a clean-looking proven answer.
+func (e *schedEntry) cacheable() bool {
+	return e.backend != "exact" || e.optimal
 }
 
 // timeEntry is the cached product of StageSimulate for one ConfigKey+n.
@@ -353,6 +447,10 @@ func RunContext(ctx context.Context, reqs []Request, opt Options) (*Batch, error
 		if err := m.Validate(); err != nil {
 			return nil, fmt.Errorf("pipeline: %w", err)
 		}
+	}
+	// Fail fast on an unknown backend name, before any compilation work.
+	if _, err := opt.backendScheduler(opt.n()); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
 	}
 	metrics := opt.Metrics
 	if metrics == nil {
@@ -608,6 +706,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 
 	fp := res.Graph.Fingerprint()
 	salt := opt.salt()
+	exSalt := opt.exactSalt(res.N)
 	res.Machines = make([]MachineResult, len(machines))
 	for k, cfg := range machines {
 		if ctx.Err() != nil {
@@ -616,7 +715,11 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 		}
 		mr := &res.Machines[k]
 		mr.Machine = cfg.Name
-		mr.Key = dfg.KeyFrom(fp, cfg, "sched", salt)
+		if exSalt != "" {
+			mr.Key = dfg.KeyFrom(fp, cfg, "sched", salt, exSalt)
+		} else {
+			mr.Key = dfg.KeyFrom(fp, cfg, "sched", salt)
+		}
 
 		// Schedule, through the cache when one is attached.
 		sspan := opt.Observer.Start(obs.KindStage, StageSchedule, rspan)
@@ -637,7 +740,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 			if useCache {
 				metrics.CacheMiss()
 			}
-			e := &schedEntry{}
+			e := &schedEntry{backend: opt.backendName()}
 			err := metrics.timed(StageSchedule, func() error {
 				return safeStage(StageSchedule, res.Name, metrics, func() error {
 					if err := probe(StageSchedule); err != nil {
@@ -647,14 +750,34 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 					if e.list, err = core.List(res.Graph, cfg, opt.Baseline); err != nil {
 						return err
 					}
-					if e.sync, err = core.SyncWithOptions(res.Graph, cfg, opt.Sync); err != nil {
+					// The synchronization-aware slot is served by the
+					// configured backend (the paper's heuristic by default,
+					// resolved through the Scheduler seam).
+					sched, err := opt.backendScheduler(res.N)
+					if err != nil {
 						return err
+					}
+					out, err := sched.Schedule(res.Graph, cfg)
+					if err != nil {
+						return err
+					}
+					e.sync = out.Schedule
+					e.backend = sched.Name()
+					e.predictedT = out.T
+					e.optimal = out.Optimal
+					e.lowerBound = out.LowerBound
+					e.searchNodes = out.Nodes
+					e.note = out.Note
+					if e.predictedT == 0 && e.sync != nil {
+						// Heuristic backends attach no objective; report the
+						// closed-form prediction for the served schedule.
+						e.predictedT = model.Predict(e.sync, res.N)
 					}
 					// Post-hoc verification of the synchronization-aware
 					// schedule: a scheduler bug degrades the answer, it does
 					// not ship an invalid schedule.
 					if err := e.sync.Validate(); err != nil {
-						return fmt.Errorf("sync schedule failed validation: %w", err)
+						return fmt.Errorf("%s schedule failed validation: %w", e.backend, err)
 					}
 					if opt.Best {
 						if e.best, err = core.Best(res.Graph, cfg); err != nil {
@@ -675,7 +798,8 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 					endSched(res.Err)
 					return res
 				}
-				e = &schedEntry{list: e.list, sync: fb}
+				e = &schedEntry{list: e.list, sync: fb, backend: e.backend,
+					predictedT: model.Predict(fb, res.N)}
 				if e.list == nil || e.list.Validate() != nil {
 					e.list = fb
 				}
@@ -691,6 +815,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 			}
 		}
 		mr.List, mr.Sync, mr.Best = entry.list, entry.sync, entry.best
+		entry.fillOutcome(mr)
 		endSched(nil)
 
 		// Independent verification of every freshly built schedule —
@@ -744,7 +869,8 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 					endVerify(res.Err)
 					return res
 				}
-				entry = &schedEntry{list: fb, sync: fb}
+				entry = &schedEntry{list: fb, sync: fb, backend: entry.backend,
+					predictedT: model.Predict(fb, res.N)}
 				if opt.Best {
 					entry.best = fb
 				}
@@ -753,12 +879,13 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 				metrics.Fallback()
 			} else {
 				metrics.Verified()
-				if useCache && !mr.Degraded {
+				if useCache && !mr.Degraded && entry.cacheable() {
 					v, _ := opt.Cache.Put(mr.Key, entry)
 					entry = v.(*schedEntry)
 				}
 			}
 			mr.List, mr.Sync, mr.Best = entry.list, entry.sync, entry.best
+			entry.fillOutcome(mr)
 			endVerify(nil)
 		}
 
@@ -773,8 +900,11 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 		mspan := opt.Observer.Start(obs.KindStage, StageSimulate, rspan)
 		var times *timeEntry
 		timeCached := false
-		timeKey := dfg.KeyFrom(fp, cfg, "time", salt, fmt.Sprintf("n=%d w=%d", res.N, opt.Window))
-		if useCache && !mr.Degraded {
+		timeKey := dfg.KeyFrom(fp, cfg, "time", salt, fmt.Sprintf("n=%d w=%d", res.N, opt.Window), exSalt)
+		// Timings of schedules that may not be cached (non-optimal exact
+		// results, which depend on the search budget) stay out of the time
+		// cache too — the budget is not part of the key.
+		if useCache && !mr.Degraded && entry.cacheable() {
 			if v, ok := opt.Cache.Get(timeKey); ok {
 				times = v.(*timeEntry)
 				timeCached = true
@@ -838,11 +968,13 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 					endSim(mspan, res.Err, mr, nil, timeCached, opt.Observer)
 					return res
 				}
-				entry = &schedEntry{list: fb, sync: fb}
+				entry = &schedEntry{list: fb, sync: fb, backend: entry.backend,
+					predictedT: model.Predict(fb, res.N)}
 				if opt.Best {
 					entry.best = fb
 				}
 				mr.List, mr.Sync, mr.Best = entry.list, entry.sync, entry.best
+				entry.fillOutcome(mr)
 				mr.Degraded = true
 				mr.CacheHit = false // the cached schedules were replaced by the fallback
 				mr.DegradedReason = err.Error()
@@ -861,7 +993,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 				times = te
 			} else {
 				times = te
-				if useCache && !mr.Degraded {
+				if useCache && !mr.Degraded && entry.cacheable() {
 					v, _ := opt.Cache.Put(timeKey, times)
 					times = v.(*timeEntry)
 				}

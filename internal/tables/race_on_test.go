@@ -1,0 +1,7 @@
+//go:build race
+
+package tables
+
+// raceEnabled reports that the race detector (and its ~6x slowdown) is
+// compiled in; expensive differential tests shrink their corpus under it.
+const raceEnabled = true
