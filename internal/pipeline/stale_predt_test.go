@@ -1,0 +1,34 @@
+package pipeline
+
+import (
+	"testing"
+
+	"doacross/internal/model"
+)
+
+const staleLoop = `DO I = 3, N
+  A(I) = A(I-2) + 1.0
+  B(I) = A(I) * 2.0
+ENDDO
+`
+
+func TestPredictedTCacheStaleness(t *testing.T) {
+	cache := NewCache()
+	reqs := []Request{
+		{Name: "a", Source: staleLoop, N: 100},
+		{Name: "b", Source: staleLoop, N: 10},
+	}
+	b, err := Run(reqs, Options{Cache: cache, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range b.Loops {
+		mr := lr.Machines[0]
+		want := model.Predict(mr.Sync, lr.N)
+		t.Logf("loop=%s N=%d cacheHit=%v PredictedT=%d want(model.Predict at this N)=%d",
+			lr.Name, lr.N, mr.CacheHit, mr.PredictedT, want)
+		if mr.PredictedT != want {
+			t.Errorf("PredictedT mismatch for %s: got %d want %d", lr.Name, mr.PredictedT, want)
+		}
+	}
+}
