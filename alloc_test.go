@@ -1,0 +1,88 @@
+// Allocation-regression pins for the zero-alloc hot path. Excluded under
+// the race detector: -race instruments every allocation and inflates
+// testing.AllocsPerRun, so the pins only hold (and only matter) in normal
+// builds — CI runs them in the bench job.
+
+//go:build !race
+
+package doacross_test
+
+import (
+	"testing"
+
+	"doacross"
+	"doacross/internal/hotbench"
+	"doacross/internal/pipeline"
+)
+
+// TestScratchScheduleAllocs pins steady-state scheduling into a warm
+// Scratch at exactly zero allocations per call, for every heuristic
+// backend. This is the contract BenchmarkHotScheduleWarm reports on: the
+// schedule is borrowed from the scratch, every buffer is grown once and
+// recycled, so a scheduling service in steady state puts no pressure on
+// the garbage collector.
+func TestScratchScheduleAllocs(t *testing.T) {
+	prog := doacross.MustCompile(hotbench.Fig1)
+	m := doacross.Machine4Issue(1)
+	for _, backend := range []string{"sync", "list", "order", "best"} {
+		t.Run(backend, func(t *testing.T) {
+			sc := doacross.NewScratch()
+			// One cold call grows the buffers; the pin is on the warm
+			// steady state after it.
+			if _, err := prog.ScheduleWith(backend, m, sc); err != nil {
+				t.Fatal(err)
+			}
+			var failed error
+			got := testing.AllocsPerRun(100, func() {
+				s, err := prog.ScheduleWith(backend, m, sc)
+				if err != nil {
+					failed = err
+				} else if s.Length() == 0 {
+					t.Error("empty schedule")
+				}
+			})
+			if failed != nil {
+				t.Fatal(failed)
+			}
+			if got != 0 {
+				t.Errorf("warm-scratch %s scheduling: %v allocs/op, want 0", backend, got)
+			}
+		})
+	}
+}
+
+// TestPipelineCachedHitAllocs pins the per-request allocation count of a
+// cached-hit batch request — the steady-state service shape where every
+// stage after compile is served from the schedule cache. The bound has a
+// little headroom over the measured count (21 allocs/op) because the
+// pipeline spawns its worker goroutine per Run; it exists to catch the
+// hot path regressing back to per-request rescheduling, which costs
+// hundreds of allocations.
+func TestPipelineCachedHitAllocs(t *testing.T) {
+	reqs := []pipeline.Request{{Name: "hot", Source: hotbench.Fig1, N: hotbench.N}}
+	opt := doacross.BatchOptions{
+		Workers:  1,
+		Machines: []doacross.Machine{doacross.Machine4Issue(1)},
+		Cache:    doacross.NewScheduleCache(),
+	}
+	var failed error
+	run := func() {
+		batch, err := pipeline.Run(reqs, opt)
+		if err != nil {
+			failed = err
+			return
+		}
+		if err := batch.FirstErr(); err != nil {
+			failed = err
+		}
+	}
+	run() // warm the cache
+	got := testing.AllocsPerRun(50, run)
+	if failed != nil {
+		t.Fatal(failed)
+	}
+	const limit = 40
+	if got > limit {
+		t.Errorf("cached-hit pipeline request: %v allocs/op, want <= %d", got, limit)
+	}
+}

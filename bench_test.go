@@ -15,7 +15,6 @@ package doacross
 //	BenchmarkSimFidelity         detailed vs recurrence simulator
 //	BenchmarkAblation*           design-choice ablations
 import (
-	"fmt"
 	"testing"
 
 	"doacross/internal/core"
@@ -23,7 +22,6 @@ import (
 	"doacross/internal/dfg"
 	"doacross/internal/lang"
 	"doacross/internal/perfect"
-	"doacross/internal/pipeline"
 	"doacross/internal/sim"
 	"doacross/internal/syncop"
 	"doacross/internal/tables"
@@ -288,82 +286,6 @@ func BenchmarkRecurrenceSimulatorScaling(b *testing.B) {
 	}
 }
 
-// batchCorpus64 builds the 64-loop batch corpus: 8 distinct loop shapes
-// swept over 8 trip counts — the repeated-shape workload the schedule cache
-// is designed for (a trip-count sweep reschedules nothing).
-func batchCorpus64() []pipeline.Request {
-	shapes := []string{
-		fig1,
-		"DO I = 1, N\nA[I] = A[I-1] + 1\nENDDO",
-		"DO I = 1, N\nS1: B[I] = A[I-1] * C[I]\nS2: A[I] = B[I] + E[I]\nENDDO",
-		"DO I = 1, N\nS1: A[I] = E[I] + 1\nS2: B[I] = A[I-2] * 2\nENDDO",
-		"DO I = 1, N\nS = S + A[I] * B[I]\nENDDO",
-		"DO I = 1, N\nS1: A[I] = A[I-3] / B[I]\nS2: C[I] = A[I] * A[I]\nENDDO",
-		"DO I = 1, N\nIF (E[I] > 0) A[I] = A[I-1] + B[I]\nENDDO",
-		"DO I = 1, N\nS1: B[I] = A[I-2] + E[I]\nS2: G[I] = A[I-1] * E[I+1]\nS3: A[I] = B[I] + G[I]\nENDDO",
-	}
-	var reqs []pipeline.Request
-	for _, n := range []int{25, 50, 75, 100, 150, 200, 300, 400} {
-		for si, src := range shapes {
-			reqs = append(reqs, pipeline.Request{
-				Name:   fmt.Sprintf("shape%d-n%d", si, n),
-				Source: src,
-				N:      n,
-			})
-		}
-	}
-	return reqs
-}
-
-// BenchmarkBatch64 compares scheduling the 64-loop corpus one loop at a time
-// (the pre-pipeline code path: compile, schedule both ways, simulate,
-// serially, no reuse) against the batch pipeline with 8 workers and a
-// persistent schedule cache (the steady-state service shape). The pipeline
-// sub-benchmark reports the cache hit rate; stage latencies are available
-// via -stats on cmd/benchtab and cmd/schedcmp.
-func BenchmarkBatch64(b *testing.B) {
-	reqs := batchCorpus64()
-	m := Machine4Issue(1)
-
-	b.Run("serial", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			for _, r := range reqs {
-				prog, err := Compile(r.Source)
-				if err != nil {
-					b.Fatal(err)
-				}
-				list, err := prog.ScheduleList(m)
-				if err != nil {
-					b.Fatal(err)
-				}
-				syn, err := prog.ScheduleSync(m)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if Simulate(list, r.N).Total < Simulate(syn, r.N).Total {
-					b.Fatal("sync schedule degraded")
-				}
-			}
-		}
-	})
-
-	b.Run("pipeline-j8", func(b *testing.B) {
-		cache := NewScheduleCache()
-		metrics := NewBatchMetrics()
-		for i := 0; i < b.N; i++ {
-			batch, err := pipeline.Run(reqs, BatchOptions{
-				Workers:  8,
-				Machines: []Machine{m},
-				Cache:    cache,
-				Metrics:  metrics,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := batch.FirstErr(); err != nil {
-				b.Fatal(err)
-			}
-		}
-		b.ReportMetric(100*metrics.Stats().HitRate(), "hit%")
-	})
-}
+// The hot-path workloads (BenchmarkBatch64, BenchmarkHot*) live in
+// hotbench_test.go, delegating to internal/hotbench so the same code backs
+// `go test -bench` and the committed BENCH_hotpath.json snapshot.

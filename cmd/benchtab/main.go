@@ -13,6 +13,7 @@
 //	benchtab -serve :8080    # HTTP admin surface: /metrics /stats /trace /healthz /debug/pprof
 //	benchtab -trace-out t.json  # write a Chrome trace (view in Perfetto)
 //	benchtab -backend exact  # serve the sync slot from the branch-and-bound backend
+//	benchtab -cpuprofile cpu.pb.gz -memprofile mem.pb.gz  # pprof profiles of the run
 //
 // The tables are produced by the internal/pipeline batch scheduler: every
 // (loop, configuration) problem fans out over -j workers and repeated loop
@@ -109,6 +110,17 @@ func run() int {
 	// blocks until Ctrl-C so the finished run stays scrapeable.
 	defer func() {
 		if err := ob.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+		}
+	}()
+	stopProf, err := cf.StartProfiling()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		return 1
+	}
+	// Deferred after ob.Finish so the profiles land before -serve blocks.
+	defer func() {
+		if err := stopProf(); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 		}
 	}()

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	schedcmp [-issue 4] [-fu 1] [-uniform] [-n 100] [-baseline cp] [-backend exact] [-exact-budget 200000] [-j 8] [-stats] [-trace] [-dump pass,...] [-serve :8080] [-trace-out t.json] [file]
+//	schedcmp [-issue 4] [-fu 1] [-uniform] [-n 100] [-baseline cp] [-backend exact] [-exact-budget 200000] [-j 8] [-stats] [-trace] [-dump pass,...] [-serve :8080] [-trace-out t.json] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz] [file]
 //
 // With no file, the loops are read from standard input. Example loop:
 //
@@ -71,6 +71,10 @@ func main() {
 		fail(err)
 	}
 	defer ob.Close()
+	stopProf, err := cf.StartProfiling()
+	if err != nil {
+		fail(err)
+	}
 	bopts := doacross.BatchOptions{
 		Workers:  cf.Jobs,
 		Machines: []doacross.Machine{m},
@@ -177,6 +181,11 @@ func main() {
 	}
 	if cf.Stats {
 		fmt.Printf("\nPipeline stats:\n%s", batch.Stats)
+	}
+	// Stop the profiles before ob.Finish: with -serve, Finish blocks until
+	// Ctrl-C, and os.Exit below skips deferred functions.
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "schedcmp:", err)
 	}
 	if err := ob.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "schedcmp:", err)

@@ -259,6 +259,36 @@ func (p *Program) ScheduleBest(m Machine) (*Schedule, error) {
 	return core.Best(p.Graph, m)
 }
 
+// Scratch is reusable scheduler working state: every buffer the heuristic
+// schedulers need, grown once and recycled, so steady-state scheduling with a
+// warm Scratch allocates nothing. A Scratch is not safe for concurrent use —
+// give each worker its own.
+type Scratch = core.Scratch
+
+// NewScratch returns fresh scheduler scratch state for ScheduleWith.
+func NewScratch() *Scratch { return core.NewScratch() }
+
+// ScheduleWith builds a schedule with the named heuristic backend ("sync" —
+// also the empty name — "list", "order" or "best") into sc's reusable
+// buffers. The returned schedule is BORROWED: its storage is recycled by the
+// next ScheduleWith call on the same Scratch. Clone it to keep it. Use this
+// in steady-state loops (services, sweeps) where Schedule's per-call
+// allocation shows up; the exact backend is excluded because its search
+// state dwarfs the schedule allocation.
+func (p *Program) ScheduleWith(backend string, m Machine, sc *Scratch) (*Schedule, error) {
+	switch backend {
+	case "", "sync":
+		return sc.Sync(p.Graph, m)
+	case "list":
+		return sc.List(p.Graph, m, core.CriticalPath)
+	case "order":
+		return sc.List(p.Graph, m, core.ProgramOrder)
+	case "best":
+		return sc.Best(p.Graph, m)
+	}
+	return nil, fmt.Errorf("doacross: unknown scratch backend %q (want sync, list, order or best)", backend)
+}
+
 // BackendNames lists the recognized scheduling backend names ("sync" the
 // paper's heuristic, "list" and "order" the baselines, "best" the
 // never-degrades pick, "exact" the branch-and-bound solver).

@@ -1,0 +1,52 @@
+// Package bitset provides a dense []uint64 bit set used by the hot
+// scheduling paths in place of map[int]bool membership sets. The zero-value
+// Bits is empty; Make grows a caller-owned buffer so steady-state reuse
+// allocates nothing once the buffer has reached the working-set size.
+package bitset
+
+import "math/bits"
+
+// Bits is a fixed-universe bit set over [0, 64·len(b)).
+type Bits []uint64
+
+// Words returns the number of 64-bit words needed for a universe of n bits.
+func Words(n int) int { return (n + 63) >> 6 }
+
+// Make returns a zeroed set able to hold n bits, reusing buf's backing
+// array when it is large enough (the common steady-state case).
+func Make(buf Bits, n int) Bits {
+	w := Words(n)
+	if cap(buf) < w {
+		return make(Bits, w)
+	}
+	b := buf[:w]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// Set adds i to the set.
+func (b Bits) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes i from the set.
+func (b Bits) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether i is in the set.
+func (b Bits) Has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Reset empties the set in place.
+func (b Bits) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

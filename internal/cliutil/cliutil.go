@@ -1,7 +1,7 @@
 // Package cliutil holds the flag wiring and observability plumbing shared
 // by cmd/benchtab and cmd/schedcmp, so the two binaries register the same
-// pipeline flags (-j, -stats, -trace, -dump, -timeout, -serve, -trace-out)
-// with the same semantics and stop drifting apart.
+// pipeline flags (-j, -stats, -trace, -dump, -timeout, -serve, -trace-out,
+// -cpuprofile, -memprofile) with the same semantics and stop drifting apart.
 package cliutil
 
 import (
@@ -10,6 +10,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -42,6 +44,12 @@ type Flags struct {
 	// ExactBudget is -exact-budget: the exact backend's branch-and-bound
 	// node budget (0 = default, negative = unlimited).
 	ExactBudget int64
+	// CPUProfile is -cpuprofile: a file to write a pprof CPU profile of
+	// the run to ("" = off).
+	CPUProfile string
+	// MemProfile is -memprofile: a file to write a pprof heap profile to
+	// after the run ("" = off).
+	MemProfile string
 }
 
 // Register installs the shared flags on fs (flag.CommandLine in the cmds).
@@ -56,7 +64,50 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace_event JSON file of the run (view in Perfetto)")
 	fs.StringVar(&f.Backend, "backend", "", "scheduling backend: "+strings.Join(passes.BackendNames(), ", ")+" (default sync, the paper's heuristic)")
 	fs.Int64Var(&f.ExactBudget, "exact-budget", 0, "exact backend branch-and-bound node budget (0 = default, negative = unlimited)")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file after the run")
 	return f
+}
+
+// StartProfiling begins the CPU profile when -cpuprofile is set. The
+// returned stop function must run once after the workload (and before any
+// blocking teardown like Observability.Finish with -serve): it stops the
+// CPU profile, and with -memprofile it runs a GC and writes the heap
+// profile so the snapshot reflects live memory, not transient garbage.
+// Without either flag both the start and the stop are no-ops.
+func (f *Flags) StartProfiling() (stop func() error, err error) {
+	var cpu *os.File
+	if f.CPUProfile != "" {
+		cpu, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return err
+			}
+		}
+		if f.MemProfile == "" {
+			return nil
+		}
+		fh, err := os.Create(f.MemProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(fh); err != nil {
+			fh.Close()
+			return err
+		}
+		return fh.Close()
+	}, nil
 }
 
 // BackendOptions merges the -backend/-exact-budget selection into base (the

@@ -40,6 +40,46 @@ func TestRegisterAndDumpPasses(t *testing.T) {
 	}
 }
 
+// TestStartProfiling: -cpuprofile/-memprofile produce non-empty pprof
+// files, and without either flag the whole lifecycle is a no-op.
+func TestStartProfiling(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	f := &Flags{CPUProfile: cpu, MemProfile: mem}
+	stop, err := f.StartProfiling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so both profiles have something to say.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i % 7
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s: empty profile", p)
+		}
+	}
+
+	off := &Flags{}
+	stop, err = off.StartProfiling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestObservabilityOff: without -serve or -trace-out the wiring is inert —
 // no recorder, no server, and Finish/Close are cheap no-ops.
 func TestObservabilityOff(t *testing.T) {

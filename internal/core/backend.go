@@ -47,6 +47,18 @@ type Scheduler interface {
 	Schedule(g *dfg.Graph, cfg dlx.Config) (*Outcome, error)
 }
 
+// ScratchScheduler is implemented by backends whose steady state can run
+// allocation-free over caller-owned scratch state. The returned schedule is
+// BORROWED from sc — its storage is recycled by sc's next scheduling call —
+// so callers must Clone before retaining or publishing it. The batch
+// pipeline type-asserts this interface and threads one Scratch per worker.
+type ScratchScheduler interface {
+	Scheduler
+	// ScheduleScratch is Schedule without the Outcome wrapper, scheduling
+	// into sc's reusable buffers.
+	ScheduleScratch(sc *Scratch, g *dfg.Graph, cfg dlx.Config) (*Schedule, error)
+}
+
 // SyncScheduler is the paper's synchronization-aware heuristic behind the
 // Scheduler seam.
 type SyncScheduler struct {
@@ -64,6 +76,11 @@ func (b SyncScheduler) Schedule(g *dfg.Graph, cfg dlx.Config) (*Outcome, error) 
 		return nil, err
 	}
 	return &Outcome{Schedule: s}, nil
+}
+
+// ScheduleScratch implements ScratchScheduler.
+func (b SyncScheduler) ScheduleScratch(sc *Scratch, g *dfg.Graph, cfg dlx.Config) (*Schedule, error) {
+	return sc.SyncWithOptions(g, cfg, b.Opts)
 }
 
 // ListScheduler is the baseline list scheduler behind the Scheduler seam.
@@ -89,6 +106,11 @@ func (b ListScheduler) Schedule(g *dfg.Graph, cfg dlx.Config) (*Outcome, error) 
 	return &Outcome{Schedule: s}, nil
 }
 
+// ScheduleScratch implements ScratchScheduler.
+func (b ListScheduler) ScheduleScratch(sc *Scratch, g *dfg.Graph, cfg dlx.Config) (*Schedule, error) {
+	return sc.List(g, cfg, b.Priority)
+}
+
 // BestScheduler is the never-degrades pick (sync vs both list baselines)
 // behind the Scheduler seam.
 type BestScheduler struct{}
@@ -103,4 +125,9 @@ func (BestScheduler) Schedule(g *dfg.Graph, cfg dlx.Config) (*Outcome, error) {
 		return nil, err
 	}
 	return &Outcome{Schedule: s}, nil
+}
+
+// ScheduleScratch implements ScratchScheduler.
+func (BestScheduler) ScheduleScratch(sc *Scratch, g *dfg.Graph, cfg dlx.Config) (*Schedule, error) {
+	return sc.Best(g, cfg)
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"doacross/internal/dfg"
 	"doacross/internal/dlx"
-	"doacross/internal/tac"
 )
 
 // ListPriority selects the tie-breaking priority of the baseline list
@@ -26,24 +25,11 @@ const (
 
 // List builds the baseline list schedule.
 func List(g *dfg.Graph, cfg dlx.Config, pri ListPriority) (*Schedule, error) {
-	n := g.N()
-	priority := make([]int, n)
-	switch pri {
-	case ProgramOrder:
-		for i := range priority {
-			priority[i] = i
-		}
-	case CriticalPath:
-		cp, err := g.CriticalPathLengths(func(in *tac.Instr) int {
-			return cfg.Latency[in.Class()]
-		})
-		if err != nil {
-			return nil, err
-		}
-		for i := range priority {
-			// Longer critical path = higher priority = lower rank value.
-			priority[i] = -cp[i]
-		}
+	sc := scratchPool.Get().(*Scratch)
+	s, err := sc.List(g, cfg, pri)
+	if err == nil {
+		s = s.Clone()
 	}
-	return engine(g, cfg, nil, priority, "list")
+	scratchPool.Put(sc)
+	return s, err
 }

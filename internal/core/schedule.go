@@ -18,7 +18,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"doacross/internal/dfg"
@@ -37,6 +36,36 @@ type Schedule struct {
 	Rows [][]int
 	// Method names the scheduler that produced this schedule.
 	Method string
+	// scratch, when non-nil, marks the Cycle/Rows storage as borrowed from a
+	// Scratch buffer (recycled by that Scratch's next scheduling call). Clone
+	// detaches; the package-level entry points always return detached
+	// schedules.
+	scratch *schedBuf
+}
+
+// Clone returns a deep copy of the schedule whose Cycle and Rows storage is
+// owned by the caller (detached from any Scratch buffer). The Prog/Graph
+// references are shared: both are immutable after construction.
+func (s *Schedule) Clone() *Schedule {
+	c := *s
+	c.scratch = nil
+	c.Cycle = append([]int(nil), s.Cycle...)
+	total := 0
+	for _, r := range s.Rows {
+		total += len(r)
+	}
+	flat := make([]int, 0, total)
+	c.Rows = make([][]int, len(s.Rows))
+	for i, r := range s.Rows {
+		if len(r) == 0 {
+			c.Rows[i] = r // preserve nil-ness of empty rows
+			continue
+		}
+		off := len(flat)
+		flat = append(flat, r...)
+		c.Rows[i] = flat[off:len(flat):len(flat)]
+	}
+	return &c
 }
 
 // Length returns the number of issue cycles (the paper's l, the instruction
@@ -83,7 +112,13 @@ func (p PairSpan) Span() int { return p.SendCycle - p.WaitCycle }
 // PairSpans returns the placement of every synchronization pair, ordered by
 // wait node index.
 func (s *Schedule) PairSpans() []PairSpan {
-	var out []PairSpan
+	return s.PairSpansAppend(nil)
+}
+
+// PairSpansAppend appends the placement of every synchronization pair to dst
+// and returns the extended slice — the allocation-free form of PairSpans for
+// callers with a reusable buffer.
+func (s *Schedule) PairSpansAppend(dst []PairSpan) []PairSpan {
 	for v, in := range s.Prog.Instrs {
 		if in.Op != tac.Wait {
 			continue
@@ -92,7 +127,7 @@ func (s *Schedule) PairSpans() []PairSpan {
 		if send == nil {
 			continue
 		}
-		out = append(out, PairSpan{
+		dst = append(dst, PairSpan{
 			Signal:    in.Signal,
 			Distance:  in.SigDist,
 			WaitCycle: s.Cycle[v],
@@ -101,7 +136,7 @@ func (s *Schedule) PairSpans() []PairSpan {
 			SendNode:  send.ID - 1,
 		})
 	}
-	return out
+	return dst
 }
 
 // NumLBD returns the number of synchronization pairs that remain LBD.
@@ -290,151 +325,8 @@ func (s *Schedule) Order() []*tac.Instr {
 	return out
 }
 
-// engine is the shared resource-constrained cycle scheduler. priority maps
-// node -> rank (lower = scheduled first among ready nodes); extra arcs are
-// added on top of the dependence graph.
-func engine(g *dfg.Graph, cfg dlx.Config, extra []dfg.Arc, priority []int, method string) (*Schedule, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	n := g.N()
-	// Merged predecessor/successor view.
-	succ := make([][]int, n)
-	npred := make([]int, n)
-	for i := 0; i < n; i++ {
-		succ[i] = append(succ[i], g.Succ[i]...)
-		npred[i] = len(g.Pred[i])
-	}
-	type key struct{ from, to int }
-	have := map[key]bool{}
-	for _, a := range g.Arcs {
-		have[key{a.From, a.To}] = true
-	}
-	preds := make([][]int, n)
-	for i := 0; i < n; i++ {
-		preds[i] = append(preds[i], g.Pred[i]...)
-	}
-	for _, a := range extra {
-		if have[key{a.From, a.To}] {
-			continue
-		}
-		have[key{a.From, a.To}] = true
-		succ[a.From] = append(succ[a.From], a.To)
-		preds[a.To] = append(preds[a.To], a.From)
-		npred[a.To]++
-	}
-	// Cycle check on the augmented graph.
-	if err := checkAcyclic(succ, npred); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", method, err)
-	}
-
-	lat := func(v int) int { return cfg.Latency[g.Prog.Instrs[v].Class()] }
-	sched := &Schedule{Prog: g.Prog, Graph: g, Cfg: cfg, Cycle: make([]int, n), Method: method}
-	for i := range sched.Cycle {
-		sched.Cycle[i] = -1
-	}
-	remainingPreds := make([]int, n)
-	copy(remainingPreds, npred)
-	readyAt := make([]int, n) // earliest cycle by latency constraints
-	done := 0
-	// occupancy[class][cycle]
-	occupancy := map[dlx.Class][]int{}
-	occupy := func(cls dlx.Class, from, until int) {
-		occ := occupancy[cls]
-		for len(occ) <= until {
-			occ = append(occ, 0)
-		}
-		for c := from; c < until; c++ {
-			occ[c]++
-		}
-		occupancy[cls] = occ
-	}
-	free := func(cls dlx.Class, from, until int, limit int) bool {
-		occ := occupancy[cls]
-		for c := from; c < until && c < len(occ); c++ {
-			if occ[c] >= limit {
-				return false
-			}
-		}
-		return true
-	}
-
-	for cycle := 0; done < n; cycle++ {
-		if cycle > n*64+1024 {
-			return nil, fmt.Errorf("core: %s: scheduler livelock at cycle %d (%d/%d scheduled)", method, cycle, done, n)
-		}
-		// Candidates: all preds scheduled, latency satisfied.
-		var cand []int
-		for v := 0; v < n; v++ {
-			if sched.Cycle[v] == -1 && remainingPreds[v] == 0 && readyAt[v] <= cycle {
-				cand = append(cand, v)
-			}
-		}
-		sort.Slice(cand, func(i, j int) bool {
-			if priority[cand[i]] != priority[cand[j]] {
-				return priority[cand[i]] < priority[cand[j]]
-			}
-			return cand[i] < cand[j]
-		})
-		slots := cfg.Issue
-		var row []int
-		for _, v := range cand {
-			if slots == 0 {
-				break
-			}
-			cls := g.Prog.Instrs[v].Class()
-			l := lat(v)
-			if dlx.NeedsUnit(cls) && !free(cls, cycle, cycle+l, cfg.Units[cls]) {
-				continue
-			}
-			// Issue v.
-			sched.Cycle[v] = cycle
-			row = append(row, v)
-			slots--
-			done++
-			if dlx.NeedsUnit(cls) {
-				occupy(cls, cycle, cycle+l)
-			}
-			for _, w := range succ[v] {
-				remainingPreds[w]--
-				if r := cycle + l; r > readyAt[w] {
-					readyAt[w] = r
-				}
-			}
-		}
-		sched.Rows = append(sched.Rows, row)
-	}
-	// Trim trailing empty rows (can appear when the last issues left gaps).
-	for len(sched.Rows) > 0 && len(sched.Rows[len(sched.Rows)-1]) == 0 {
-		sched.Rows = sched.Rows[:len(sched.Rows)-1]
-	}
-	return sched, nil
-}
-
-func checkAcyclic(succ [][]int, npred []int) error {
-	n := len(succ)
-	indeg := make([]int, n)
-	copy(indeg, npred)
-	var queue []int
-	for i := 0; i < n; i++ {
-		if indeg[i] == 0 {
-			queue = append(queue, i)
-		}
-	}
-	seen := 0
-	for len(queue) > 0 {
-		v := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		seen++
-		for _, w := range succ[v] {
-			indeg[w]--
-			if indeg[w] == 0 {
-				queue = append(queue, w)
-			}
-		}
-	}
-	if seen != n {
-		return fmt.Errorf("augmented dependence graph is cyclic")
-	}
-	return nil
-}
+// The shared resource-constrained cycle engine lives in scratch.go: it runs
+// entirely over reusable Scratch state (merged CSR successors, per-class
+// occupancy slices, a statically prioritized live list) and the package-level
+// Sync/List/Best entry points below borrow a pooled Scratch and Clone the
+// result.

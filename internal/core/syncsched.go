@@ -1,11 +1,8 @@
 package core
 
 import (
-	"sort"
-
 	"doacross/internal/dfg"
 	"doacross/internal/dlx"
-	"doacross/internal/tac"
 )
 
 // SyncOptions tunes the new scheduler; the zero value is the paper's
@@ -32,255 +29,30 @@ func Sync(g *dfg.Graph, cfg dlx.Config) (*Schedule, error) {
 	return SyncWithOptions(g, cfg, SyncOptions{})
 }
 
+// SyncWithOptions builds the schedule with ablation knobs.
+func SyncWithOptions(g *dfg.Graph, cfg dlx.Config, opt SyncOptions) (*Schedule, error) {
+	sc := scratchPool.Get().(*Scratch)
+	s, err := sc.SyncWithOptions(g, cfg, opt)
+	if err == nil {
+		s = s.Clone()
+	}
+	scratchPool.Put(sc)
+	return s, err
+}
+
 // Best builds the sync schedule and both list baselines and returns the one
 // with the lowest predicted parallel time. This operationalizes the paper's
 // claim that the technique "never degrades the system performance": on the
 // rare loop shapes where the synchronization-path heuristic loses to plain
 // list scheduling, the list schedule is kept.
 func Best(g *dfg.Graph, cfg dlx.Config) (*Schedule, error) {
-	var best *Schedule
-	for _, mk := range []func() (*Schedule, error){
-		func() (*Schedule, error) { return Sync(g, cfg) },
-		func() (*Schedule, error) { return List(g, cfg, CriticalPath) },
-		func() (*Schedule, error) { return List(g, cfg, ProgramOrder) },
-	} {
-		s, err := mk()
-		if err != nil {
-			return nil, err
-		}
-		if best == nil || betterThan(s, best) {
-			best = s
-		}
+	sc := scratchPool.Get().(*Scratch)
+	s, err := sc.Best(g, cfg)
+	if err == nil {
+		s = s.Clone()
 	}
-	return best, nil
-}
-
-// betterThan compares schedules by predicted parallel time at a large and a
-// small trip count (the recurrence slope dominates the first, the schedule
-// length the second), strictly.
-func betterThan(a, b *Schedule) bool {
-	la, lb := predictTotal(a, 1024), predictTotal(b, 1024)
-	if la != lb {
-		return la < lb
-	}
-	return a.CompletionLength() < b.CompletionLength()
-}
-
-// predictTotal is the LBD-chain bound ⌊(n−1)/d⌋·(span+1) + l (the dynamic
-// form of the paper's (n/d)·(i−j)+l), maximized over pairs.
-func predictTotal(s *Schedule, n int) int {
-	l := s.CompletionLength()
-	best := l
-	for _, p := range s.PairSpans() {
-		if !p.LBD() {
-			continue
-		}
-		if t := (n-1)/p.Distance*(p.Span()+1) + l; t > best {
-			best = t
-		}
-	}
-	return best
-}
-
-// SyncWithOptions builds the schedule with ablation knobs.
-func SyncWithOptions(g *dfg.Graph, cfg dlx.Config, opt SyncOptions) (*Schedule, error) {
-	adder := newArcAdder(g)
-	if !opt.NoPairArcs {
-		// Provably safe Sig/Wat pair arcs first (the paper's rule).
-		for _, a := range g.PairArcs() {
-			adder.add(a)
-		}
-	}
-	if !opt.NoLazyWaits {
-		for _, a := range lazyWaitArcs(g) {
-			adder.add(a)
-		}
-	}
-	priority, err := syncPriority(g, cfg, opt)
-	if err != nil {
-		return nil, err
-	}
-	best, err := engine(g, cfg, adder.arcs, priority, "sync")
-	if err != nil {
-		return nil, err
-	}
-	if opt.NoPairArcs {
-		return best, nil
-	}
-	// Extended LBD→LFD conversion: for each pair still scheduled backward,
-	// tentatively force the send before the wait (if that keeps the graph
-	// acyclic — e.g. a pair whose wait and send share a component only
-	// through an address subexpression has no directed wait→send path) and
-	// keep the arc only when the rescheduled result is no worse. Serializing
-	// one pair can delay another pair's send, so each candidate is verified
-	// rather than assumed.
-	for i, in := range g.Prog.Instrs {
-		if in.Op != tac.Wait {
-			continue
-		}
-		send := g.Prog.SendFor(in.Signal)
-		if send == nil {
-			continue
-		}
-		s := send.ID - 1
-		if best.Cycle[s] < best.Cycle[i] {
-			continue // already LFD
-		}
-		if !adder.add(dfg.Arc{From: s, To: i, Kind: dfg.SrcToSend}) {
-			continue
-		}
-		cand, err := engine(g, cfg, adder.arcs, priority, "sync")
-		if err != nil || !betterThan(cand, best) {
-			adder.removeLast()
-			continue
-		}
-		best = cand
-	}
-	return best, nil
-}
-
-// arcAdder accumulates extra scheduling arcs, accepting each candidate only
-// if it keeps the augmented graph acyclic (checked by reachability over base
-// + accepted arcs). Loop bodies are small, so the repeated DFS is cheap.
-type arcAdder struct {
-	g     *dfg.Graph
-	succ  [][]int
-	have  map[[2]int]bool
-	arcs  []dfg.Arc
-	stack []int
-	mark  []bool
-}
-
-func newArcAdder(g *dfg.Graph) *arcAdder {
-	n := g.N()
-	a := &arcAdder{g: g, succ: make([][]int, n), have: map[[2]int]bool{}, mark: make([]bool, n)}
-	for i := 0; i < n; i++ {
-		a.succ[i] = append(a.succ[i], g.Succ[i]...)
-	}
-	for _, arc := range g.Arcs {
-		a.have[[2]int{arc.From, arc.To}] = true
-	}
-	return a
-}
-
-// removeLast undoes the most recent successful add.
-func (a *arcAdder) removeLast() {
-	if len(a.arcs) == 0 {
-		return
-	}
-	arc := a.arcs[len(a.arcs)-1]
-	a.arcs = a.arcs[:len(a.arcs)-1]
-	delete(a.have, [2]int{arc.From, arc.To})
-	s := a.succ[arc.From]
-	a.succ[arc.From] = s[:len(s)-1]
-}
-
-// add accepts the arc unless it already exists or would close a cycle.
-func (a *arcAdder) add(arc dfg.Arc) bool {
-	if arc.From == arc.To || a.have[[2]int{arc.From, arc.To}] {
-		return false
-	}
-	if a.reaches(arc.To, arc.From) {
-		return false
-	}
-	a.have[[2]int{arc.From, arc.To}] = true
-	a.succ[arc.From] = append(a.succ[arc.From], arc.To)
-	a.arcs = append(a.arcs, arc)
-	return true
-}
-
-// reaches reports whether dst is reachable from src.
-func (a *arcAdder) reaches(src, dst int) bool {
-	if src == dst {
-		return true
-	}
-	for i := range a.mark {
-		a.mark[i] = false
-	}
-	a.stack = append(a.stack[:0], src)
-	a.mark[src] = true
-	for len(a.stack) > 0 {
-		v := a.stack[len(a.stack)-1]
-		a.stack = a.stack[:len(a.stack)-1]
-		for _, w := range a.succ[v] {
-			if w == dst {
-				return true
-			}
-			if !a.mark[w] {
-				a.mark[w] = true
-				a.stack = append(a.stack, w)
-			}
-		}
-	}
-	return false
-}
-
-// lazyWaitArcs delays every wait as far as its synchronization path allows —
-// the head end of the contiguous-SP rule. Two families of ordering arcs are
-// generated (all filtered for acyclicity by the caller's arcAdder):
-//
-//  1. For each WaitToSnk arc w→k, every non-sync predecessor p of k that is
-//     not a descendant of w gets an arc p→w: the wait issues only when its
-//     sink's other operands are ready.
-//  2. For each synchronization path SP(w, send), every ancestor a of a path
-//     node that is outside the path (and not a descendant of w) gets an arc
-//     a→w. Those ancestors lower-bound the send's issue time regardless of
-//     where the wait sits, so ordering them before the wait shrinks the
-//     wait→send span — the LBD cost (n/d)·(i−j) — without delaying the send.
-func lazyWaitArcs(g *dfg.Graph) []dfg.Arc {
-	var out []dfg.Arc
-	for _, a := range g.Arcs {
-		if a.Kind != dfg.WaitToSnk {
-			continue
-		}
-		w, k := a.From, a.To
-		desc := descendants(g, w)
-		for _, p := range g.Pred[k] {
-			if p == w || g.Prog.Instrs[p].IsSync() || desc[p] {
-				continue
-			}
-			out = append(out, dfg.Arc{From: p, To: w, Kind: dfg.WaitToSnk})
-		}
-	}
-	for _, sp := range g.SyncPaths() {
-		w := sp.Wait
-		desc := descendants(g, w)
-		inPath := map[int]bool{}
-		for _, v := range sp.Nodes {
-			inPath[v] = true
-		}
-		seen := map[int]bool{}
-		var anc []int
-		for _, k := range sp.Nodes[1:] {
-			for a := range g.Ancestors(k) {
-				if seen[a] || inPath[a] || desc[a] || g.Prog.Instrs[a].IsSync() {
-					continue
-				}
-				seen[a] = true
-				anc = append(anc, a)
-			}
-		}
-		sort.Ints(anc) // map iteration order must not leak into the schedule
-		for _, a := range anc {
-			out = append(out, dfg.Arc{From: a, To: w, Kind: dfg.WaitToSnk})
-		}
-	}
-	return out
-}
-
-func descendants(g *dfg.Graph, node int) map[int]bool {
-	out := map[int]bool{}
-	stack := append([]int(nil), g.Succ[node]...)
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if out[v] {
-			continue
-		}
-		out[v] = true
-		stack = append(stack, g.Succ[v]...)
-	}
-	return out
+	scratchPool.Put(sc)
+	return s, err
 }
 
 // Priority classes of the new scheduler, §3.2 order: synchronization paths
@@ -296,77 +68,6 @@ const (
 	classPlain
 	numClasses
 )
-
-func syncPriority(g *dfg.Graph, cfg dlx.Config, opt SyncOptions) ([]int, error) {
-	n := g.N()
-	priority := make([]int, n)
-	if opt.NoSPPriority {
-		for i := range priority {
-			priority[i] = i
-		}
-		return priority, nil
-	}
-	// Per §3.2, nodes outside the synchronization paths are scheduled "by
-	// the list scheduling": rank them by critical-path length within their
-	// class. On a loop with no synchronization at all this makes the new
-	// scheduler coincide with the critical-path baseline.
-	cp, err := g.CriticalPathLengths(func(in *tac.Instr) int {
-		return cfg.Latency[in.Class()]
-	})
-	if err != nil {
-		return nil, err
-	}
-	const stride = 1 << 20
-	class := make([]int, n)
-	rank := make([]int, n)
-	maxCP := 0
-	for _, v := range cp {
-		if v > maxCP {
-			maxCP = v
-		}
-	}
-	for i := 0; i < n; i++ {
-		switch g.Component(g.ComponentOf(i)).Kind {
-		case dfg.Sig:
-			class[i] = classSig
-		case dfg.Sigwat:
-			class[i] = classSigwatRest
-		case dfg.Wat:
-			class[i] = classWat
-		default:
-			class[i] = classPlain
-		}
-		// Longer critical path = earlier; ties broken by program order.
-		rank[i] = (maxCP-cp[i])*(n+1) + i
-	}
-	paths := g.SyncPaths()
-	if opt.AscendingSP {
-		rev := make([]dfg.SyncPath, len(paths))
-		for i, p := range paths {
-			rev[len(paths)-1-i] = p
-		}
-		paths = rev
-	}
-	// SP nodes: class classSP, ranked by (path rank, position in path).
-	// Overlapping paths keep the rank of the higher-priority (earlier) path,
-	// which schedules shared segments with the most critical path — the
-	// paper's "scheduled simultaneously" rule for intersecting paths.
-	seq := 0
-	for _, p := range paths {
-		for _, v := range p.Nodes {
-			if class[v] == classSP {
-				continue
-			}
-			class[v] = classSP
-			rank[v] = seq
-			seq++
-		}
-	}
-	for i := 0; i < n; i++ {
-		priority[i] = class[i]*stride + rank[i]
-	}
-	return priority, nil
-}
 
 // SpanReport summarizes how a schedule treats each synchronization pair —
 // used by examples and the experiment tables.

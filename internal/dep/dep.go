@@ -121,34 +121,41 @@ type Analysis struct {
 // Analyze computes all dependences of the loop.
 func Analyze(loop *lang.Loop) *Analysis {
 	refs := collectRefs(loop)
-	a := &Analysis{Loop: loop}
-	// Group references by variable name, splitting scalar and array spaces.
-	byName := map[string][]Ref{}
-	for _, r := range refs {
-		key := r.Name()
-		if r.Array == nil {
-			key = "$" + key // scalar namespace
+	a := &Analysis{Loop: loop, Deps: make([]Dependence, 0, 2*len(refs))}
+	// Group references by variable (scalar and array namespaces are
+	// disjoint): a stable sort brings each variable's references together
+	// while keeping textual order within the group. The final sortDeps pass
+	// makes the output order independent of group order. Single-variable
+	// loops are already grouped; the pre-check skips the sort's interface
+	// allocation for them.
+	grouped := true
+	for i := 1; i < len(refs); i++ {
+		if refLess(refs[i], refs[i-1]) {
+			grouped = false
+			break
 		}
-		byName[key] = append(byName[key], r)
 	}
-	names := make([]string, 0, len(byName))
-	for k := range byName {
-		names = append(names, k)
+	if !grouped {
+		sort.Stable(refsByVar(refs))
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		group := byName[name]
-		for i := 0; i < len(group); i++ {
-			for j := 0; j < len(group); j++ {
-				w, x := group[i], group[j]
+	for i := 0; i < len(refs); {
+		j := i + 1
+		for j < len(refs) && !refLess(refs[i], refs[j]) && !refLess(refs[j], refs[i]) {
+			j++
+		}
+		group := refs[i:j]
+		i = j
+		for gi := 0; gi < len(group); gi++ {
+			for gj := 0; gj < len(group); gj++ {
+				w, x := group[gi], group[gj]
 				if !w.Write {
 					continue
 				}
 				// Pair each write with every read (flow/anti) and with later
 				// writes (output). The write/write case is handled once per
-				// unordered pair by requiring i <= j.
+				// unordered pair by requiring gi <= gj.
 				if x.Write {
-					if i > j {
+					if gi > gj {
 						continue
 					}
 					a.addWriteWrite(loop, w, x)
@@ -160,6 +167,23 @@ func Analyze(loop *lang.Loop) *Analysis {
 	}
 	sortDeps(a.Deps)
 	return a
+}
+
+// refsByVar stable-sorts references into per-variable groups: scalars first,
+// then arrays, by name. Only the grouping matters — sortDeps canonicalizes
+// the final order.
+type refsByVar []Ref
+
+func (s refsByVar) Len() int           { return len(s) }
+func (s refsByVar) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s refsByVar) Less(i, j int) bool { return refLess(s[i], s[j]) }
+
+func refLess(a, b Ref) bool {
+	as, bs := a.Array == nil, b.Array == nil
+	if as != bs {
+		return as // scalars first
+	}
+	return a.Name() < b.Name()
 }
 
 // subscript classification for a pair of references.
@@ -347,12 +371,31 @@ func (a *Analysis) addWriteWrite(loop *lang.Loop, w1, w2 Ref) {
 // order. The induction variable is not a memory reference (it lives in a
 // register on every processor).
 func collectRefs(loop *lang.Loop) []Ref {
-	var refs []Ref
-	for si, st := range loop.Body {
-		pos := 0
+	refs := make([]Ref, 0, 4*len(loop.Body))
+	// One walk closure shared by every expression of the loop (st/pos/mode
+	// are rebound per site), so the traversal allocates nothing per
+	// statement.
+	si, pos := 0, 0
+	scalarsOnly := false
+	walk := func(x lang.Expr) {
+		switch v := x.(type) {
+		case *lang.ArrayRef:
+			if !scalarsOnly {
+				refs = append(refs, Ref{Stmt: si, Write: false, Array: v, Pos: pos})
+				pos++
+			}
+		case *lang.Scalar:
+			if v.Name != loop.Var {
+				refs = append(refs, Ref{Stmt: si, Write: false, ScalarName: v.Name, Pos: pos})
+				pos++
+			}
+		}
+	}
+	for i, st := range loop.Body {
+		si, pos = i, 0
 		if st.Cond != nil {
-			refs = append(refs, rhsRefs(loop, st.Cond.L, si, &pos)...)
-			refs = append(refs, rhsRefs(loop, st.Cond.R, si, &pos)...)
+			lang.Walk(st.Cond.L, walk)
+			lang.Walk(st.Cond.R, walk)
 		}
 		switch lhs := st.LHS.(type) {
 		case *lang.ArrayRef:
@@ -364,12 +407,9 @@ func collectRefs(loop *lang.Loop) []Ref {
 				pos++
 			}
 			// Subscript reads of scalars other than the induction variable.
-			for _, s := range lang.ScalarRefs(lhs.Index) {
-				if s.Name != loop.Var {
-					refs = append(refs, Ref{Stmt: si, Write: false, ScalarName: s.Name, Pos: pos})
-					pos++
-				}
-			}
+			scalarsOnly = true
+			lang.Walk(lhs.Index, walk)
+			scalarsOnly = false
 		case *lang.Scalar:
 			refs = append(refs, Ref{Stmt: si, Write: true, ScalarName: lhs.Name, Pos: pos})
 			pos++
@@ -378,25 +418,8 @@ func collectRefs(loop *lang.Loop) []Ref {
 				pos++
 			}
 		}
-		refs = append(refs, rhsRefs(loop, st.RHS, si, &pos)...)
+		lang.Walk(st.RHS, walk)
 	}
-	return refs
-}
-
-func rhsRefs(loop *lang.Loop, e lang.Expr, si int, pos *int) []Ref {
-	var refs []Ref
-	lang.Walk(e, func(x lang.Expr) {
-		switch v := x.(type) {
-		case *lang.ArrayRef:
-			refs = append(refs, Ref{Stmt: si, Write: false, Array: v, Pos: *pos})
-			*pos++
-		case *lang.Scalar:
-			if v.Name != loop.Var {
-				refs = append(refs, Ref{Stmt: si, Write: false, ScalarName: v.Name, Pos: *pos})
-				*pos++
-			}
-		}
-	})
 	return refs
 }
 
@@ -427,7 +450,16 @@ func (a *Analysis) Diagnostics() diag.List {
 
 // Carried returns the loop-carried dependences (distance > 0).
 func (a *Analysis) Carried() []Dependence {
-	var out []Dependence
+	n := 0
+	for _, d := range a.Deps {
+		if d.Carried() {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Dependence, 0, n)
 	for _, d := range a.Deps {
 		if d.Carried() {
 			out = append(out, d)
@@ -469,23 +501,32 @@ func (a *Analysis) CountLexical() (lfd, lbd int) {
 }
 
 func sortDeps(deps []Dependence) {
-	sort.SliceStable(deps, func(i, j int) bool {
-		a, b := deps[i], deps[j]
-		if a.Src.Stmt != b.Src.Stmt {
-			return a.Src.Stmt < b.Src.Stmt
-		}
-		if a.Snk.Stmt != b.Snk.Stmt {
-			return a.Snk.Stmt < b.Snk.Stmt
-		}
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
-		}
-		if a.Distance != b.Distance {
-			return a.Distance < b.Distance
-		}
-		if a.Src.Pos != b.Src.Pos {
-			return a.Src.Pos < b.Src.Pos
-		}
-		return a.Snk.Pos < b.Snk.Pos
-	})
+	sort.Stable(depOrder(deps))
+}
+
+// depOrder is the canonical dependence order (a typed sort.Interface rather
+// than sort.SliceStable: Analyze is on the compile hot path and the typed
+// form avoids the reflection swapper).
+type depOrder []Dependence
+
+func (s depOrder) Len() int      { return len(s) }
+func (s depOrder) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s depOrder) Less(i, j int) bool {
+	a, b := s[i], s[j]
+	if a.Src.Stmt != b.Src.Stmt {
+		return a.Src.Stmt < b.Src.Stmt
+	}
+	if a.Snk.Stmt != b.Snk.Stmt {
+		return a.Snk.Stmt < b.Snk.Stmt
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	if a.Src.Pos != b.Src.Pos {
+		return a.Src.Pos < b.Src.Pos
+	}
+	return a.Snk.Pos < b.Snk.Pos
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"doacross/internal/bitset"
 	"doacross/internal/dep"
 	"doacross/internal/tac"
 )
@@ -129,40 +130,65 @@ type Graph struct {
 
 // Build constructs the graph for a compiled program. The dependence analysis
 // must be the one the program's synchronized loop was built from.
+//
+// The builder is allocation-lean by design: arcs are collected once into an
+// exactly-estimated slice (deduplicated with a dense bit matrix, preserving
+// first-occurrence order), and the adjacency lists are carved out of two
+// flat slabs sized by a counting pass, so the finished graph is a handful of
+// contiguous blocks instead of per-node append-grown slices.
 func Build(p *tac.Program, a *dep.Analysis) (*Graph, error) {
 	n := len(p.Instrs)
-	g := &Graph{Prog: p, Succ: make([][]int, n), Pred: make([][]int, n)}
-	seen := map[[2]int]bool{}
+	g := &Graph{Prog: p}
+
+	// Upper bound on the arc count before deduplication: one per temp use,
+	// one per distance-0 memory dependence, two per synchronized dependence.
+	est := 0
+	var useBuf [3]int
+	for _, in := range p.Instrs {
+		est += len(in.AppendUses(useBuf[:0]))
+	}
+	for _, d := range a.Deps {
+		if d.Distance == 0 {
+			est++
+		}
+	}
+	est += 2 * len(p.Sync.Synced)
+	arcs := make([]Arc, 0, est)
+	seen := bitset.Make(nil, n*n)
 	addArc := func(from, to int, kind ArcKind) {
 		if from == to {
 			return
 		}
-		key := [2]int{from, to}
-		if seen[key] {
-			return
+		if k := from*n + to; !seen.Has(k) {
+			seen.Set(k)
+			arcs = append(arcs, Arc{From: from, To: to, Kind: kind})
 		}
-		seen[key] = true
-		g.Succ[from] = append(g.Succ[from], to)
-		g.Pred[to] = append(g.Pred[to], from)
-		g.Arcs = append(g.Arcs, Arc{From: from, To: to, Kind: kind})
 	}
 
 	// 1. Register def-use arcs. Each temp has exactly one definition.
-	defOf := make(map[int]int) // temp -> defining node
+	maxTemp := p.NumTemps
+	for _, in := range p.Instrs {
+		if in.Dst > maxTemp {
+			maxTemp = in.Dst
+		}
+	}
+	// One scratch block for the def table and the degree counters.
+	scratch := make([]int, maxTemp+1+2*n)
+	defOf := scratch[:maxTemp+1] // temp -> defining node + 1; 0 = none
 	for i, in := range p.Instrs {
-		if in.Dst != 0 {
-			if prev, dup := defOf[in.Dst]; dup {
-				return nil, fmt.Errorf("dfg: temp t%d defined twice (instrs %d and %d)", in.Dst, prev+1, i+1)
+		if in.Dst > 0 {
+			if prev := defOf[in.Dst]; prev != 0 {
+				return nil, fmt.Errorf("dfg: temp t%d defined twice (instrs %d and %d)", in.Dst, prev, i+1)
 			}
-			defOf[in.Dst] = i
+			defOf[in.Dst] = i + 1
 		}
 	}
 	for i, in := range p.Instrs {
-		for _, t := range in.Uses() {
-			d, ok := defOf[t]
-			if !ok {
+		for _, t := range in.AppendUses(useBuf[:0]) {
+			if t <= 0 || t >= len(defOf) || defOf[t] == 0 {
 				return nil, fmt.Errorf("dfg: instr %d uses undefined temp t%d", i+1, t)
 			}
+			d := defOf[t] - 1
 			if d >= i {
 				return nil, fmt.Errorf("dfg: instr %d uses temp t%d defined later (instr %d)", i+1, t, d+1)
 			}
@@ -226,6 +252,34 @@ func Build(p *tac.Program, a *dep.Analysis) (*Graph, error) {
 		addArc(wi, snkIn.ID-1, WaitToSnk)
 	}
 
+	// Finalize: carve the Succ/Pred adjacency lists out of one flat slab
+	// sized by a counting pass. Appends below stay within each node's
+	// sub-slice capacity, so list order matches arc discovery order exactly
+	// as the incremental builder produced it.
+	g.Arcs = arcs
+	flat := make([]int, 2*len(arcs))
+	deg := scratch[maxTemp+1:]
+	sdeg, pdeg := deg[:n], deg[n:]
+	for _, a := range arcs {
+		sdeg[a.From]++
+		pdeg[a.To]++
+	}
+	adj := make([][]int, 2*n)
+	g.Succ, g.Pred = adj[:n], adj[n:]
+	off := 0
+	for i := 0; i < n; i++ {
+		g.Succ[i] = flat[off : off : off+sdeg[i]]
+		off += sdeg[i]
+	}
+	for i := 0; i < n; i++ {
+		g.Pred[i] = flat[off : off : off+pdeg[i]]
+		off += pdeg[i]
+	}
+	for _, a := range arcs {
+		g.Succ[a.From] = append(g.Succ[a.From], a.To)
+		g.Pred[a.To] = append(g.Pred[a.To], a.From)
+	}
+
 	g.computeComponents()
 	g.computePaths()
 	return g, nil
@@ -238,40 +292,61 @@ func (g *Graph) N() int { return len(g.Succ) }
 // classifies them.
 func (g *Graph) computeComponents() {
 	n := g.N()
-	parent := make([]int, n)
+	// One scratch block: union-find parents, root->component map, and the
+	// three per-component counters (nc <= n).
+	scratch := make([]int, 5*n)
+	parent := scratch[:n]
 	for i := range parent {
 		parent[i] = i
 	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(a, b int) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
-		}
-	}
 	for _, a := range g.Arcs {
-		union(a.From, a.To)
+		ufUnion(parent, a.From, a.To)
 	}
-	rootToComp := map[int]int{}
+	// Assign component IDs in order of first encounter and count members,
+	// then carve the per-component node/wait/send lists out of flat slabs.
+	rootToComp := scratch[n : 2*n] // root -> comp ID + 1; 0 = unassigned
 	g.compOf = make([]int, n)
+	nc := 0
 	for i := 0; i < n; i++ {
-		r := find(i)
-		id, ok := rootToComp[r]
-		if !ok {
-			id = len(g.comps)
-			rootToComp[r] = id
-			g.comps = append(g.comps, Component{ID: id})
+		r := ufFind(parent, i)
+		if rootToComp[r] == 0 {
+			nc++
+			rootToComp[r] = nc
 		}
+		g.compOf[i] = rootToComp[r] - 1
+	}
+	g.comps = make([]Component, nc)
+	counts := scratch[2*n : 2*n+3*nc]
+	nodeCnt, waitCnt, sendCnt := counts[:nc], counts[nc:2*nc], counts[2*nc:]
+	syncTotal := 0
+	for i := 0; i < n; i++ {
+		id := g.compOf[i]
+		nodeCnt[id]++
+		switch g.Prog.Instrs[i].Op {
+		case tac.Wait:
+			waitCnt[id]++
+			syncTotal++
+		case tac.Send:
+			sendCnt[id]++
+			syncTotal++
+		}
+	}
+	slab := make([]int, n+syncTotal)
+	nodeSlab, syncSlab := slab[:n], slab[n:]
+	nodeOff, syncOff := 0, 0
+	for id := 0; id < nc; id++ {
 		c := &g.comps[id]
+		c.ID = id
+		c.Nodes = nodeSlab[nodeOff : nodeOff : nodeOff+nodeCnt[id]]
+		nodeOff += nodeCnt[id]
+		c.Waits = syncSlab[syncOff : syncOff : syncOff+waitCnt[id]]
+		syncOff += waitCnt[id]
+		c.Sends = syncSlab[syncOff : syncOff : syncOff+sendCnt[id]]
+		syncOff += sendCnt[id]
+	}
+	for i := 0; i < n; i++ {
+		c := &g.comps[g.compOf[i]]
 		c.Nodes = append(c.Nodes, i)
-		g.compOf[i] = id
 		switch g.Prog.Instrs[i].Op {
 		case tac.Wait:
 			c.Waits = append(c.Waits, i)
@@ -294,14 +369,36 @@ func (g *Graph) computeComponents() {
 	}
 }
 
+// ufFind is union-find root lookup with path halving.
+func ufFind(parent []int, x int) int {
+	for parent[x] != x {
+		parent[x] = parent[parent[x]]
+		x = parent[x]
+	}
+	return x
+}
+
+func ufUnion(parent []int, a, b int) {
+	ra, rb := ufFind(parent, a), ufFind(parent, b)
+	if ra != rb {
+		parent[ra] = rb
+	}
+}
+
 // computePaths finds SP(Wat, Sig) for every synchronization pair whose wait
 // and send fall in the same Sigwat component and are connected by a directed
 // path. Paths are sorted by descending weight |SP|/d (the paper's
 // (n/d)·|SP| with the common factor n dropped), ties broken by wait index.
 func (g *Graph) computePaths() {
+	var prev, queue []int // BFS buffers shared across all pairs
 	for _, c := range g.comps {
 		if c.Kind != Sigwat {
 			continue
+		}
+		if prev == nil {
+			buf := make([]int, 2*g.N())
+			prev = buf[:g.N()]
+			queue = buf[g.N():g.N()]
 		}
 		for _, w := range c.Waits {
 			win := g.Prog.Instrs[w]
@@ -310,7 +407,7 @@ func (g *Graph) computePaths() {
 				if sin.Signal != win.Signal {
 					continue
 				}
-				if nodes := g.shortestPath(w, s); nodes != nil {
+				if nodes := g.shortestPathInto(w, s, prev, queue); nodes != nil {
 					g.paths = append(g.paths, SyncPath{
 						Wait: w, Send: s, Nodes: nodes,
 						Distance: win.SigDist, Signal: win.Signal, Comp: c.ID,
@@ -319,38 +416,53 @@ func (g *Graph) computePaths() {
 			}
 		}
 	}
-	sort.SliceStable(g.paths, func(i, j int) bool {
-		wi, wj := g.paths[i].Weight(), g.paths[j].Weight()
-		if wi != wj {
-			return wi > wj
-		}
-		return g.paths[i].Wait < g.paths[j].Wait
-	})
+	if len(g.paths) > 1 {
+		sort.Stable(pathsByWeight(g.paths))
+	}
+}
+
+// pathsByWeight orders synchronization paths by descending weight, ties by
+// wait index (typed to keep graph building off the reflection sorter).
+type pathsByWeight []SyncPath
+
+func (s pathsByWeight) Len() int      { return len(s) }
+func (s pathsByWeight) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s pathsByWeight) Less(i, j int) bool {
+	wi, wj := s[i].Weight(), s[j].Weight()
+	if wi != wj {
+		return wi > wj
+	}
+	return s[i].Wait < s[j].Wait
 }
 
 // shortestPath returns the node sequence of a shortest directed path from
 // src to dst, or nil if none exists.
 func (g *Graph) shortestPath(src, dst int) []int {
-	prev := make([]int, g.N())
+	return g.shortestPathInto(src, dst, make([]int, g.N()), make([]int, 0, g.N()))
+}
+
+// shortestPathInto is shortestPath over caller-owned BFS scratch (prev of
+// length N, queue of capacity N). Only the returned path is allocated, at
+// its exact length.
+func (g *Graph) shortestPathInto(src, dst int, prev, queue []int) []int {
 	for i := range prev {
 		prev[i] = -1
 	}
 	prev[src] = src
-	queue := []int{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	queue = append(queue[:0], src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		if v == dst {
-			var path []int
-			for x := dst; ; x = prev[x] {
-				path = append(path, x)
+			hops := 1
+			for x := dst; x != src; x = prev[x] {
+				hops++
+			}
+			path := make([]int, hops)
+			for x, i := dst, hops-1; ; x, i = prev[x], i-1 {
+				path[i] = x
 				if x == src {
 					break
 				}
-			}
-			// Reverse.
-			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-				path[i], path[j] = path[j], path[i]
 			}
 			return path
 		}

@@ -4,52 +4,77 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"fmt"
-	"hash"
+	"math"
+	"sync"
 
 	"doacross/internal/dlx"
+	"doacross/internal/tac"
 )
 
 // Fingerprint is a content hash identifying a scheduling problem. Two graphs
 // with equal fingerprints are interchangeable for scheduling and execution:
-// their instruction sequences render identically (same opcodes, operands,
-// arrays, signals and distances), run on the same function-unit classes, and
-// carry the same dependence arcs. The batch pipeline's schedule cache is
-// keyed by ConfigKey, which extends the graph fingerprint with the machine
+// their instruction sequences carry the same opcodes, operands, arrays,
+// signals and distances, run on the same function-unit classes, and carry
+// the same dependence arcs. The batch pipeline's schedule cache is keyed by
+// ConfigKey, which extends the graph fingerprint with the machine
 // configuration and scheduler options.
 type Fingerprint [sha256.Size]byte
 
 // String renders a short hex prefix for logs and reports.
 func (f Fingerprint) String() string { return hex.EncodeToString(f[:8]) }
 
-func writeIntTo(h hash.Hash, buf *[8]byte, v int) {
-	binary.LittleEndian.PutUint64(buf[:], uint64(v))
-	h.Write(buf[:])
+// fpPool recycles the encoding buffers so fingerprinting a graph in the hot
+// batch path allocates nothing once warm (the buffer grows to the largest
+// body seen and stays there).
+var fpPool = sync.Pool{New: func() any { return new(fpBuf) }}
+
+type fpBuf struct{ b []byte }
+
+func appendIntFP(b []byte, v int) []byte { return binary.AppendVarint(b, int64(v)) }
+
+func appendStrFP(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
 }
 
-// Fingerprint hashes the graph's content: every instruction's rendering and
-// unit class, and every arc with its kind. Node numbering is positional, so
-// isomorphic-but-reordered bodies hash differently; the cache trades those
-// rare misses for exactness (a hit is never a false positive short of a
-// SHA-256 collision).
+func appendOperandFP(b []byte, o tac.Operand) []byte {
+	b = appendIntFP(b, int(o.Kind))
+	b = appendIntFP(b, o.Reg)
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(o.Val))
+}
+
+// Fingerprint hashes the graph's content: every instruction field that
+// affects its rendering or unit class (opcode, destination, operands,
+// relation, array, signal, distance, class), and every arc with its kind.
+// All variable-length fields are length-prefixed, so the encoding is
+// injective. Node numbering is positional, so isomorphic-but-reordered
+// bodies hash differently; the cache trades those rare misses for exactness
+// (a hit is never a false positive short of a SHA-256 collision).
 func (g *Graph) Fingerprint() Fingerprint {
-	h := sha256.New()
-	var buf [8]byte
-	writeIntTo(h, &buf, g.N())
+	w := fpPool.Get().(*fpBuf)
+	b := w.b[:0]
+	b = appendIntFP(b, g.N())
 	for _, in := range g.Prog.Instrs {
-		// The rendering covers opcode, operands, arrays, signals and
-		// distances; the class disambiguates integer- vs float-typed
-		// arithmetic, which renders identically but schedules differently.
-		fmt.Fprintf(h, "%s|%d\n", in, int(in.Class()))
+		b = appendIntFP(b, int(in.Op))
+		b = appendIntFP(b, in.Dst)
+		b = appendOperandFP(b, in.A)
+		b = appendOperandFP(b, in.B)
+		b = appendOperandFP(b, in.C)
+		b = appendIntFP(b, int(in.Rel))
+		b = appendStrFP(b, in.Array)
+		b = appendStrFP(b, in.Signal)
+		b = appendIntFP(b, in.SigDist)
+		b = appendIntFP(b, int(in.Class()))
 	}
-	writeIntTo(h, &buf, len(g.Arcs))
+	b = appendIntFP(b, len(g.Arcs))
 	for _, a := range g.Arcs {
-		writeIntTo(h, &buf, a.From)
-		writeIntTo(h, &buf, a.To)
-		writeIntTo(h, &buf, int(a.Kind))
+		b = appendIntFP(b, a.From)
+		b = appendIntFP(b, a.To)
+		b = appendIntFP(b, int(a.Kind))
 	}
-	var out Fingerprint
-	h.Sum(out[:0])
+	out := Fingerprint(sha256.Sum256(b))
+	w.b = b
+	fpPool.Put(w)
 	return out
 }
 
@@ -65,19 +90,18 @@ func ConfigKey(g *Graph, cfg dlx.Config, salt ...string) Fingerprint {
 // letting callers hash the graph once per loop and cheaply re-key it for
 // every machine configuration.
 func KeyFrom(base Fingerprint, cfg dlx.Config, salt ...string) Fingerprint {
-	h := sha256.New()
-	h.Write(base[:])
-	var buf [8]byte
-	writeIntTo(h, &buf, cfg.Issue)
+	w := fpPool.Get().(*fpBuf)
+	b := append(w.b[:0], base[:]...)
+	b = appendIntFP(b, cfg.Issue)
 	for c := 0; c < int(dlx.NumClasses); c++ {
-		writeIntTo(h, &buf, cfg.Units[c])
-		writeIntTo(h, &buf, cfg.Latency[c])
+		b = appendIntFP(b, cfg.Units[c])
+		b = appendIntFP(b, cfg.Latency[c])
 	}
 	for _, s := range salt {
-		h.Write([]byte(s))
-		h.Write([]byte{0})
+		b = appendStrFP(b, s)
 	}
-	var out Fingerprint
-	h.Sum(out[:0])
+	out := Fingerprint(sha256.Sum256(b))
+	w.b = b
+	fpPool.Put(w)
 	return out
 }

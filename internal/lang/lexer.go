@@ -231,7 +231,9 @@ func (lx *Lexer) Next() (Token, error) {
 // Tokenize returns all tokens of src, ending with TokEOF.
 func Tokenize(src string) ([]Token, error) {
 	lx := NewLexer(src)
-	var out []Token
+	// Tokens are a few characters each on average; one right-sized backing
+	// array avoids append growth on the compile hot path.
+	out := make([]Token, 0, len(src)/2+4)
 	for {
 		t, err := lx.Next()
 		if err != nil {

@@ -16,6 +16,41 @@ type ParseError = diag.Diagnostic
 type parser struct {
 	toks []Token
 	pos  int
+	// AST nodes come from pointer-stable slabs: node identity (e.g.
+	// *ArrayRef as a map key in dep and tac) needs distinct stable
+	// addresses, which fixed-capacity chunks provide without one heap
+	// object per node.
+	binarys slab[Binary]
+	refs    slab[ArrayRef]
+	scalars slab[Scalar]
+	consts  slab[Const]
+	negs    slab[Neg]
+	assigns slab[Assign]
+}
+
+// slab hands out pointer-stable T storage in fixed-capacity chunks (a
+// chunk's backing array never reallocates).
+type slab[T any] struct {
+	chunks [][]T
+}
+
+const slabChunk = 32
+
+func (s *slab[T]) alloc() *T {
+	k := len(s.chunks) - 1
+	if k < 0 || len(s.chunks[k]) == cap(s.chunks[k]) {
+		s.chunks = append(s.chunks, make([]T, 0, slabChunk))
+		k++
+	}
+	var zero T
+	s.chunks[k] = append(s.chunks[k], zero)
+	return &s.chunks[k][len(s.chunks[k])-1]
+}
+
+func (p *parser) newBinary(op BinOp, l, r Expr) *Binary {
+	b := p.binarys.alloc()
+	b.Op, b.L, b.R = op, l, r
+	return b
 }
 
 // Parse parses a single DO/DOACROSS loop from src. Statements without an
@@ -281,7 +316,9 @@ func (p *parser) parseStmt() (*Assign, error) {
 	if t := p.peek(); t.Kind != TokNewline && t.Kind != TokEOF {
 		return nil, p.errorf(t, "expected end of statement, found %s %q", t.Kind, t.Text)
 	}
-	return &Assign{Label: label, Cond: cond, LHS: lhs, RHS: rhs, Line: first.Line, Col: first.Col}, nil
+	st := p.assigns.alloc()
+	*st = Assign{Label: label, Cond: cond, LHS: lhs, RHS: rhs, Line: first.Line, Col: first.Col}
+	return st, nil
 }
 
 // parseCond parses the relational guard body: expr relop expr.
@@ -336,9 +373,13 @@ func (p *parser) parseRef() (Expr, error) {
 		if _, err := p.expect(TokRBracket); err != nil {
 			return nil, err
 		}
-		return &ArrayRef{Name: id.Text, Index: idx}, nil
+		a := p.refs.alloc()
+		a.Name, a.Index = id.Text, idx
+		return a, nil
 	}
-	return &Scalar{Name: id.Text}, nil
+	sc := p.scalars.alloc()
+	sc.Name = id.Text
+	return sc, nil
 }
 
 func (p *parser) parseExpr() (Expr, error) {
@@ -354,14 +395,14 @@ func (p *parser) parseExpr() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			left = &Binary{Op: OpAdd, L: left, R: right}
+			left = p.newBinary(OpAdd, left, right)
 		case TokMinus:
 			p.next()
 			right, err := p.parseTerm()
 			if err != nil {
 				return nil, err
 			}
-			left = &Binary{Op: OpSub, L: left, R: right}
+			left = p.newBinary(OpSub, left, right)
 		default:
 			return left, nil
 		}
@@ -381,14 +422,14 @@ func (p *parser) parseTerm() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			left = &Binary{Op: OpMul, L: left, R: right}
+			left = p.newBinary(OpMul, left, right)
 		case TokSlash:
 			p.next()
 			right, err := p.parseFactor()
 			if err != nil {
 				return nil, err
 			}
-			left = &Binary{Op: OpDiv, L: left, R: right}
+			left = p.newBinary(OpDiv, left, right)
 		default:
 			return left, nil
 		}
@@ -404,14 +445,18 @@ func (p *parser) parseFactor() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Neg{X: x}, nil
+		n := p.negs.alloc()
+		n.X = x
+		return n, nil
 	case TokNumber:
 		p.next()
 		v, err := strconv.ParseFloat(t.Text, 64)
 		if err != nil {
 			return nil, p.errorf(t, "bad number %q: %v", t.Text, err)
 		}
-		return &Const{Value: v, Text: canonicalNumber(t.Text)}, nil
+		c := p.consts.alloc()
+		c.Value, c.Text = v, canonicalNumber(t.Text)
+		return c, nil
 	case TokIdent:
 		if keywordOf(t.Text) != "" {
 			return nil, p.errorf(t, "keyword %q cannot appear in an expression", t.Text)

@@ -176,7 +176,8 @@ type Pipeline struct {
 //
 //	parse [unroll] [ifconvert] analyze [migrate] syncinsert codegen graph [verify]
 func New(opts Options) *Pipeline {
-	ps := []Pass{parsePass{}}
+	ps := make([]Pass, 0, 8)
+	ps = append(ps, parsePass{})
 	if opts.Unroll != 0 && opts.Unroll != 1 {
 		// Invalid (negative) factors still get the pass, so they fail with
 		// a positioned diagnostic instead of being silently ignored.
@@ -257,7 +258,7 @@ func (p *Pipeline) Run(ctx *Context) error {
 // the context error (the completed passes' products stay in the context).
 func (p *Pipeline) RunCtx(cctx context.Context, ctx *Context) error {
 	if ctx.Trace == nil {
-		ctx.Trace = &Trace{}
+		ctx.Trace = &Trace{Timings: make([]Timing, 0, len(p.passes))}
 	}
 	for _, pass := range p.passes {
 		if err := cctx.Err(); err != nil {

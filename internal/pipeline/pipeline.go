@@ -395,16 +395,28 @@ type schedEntry struct {
 	list, sync, best *core.Schedule
 	backend          string
 	predictedT       int
-	optimal          bool
-	lowerBound       int
-	searchNodes      int64
-	note             string
+	// predictedAtN is the trip count predictedT was computed for when the
+	// prediction is the closed-form model of a heuristic schedule (exact
+	// entries carry a backend objective and are cached per trip count).
+	// Heuristic entries are shared across trip counts, so a cache hit at a
+	// different N must re-evaluate the model rather than serve the
+	// producer's number.
+	predictedAtN int
+	optimal      bool
+	lowerBound   int
+	searchNodes  int64
+	note         string
 }
 
-// fillOutcome copies a schedule entry's backend evidence into the result.
-func (e *schedEntry) fillOutcome(mr *MachineResult) {
+// fillOutcome copies a schedule entry's backend evidence into the result,
+// re-deriving the closed-form prediction at the request's own trip count
+// when the entry was produced for a different one.
+func (e *schedEntry) fillOutcome(mr *MachineResult, n int) {
 	mr.Backend = e.backend
 	mr.PredictedT = e.predictedT
+	if e.predictedAtN != 0 && e.predictedAtN != n && e.sync != nil {
+		mr.PredictedT = model.Predict(e.sync, n)
+	}
 	mr.Optimal = e.optimal
 	mr.LowerBound = e.lowerBound
 	mr.SearchNodes = e.searchNodes
@@ -475,10 +487,14 @@ func RunContext(ctx context.Context, reqs []Request, opt Options) (*Batch, error
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scheduler scratch per worker: scheduling cache misses reuse
+			// its buffers across requests (results are cloned before they are
+			// published, so entries never alias scratch storage).
+			sc := core.NewScratch()
 			for i := range jobs {
 				metrics.QueueAdd(-1)
 				metrics.WorkerStart()
-				batch.Loops[i] = runOne(ctx, i, reqs[i], machines, opt, metrics, bspan)
+				batch.Loops[i] = runOne(ctx, i, reqs[i], machines, opt, sc, metrics, bspan)
 				metrics.WorkerDone()
 			}
 		}()
@@ -568,11 +584,16 @@ func (r Request) validate(idx int) *diag.Diagnostic {
 	return nil
 }
 
-// runOne pushes one request through compile → schedule → simulate.
-func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, opt Options, metrics *Metrics, bspan obs.Span) (res LoopResult) {
+// runOne pushes one request through compile → schedule → simulate. sc is the
+// calling worker's reusable scheduler scratch (never shared across
+// goroutines).
+func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, opt Options, sc *core.Scratch, metrics *Metrics, bspan obs.Span) (res LoopResult) {
 	res = LoopResult{Index: idx, Name: req.name(idx), N: req.N}
 	rspan := opt.Observer.Start(obs.KindRequest, res.Name, bspan)
 	defer func() {
+		if opt.Observer == nil {
+			return
+		}
 		opt.Observer.End(&rspan, res.Err, obs.I("index", int64(idx)))
 	}()
 	// Last line of defense: a panic that escapes the per-stage recovery
@@ -635,6 +656,9 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 	cspan := opt.Observer.Start(obs.KindStage, stageCompile, rspan)
 	compileCached := false
 	endCompile := func(err error) {
+		if opt.Observer == nil {
+			return
+		}
 		opt.Observer.End(&cspan, err, obs.B("cache_hit", compileCached))
 	}
 	if useCache {
@@ -707,6 +731,9 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 	fp := res.Graph.Fingerprint()
 	salt := opt.salt()
 	exSalt := opt.exactSalt(res.N)
+	// The trip-count/window salt of the time cache is constant per request;
+	// format it once instead of per machine.
+	nwSalt := fmt.Sprintf("n=%d w=%d", res.N, opt.Window)
 	res.Machines = make([]MachineResult, len(machines))
 	for k, cfg := range machines {
 		if ctx.Err() != nil {
@@ -724,6 +751,9 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 		// Schedule, through the cache when one is attached.
 		sspan := opt.Observer.Start(obs.KindStage, StageSchedule, rspan)
 		endSched := func(err error) {
+			if opt.Observer == nil {
+				return
+			}
 			opt.Observer.End(&sspan, err, obs.S("machine", cfg.Name),
 				obs.B("cache_hit", mr.CacheHit), obs.B("degraded", mr.Degraded))
 		}
@@ -746,10 +776,13 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 					if err := probe(StageSchedule); err != nil {
 						return err
 					}
-					var err error
-					if e.list, err = core.List(res.Graph, cfg, opt.Baseline); err != nil {
+					lst, err := sc.List(res.Graph, cfg, opt.Baseline)
+					if err != nil {
 						return err
 					}
+					// Clone: the entry may be cached and outlive the worker's
+					// scratch, whose buffers the next call recycles.
+					e.list = lst.Clone()
 					// The synchronization-aware slot is served by the
 					// configured backend (the paper's heuristic by default,
 					// resolved through the Scheduler seam).
@@ -757,21 +790,33 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 					if err != nil {
 						return err
 					}
-					out, err := sched.Schedule(res.Graph, cfg)
-					if err != nil {
-						return err
+					if ss, ok := sched.(core.ScratchScheduler); ok {
+						// Heuristic backends schedule into the worker scratch;
+						// only the surviving schedule is materialized.
+						s, err := ss.ScheduleScratch(sc, res.Graph, cfg)
+						if err != nil {
+							return err
+						}
+						e.sync = s.Clone()
+						e.backend = sched.Name()
+					} else {
+						out, err := sched.Schedule(res.Graph, cfg)
+						if err != nil {
+							return err
+						}
+						e.sync = out.Schedule
+						e.backend = sched.Name()
+						e.predictedT = out.T
+						e.optimal = out.Optimal
+						e.lowerBound = out.LowerBound
+						e.searchNodes = out.Nodes
+						e.note = out.Note
 					}
-					e.sync = out.Schedule
-					e.backend = sched.Name()
-					e.predictedT = out.T
-					e.optimal = out.Optimal
-					e.lowerBound = out.LowerBound
-					e.searchNodes = out.Nodes
-					e.note = out.Note
 					if e.predictedT == 0 && e.sync != nil {
 						// Heuristic backends attach no objective; report the
 						// closed-form prediction for the served schedule.
 						e.predictedT = model.Predict(e.sync, res.N)
+						e.predictedAtN = res.N
 					}
 					// Post-hoc verification of the synchronization-aware
 					// schedule: a scheduler bug degrades the answer, it does
@@ -780,9 +825,11 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 						return fmt.Errorf("%s schedule failed validation: %w", e.backend, err)
 					}
 					if opt.Best {
-						if e.best, err = core.Best(res.Graph, cfg); err != nil {
+						b, err := sc.Best(res.Graph, cfg)
+						if err != nil {
 							return err
 						}
+						e.best = b.Clone()
 					}
 					return nil
 				})
@@ -815,7 +862,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 			}
 		}
 		mr.List, mr.Sync, mr.Best = entry.list, entry.sync, entry.best
-		entry.fillOutcome(mr)
+		entry.fillOutcome(mr, res.N)
 		endSched(nil)
 
 		// Independent verification of every freshly built schedule —
@@ -831,6 +878,9 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 		if fresh {
 			vspan := opt.Observer.Start(obs.KindStage, StageVerify, rspan)
 			endVerify := func(err error) {
+				if opt.Observer == nil {
+					return
+				}
 				opt.Observer.End(&vspan, err, obs.S("machine", cfg.Name),
 					obs.B("degraded", mr.Degraded))
 			}
@@ -885,7 +935,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 				}
 			}
 			mr.List, mr.Sync, mr.Best = entry.list, entry.sync, entry.best
-			entry.fillOutcome(mr)
+			entry.fillOutcome(mr, res.N)
 			endVerify(nil)
 		}
 
@@ -900,7 +950,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 		mspan := opt.Observer.Start(obs.KindStage, StageSimulate, rspan)
 		var times *timeEntry
 		timeCached := false
-		timeKey := dfg.KeyFrom(fp, cfg, "time", salt, fmt.Sprintf("n=%d w=%d", res.N, opt.Window), exSalt)
+		timeKey := dfg.KeyFrom(fp, cfg, "time", salt, nwSalt, exSalt)
 		// Timings of schedules that may not be cached (non-optimal exact
 		// results, which depend on the search budget) stay out of the time
 		// cache too — the budget is not part of the key.
@@ -974,7 +1024,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 					entry.best = fb
 				}
 				mr.List, mr.Sync, mr.Best = entry.list, entry.sync, entry.best
-				entry.fillOutcome(mr)
+				entry.fillOutcome(mr, res.N)
 				mr.Degraded = true
 				mr.CacheHit = false // the cached schedules were replaced by the fallback
 				mr.DegradedReason = err.Error()
@@ -1033,8 +1083,13 @@ func arcSplit(s *core.Schedule) (lbd, lfd int) {
 }
 
 // endSim finishes a simulate-stage span with the paper-level attributes of
-// the served result (times may be nil when the stage failed outright).
+// the served result (times may be nil when the stage failed outright). On a
+// nil recorder it returns before building any attributes — the happy path of
+// an unobserved batch allocates nothing here.
 func endSim(sp obs.Span, err error, mr *MachineResult, times *timeEntry, cached bool, rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
 	attrs := []obs.Attr{
 		obs.S("machine", mr.Machine),
 		obs.B("cache_hit", cached),

@@ -169,106 +169,15 @@ func (m *rowMeta) checkWindow(window int) error {
 	return nil
 }
 
-// Time computes the parallel execution time with the recurrence model.
+// Time computes the parallel execution time with the recurrence model. Its
+// working state (the schedule's synchronization structure in interned CSR
+// form plus the iteration ring) is pooled, so steady-state calls allocate
+// only the returned per-iteration timing slices.
 func Time(s *core.Schedule, opt Options) (Timing, error) {
-	m, err := newRowMeta(s)
-	if err != nil {
-		return Timing{}, err
-	}
-	if err := m.checkWindow(opt.Window); err != nil {
-		return Timing{}, err
-	}
-	n := opt.N()
-	t := Timing{IterIssue: make([]int, n), IterDone: make([]int, n)}
-	if n == 0 || m.length == 0 {
-		return t, nil
-	}
-	procs := opt.procs()
-	// issue[i][r] would be O(n·L) memory; we only need row times of the last
-	// few iterations: back to the maximum wait distance, the processor-reuse
-	// distance, and the signal window. Keep a ring of that depth.
-	depth := m.maxDist
-	if procs < n && procs > depth {
-		depth = procs
-	}
-	if opt.Window > depth {
-		depth = opt.Window
-	}
-	ring := make([][]int, depth+1) // ring[i % (depth+1)] = issue times of iteration i
-	for i := range ring {
-		ring[i] = make([]int, m.length)
-	}
-	for idx := 0; idx < n; idx++ {
-		iter := opt.Lo + idx
-		issue := ring[idx%(depth+1)]
-		start := 0
-		if idx >= procs {
-			// Processor reuse: the previous iteration on this processor must
-			// have issued its last row.
-			prev := ring[(idx-procs)%(depth+1)]
-			start = prev[m.length-1] + 1
-		}
-		for r := 0; r < m.length; r++ {
-			earliest := start
-			if r > 0 {
-				earliest = issue[r-1] + 1
-			}
-			unconstrained := earliest
-			for _, w := range m.waits[r] {
-				srcIdx := idx - w.SigDist
-				if iter-w.SigDist < opt.Lo {
-					continue // no earlier iteration to wait for
-				}
-				if srcIdx < 0 {
-					continue
-				}
-				sendT := ring[srcIdx%(depth+1)][m.sendRow[w.Signal]]
-				if sendT+1 > earliest {
-					earliest = sendT + 1
-				}
-			}
-			// Bounded signal window: iteration idx's send reuses the slot of
-			// iteration idx-Window; every wait that consumes that old signal
-			// must have issued first.
-			if opt.Window > 0 && idx-opt.Window >= 0 {
-				for _, sig := range m.sends[r] {
-					for _, c := range m.consume[sig] {
-						cIdx := idx - opt.Window + c.dist
-						if cIdx < 0 {
-							continue
-						}
-						var ct int
-						if cIdx == idx {
-							// Same iteration: consumer row precedes this row
-							// (validated by checkWindow); its issue time is
-							// already recorded in this iteration's slots.
-							ct = issue[c.row]
-						} else {
-							ct = ring[cIdx%(depth+1)][c.row]
-						}
-						if ct+1 > earliest {
-							earliest = ct + 1
-						}
-					}
-				}
-			}
-			t.StallCycles += earliest - unconstrained
-			t.SignalsSent += len(m.sends[r])
-			issue[r] = earliest
-		}
-		t.IterIssue[idx] = issue[0]
-		done := 0
-		for r := 0; r < m.length; r++ {
-			if fin := issue[r] + m.rowLat[r]; fin > done {
-				done = fin
-			}
-		}
-		t.IterDone[idx] = done
-		if done > t.Total {
-			t.Total = done
-		}
-	}
-	return t, nil
+	sc := timePool.Get().(*timeScratch)
+	t, err := sc.run(s, opt)
+	timePool.Put(sc)
+	return t, err
 }
 
 // MustTime is Time for known-good inputs.
@@ -346,19 +255,17 @@ func Run(s *core.Schedule, st *lang.Store, opt Options) (Timing, error) {
 	if derived {
 		budget = (n+1)*(m.length+8)*4 + 1024
 	}
-	blockedIters := func() []int {
-		var out []int
-		for _, p := range ps {
-			if p.idx >= 0 {
-				out = append(out, opt.Lo+p.idx)
-			}
-		}
-		return out
-	}
 	remaining := n
 	for cycle := 0; remaining > 0; cycle++ {
 		if cycle > budget {
-			blocked := blockedIters()
+			// Error path only: the blocked-iteration set is built lazily here
+			// so the happy path constructs nothing.
+			var blocked []int
+			for _, p := range ps {
+				if p.idx >= 0 {
+					blocked = append(blocked, opt.Lo+p.idx)
+				}
+			}
 			if derived {
 				return Timing{}, fmt.Errorf("sim: deadlock at cycle %d (%d iterations unfinished; blocked iterations %v)",
 					cycle, remaining, blocked)

@@ -82,20 +82,27 @@ type Options struct {
 // same loop object.
 func Insert(a *dep.Analysis, opts Options) *Loop {
 	loop := a.Loop
+	prePost := make([][]Op, 2*len(loop.Body))
 	out := &Loop{
 		Base:     loop,
 		Analysis: a,
-		Pre:      make([][]Op, len(loop.Body)),
-		Post:     make([][]Op, len(loop.Body)),
+		Pre:      prePost[:len(loop.Body)],
+		Post:     prePost[len(loop.Body):],
 	}
-	sentFrom := map[int]bool{} // source statement index -> send inserted
+	sentFrom := make([]bool, len(loop.Body)) // source statement index -> send inserted
 	type waitKey struct {
 		snk, src, d int
 	}
-	waited := map[waitKey]bool{}
-	for _, d := range a.Carried() {
+	var waited map[waitKey]bool
+	for _, d := range a.Deps {
+		if !d.Carried() {
+			continue
+		}
 		if opts.FlowOnly && d.Kind != dep.Flow {
 			continue
+		}
+		if out.Synced == nil {
+			out.Synced = make([]dep.Dependence, 0, len(a.Deps))
 		}
 		out.Synced = append(out.Synced, d)
 		srcStmt := d.Src.Stmt
@@ -106,6 +113,9 @@ func Insert(a *dep.Analysis, opts Options) *Loop {
 		}
 		wk := waitKey{snk: d.Snk.Stmt, src: srcStmt, d: d.Distance}
 		if !waited[wk] {
+			if waited == nil {
+				waited = make(map[waitKey]bool, 8)
+			}
 			waited[wk] = true
 			out.Pre[d.Snk.Stmt] = append(out.Pre[d.Snk.Stmt], Op{
 				Kind: Wait, Src: srcLabel, Distance: d.Distance, Dep: d,

@@ -37,37 +37,81 @@ type Program struct {
 	MergeLoad map[*lang.ArrayRef]*Instr
 }
 
+// instrArena hands out pointer-stable Instr storage in fixed-capacity
+// chunks: a chunk's backing array never reallocates, so the *Instr pointers
+// threaded through Program's maps and the DFG stay valid while the bulk of
+// the instruction stream lives in a handful of contiguous blocks instead of
+// one heap object per instruction.
+type instrArena struct {
+	chunks [][]Instr
+}
+
+const instrArenaChunk = 64
+
+func (a *instrArena) alloc() *Instr {
+	k := len(a.chunks) - 1
+	if k < 0 || len(a.chunks[k]) == cap(a.chunks[k]) {
+		a.chunks = append(a.chunks, make([]Instr, 0, instrArenaChunk))
+		k++
+	}
+	a.chunks[k] = append(a.chunks[k], Instr{})
+	return &a.chunks[k][len(a.chunks[k])-1]
+}
+
+// affineKey is the CSE key of a pure subscript: AffineIndex proves the
+// subscript evaluates to coef*I + off, so the coefficient pair identifies its
+// value without stringifying the expression.
+type affineKey struct {
+	coef, off int
+}
+
+// binOpcode maps source binary operators to opcodes (a switch rather than a
+// map literal: genIndex/genValue run per expression node on the compile hot
+// path).
+func binOpcode(op lang.BinOp) Opcode {
+	switch op {
+	case lang.OpAdd:
+		return Add
+	case lang.OpSub:
+		return Sub
+	case lang.OpMul:
+		return Mul
+	default:
+		return Div
+	}
+}
+
 // generator lowers one loop.
 type generator struct {
 	prog     *Program
+	arena    instrArena
 	iv       string
 	nextTemp int
-	// addrCSE caches scaled-address temps by canonical subscript key within
-	// the iteration.
-	addrCSE map[string]int
+	// addrCSE caches scaled-address temps of pure subscripts within the
+	// iteration.
+	addrCSE map[affineKey]int
 	// idxCSE caches unscaled index temps.
-	idxCSE map[string]int
+	idxCSE map[affineKey]int
 	stmt   int
 }
 
 // Generate compiles the synchronized loop to three-address code.
 func Generate(sl *syncop.Loop) (*Program, error) {
+	// Maps are initialized on first write (nil-map reads are free): simple
+	// loops without conditionals or scalars never pay for the ones they
+	// don't use.
 	g := &generator{
 		prog: &Program{
-			Sync:        sl,
-			ArrayInstr:  map[*lang.ArrayRef]*Instr{},
-			ScalarInstr: map[ScalarKey]*Instr{},
-			MergeLoad:   map[*lang.ArrayRef]*Instr{},
+			Sync:   sl,
+			Instrs: make([]*Instr, 0, instrArenaChunk),
 		},
-		iv:      sl.Base.Var,
-		addrCSE: map[string]int{},
-		idxCSE:  map[string]int{},
-		stmt:    -1,
+		iv:   sl.Base.Var,
+		stmt: -1,
 	}
 	for k, st := range sl.Base.Body {
 		g.stmt = k
 		for _, op := range sl.Pre[k] {
-			g.emit(&Instr{Op: Wait, Signal: op.Src, SigDist: op.Distance})
+			g.emit(Instr{Op: Wait, Signal: op.Src, SigDist: op.Distance})
 		}
 		if err := g.genAssign(st); err != nil {
 			// Attribute the failure to the statement's source position; the
@@ -78,7 +122,7 @@ func Generate(sl *syncop.Loop) (*Program, error) {
 			return nil, diag.Errorf("tac", st.Pos(), "%v", err).WithStmt(st.Label)
 		}
 		for _, op := range sl.Post[k] {
-			g.emit(&Instr{Op: Send, Signal: op.Src})
+			g.emit(Instr{Op: Send, Signal: op.Src})
 		}
 	}
 	g.prog.NumTemps = g.nextTemp
@@ -94,11 +138,29 @@ func MustGenerate(sl *syncop.Loop) *Program {
 	return p
 }
 
-func (g *generator) emit(in *Instr) *Instr {
-	in.ID = len(g.prog.Instrs) + 1
-	in.Stmt = g.stmt
-	g.prog.Instrs = append(g.prog.Instrs, in)
-	return in
+func (g *generator) emit(in Instr) *Instr {
+	p := g.arena.alloc()
+	*p = in
+	p.ID = len(g.prog.Instrs) + 1
+	p.Stmt = g.stmt
+	g.prog.Instrs = append(g.prog.Instrs, p)
+	return p
+}
+
+func (g *generator) setArrayInstr(ref *lang.ArrayRef, in *Instr) {
+	if g.prog.ArrayInstr == nil {
+		// Sized for the common loop body up front — incremental map growth
+		// costs several allocations on the compile hot path.
+		g.prog.ArrayInstr = make(map[*lang.ArrayRef]*Instr, 16)
+	}
+	g.prog.ArrayInstr[ref] = in
+}
+
+func (g *generator) setScalarInstr(key ScalarKey, in *Instr) {
+	if g.prog.ScalarInstr == nil {
+		g.prog.ScalarInstr = map[ScalarKey]*Instr{}
+	}
+	g.prog.ScalarInstr[key] = in
 }
 
 func (g *generator) temp() int {
@@ -120,7 +182,10 @@ func (g *generator) genAssign(st *lang.Assign) error {
 		var oldv Operand
 		if st.Cond != nil {
 			t := g.temp()
-			in := g.emit(&Instr{Op: Load, Dst: t, Array: lhs.Name, A: TempOp(addr)})
+			in := g.emit(Instr{Op: Load, Dst: t, Array: lhs.Name, A: TempOp(addr)})
+			if g.prog.MergeLoad == nil {
+				g.prog.MergeLoad = map[*lang.ArrayRef]*Instr{}
+			}
 			g.prog.MergeLoad[lhs] = in
 			oldv = TempOp(t)
 		}
@@ -134,8 +199,8 @@ func (g *generator) genAssign(st *lang.Assign) error {
 				return err
 			}
 		}
-		in := g.emit(&Instr{Op: Store, Array: lhs.Name, A: TempOp(addr), B: val})
-		g.prog.ArrayInstr[lhs] = in
+		in := g.emit(Instr{Op: Store, Array: lhs.Name, A: TempOp(addr), B: val})
+		g.setArrayInstr(lhs, in)
 		return nil
 	case *lang.Scalar:
 		var oldv Operand
@@ -153,8 +218,8 @@ func (g *generator) genAssign(st *lang.Assign) error {
 				return err
 			}
 		}
-		in := g.emit(&Instr{Op: StoreS, Array: lhs.Name, B: val})
-		g.prog.ScalarInstr[ScalarKey{Stmt: g.stmt, Name: lhs.Name, Write: true}] = in
+		in := g.emit(Instr{Op: StoreS, Array: lhs.Name, B: val})
+		g.setScalarInstr(ScalarKey{Stmt: g.stmt, Name: lhs.Name, Write: true}, in)
 		return nil
 	}
 	return fmt.Errorf("unsupported assignment target %T", st.LHS)
@@ -171,9 +236,9 @@ func (g *generator) genSelect(c *lang.Cond, newv, oldv Operand) (Operand, error)
 		return Operand{}, err
 	}
 	ct := g.temp()
-	g.emit(&Instr{Op: Cmp, Dst: ct, A: l, B: r, Rel: c.Op})
+	g.emit(Instr{Op: Cmp, Dst: ct, A: l, B: r, Rel: c.Op})
 	st := g.temp()
-	g.emit(&Instr{Op: Select, Dst: st, A: newv, B: oldv, C: TempOp(ct)})
+	g.emit(Instr{Op: Select, Dst: st, A: newv, B: oldv, C: TempOp(ct)})
 	return TempOp(st), nil
 }
 
@@ -183,8 +248,8 @@ func (g *generator) genAddress(idx lang.Expr) (int, error) {
 	// Cross-statement reuse is only safe for subscripts that are pure
 	// functions of the induction variable; anything touching a mutable
 	// scalar or array must be recomputed.
-	_, _, pure := lang.AffineIndex(idx, g.iv)
-	key := idx.String()
+	coef, off, pure := lang.AffineIndex(idx, g.iv)
+	key := affineKey{coef, off}
 	if pure {
 		if t, ok := g.addrCSE[key]; ok {
 			return t, nil
@@ -195,8 +260,11 @@ func (g *generator) genAddress(idx lang.Expr) (int, error) {
 		return 0, err
 	}
 	t := g.temp()
-	g.emit(&Instr{Op: Shl, Dst: t, A: it, IntegerTyped: true})
+	g.emit(Instr{Op: Shl, Dst: t, A: it, IntegerTyped: true})
 	if pure {
+		if g.addrCSE == nil {
+			g.addrCSE = map[affineKey]int{}
+		}
 		g.addrCSE[key] = t
 	}
 	return t, nil
@@ -221,7 +289,7 @@ func (g *generator) genIndex(e lang.Expr) (Operand, error) {
 			return Operand{}, err
 		}
 		t := g.temp()
-		g.emit(&Instr{Op: Sub, Dst: t, A: ConstOp(0), B: x, IntegerTyped: true})
+		g.emit(Instr{Op: Sub, Dst: t, A: ConstOp(0), B: x, IntegerTyped: true})
 		return TempOp(t), nil
 	case *lang.ArrayRef:
 		// Indirect subscript (A[X[I]]): load the index element.
@@ -230,12 +298,12 @@ func (g *generator) genIndex(e lang.Expr) (Operand, error) {
 			return Operand{}, err
 		}
 		t := g.temp()
-		in := g.emit(&Instr{Op: Load, Dst: t, Array: v.Name, A: TempOp(addr)})
-		g.prog.ArrayInstr[v] = in
+		in := g.emit(Instr{Op: Load, Dst: t, Array: v.Name, A: TempOp(addr)})
+		g.setArrayInstr(v, in)
 		return TempOp(t), nil
 	case *lang.Binary:
-		_, _, pure := lang.AffineIndex(e, g.iv)
-		key := "i:" + e.String()
+		coef, off, pure := lang.AffineIndex(e, g.iv)
+		key := affineKey{coef, off}
 		if pure {
 			if t, ok := g.idxCSE[key]; ok {
 				return TempOp(t), nil
@@ -250,9 +318,12 @@ func (g *generator) genIndex(e lang.Expr) (Operand, error) {
 			return Operand{}, err
 		}
 		t := g.temp()
-		op := map[lang.BinOp]Opcode{lang.OpAdd: Add, lang.OpSub: Sub, lang.OpMul: Mul, lang.OpDiv: Div}[v.Op]
-		g.emit(&Instr{Op: op, Dst: t, A: a, B: b, IntegerTyped: op == Add || op == Sub})
+		op := binOpcode(v.Op)
+		g.emit(Instr{Op: op, Dst: t, A: a, B: b, IntegerTyped: op == Add || op == Sub})
 		if pure {
+			if g.idxCSE == nil {
+				g.idxCSE = map[affineKey]int{}
+			}
 			g.idxCSE[key] = t
 		}
 		return TempOp(t), nil
@@ -276,8 +347,8 @@ func (g *generator) genValue(e lang.Expr) (Operand, error) {
 			return Operand{}, err
 		}
 		t := g.temp()
-		in := g.emit(&Instr{Op: Load, Dst: t, Array: v.Name, A: TempOp(addr)})
-		g.prog.ArrayInstr[v] = in
+		in := g.emit(Instr{Op: Load, Dst: t, Array: v.Name, A: TempOp(addr)})
+		g.setArrayInstr(v, in)
 		return TempOp(t), nil
 	case *lang.Neg:
 		x, err := g.genValue(v.X)
@@ -285,7 +356,7 @@ func (g *generator) genValue(e lang.Expr) (Operand, error) {
 			return Operand{}, err
 		}
 		t := g.temp()
-		g.emit(&Instr{Op: Sub, Dst: t, A: ConstOp(0), B: x})
+		g.emit(Instr{Op: Sub, Dst: t, A: ConstOp(0), B: x})
 		return TempOp(t), nil
 	case *lang.Binary:
 		a, err := g.genValue(v.L)
@@ -297,8 +368,8 @@ func (g *generator) genValue(e lang.Expr) (Operand, error) {
 			return Operand{}, err
 		}
 		t := g.temp()
-		op := map[lang.BinOp]Opcode{lang.OpAdd: Add, lang.OpSub: Sub, lang.OpMul: Mul, lang.OpDiv: Div}[v.Op]
-		g.emit(&Instr{Op: op, Dst: t, A: a, B: b})
+		op := binOpcode(v.Op)
+		g.emit(Instr{Op: op, Dst: t, A: a, B: b})
 		return TempOp(t), nil
 	}
 	return Operand{}, fmt.Errorf("unsupported expression %T", e)
@@ -314,8 +385,8 @@ func (g *generator) scalarLoad(name string) int {
 		return in.Dst
 	}
 	t := g.temp()
-	in := g.emit(&Instr{Op: LoadS, Dst: t, Array: name})
-	g.prog.ScalarInstr[key] = in
+	in := g.emit(Instr{Op: LoadS, Dst: t, Array: name})
+	g.setScalarInstr(key, in)
 	return t
 }
 

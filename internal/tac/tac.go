@@ -181,17 +181,23 @@ func (in *Instr) Class() dlx.Class {
 
 // Uses returns the temps read by the instruction.
 func (in *Instr) Uses() []int {
-	var out []int
+	return in.AppendUses(nil)
+}
+
+// AppendUses appends the temps read by the instruction to dst and returns
+// the extended slice. With a caller-provided buffer (at most 3 entries are
+// ever appended) it does not allocate — the hot-path form of Uses.
+func (in *Instr) AppendUses(dst []int) []int {
 	if in.A.Kind == Temp {
-		out = append(out, in.A.Reg)
+		dst = append(dst, in.A.Reg)
 	}
 	if in.B.Kind == Temp {
-		out = append(out, in.B.Reg)
+		dst = append(dst, in.B.Reg)
 	}
 	if in.C.Kind == Temp {
-		out = append(out, in.C.Reg)
+		dst = append(dst, in.C.Reg)
 	}
-	return out
+	return dst
 }
 
 // IsSync reports whether the instruction is a synchronization operation.
