@@ -1,0 +1,95 @@
+// Command scheduld is the scheduling daemon: the batch pipeline served as
+// a long-running HTTP/JSON service with request coalescing, admission
+// control, load shedding and a crash-safe persistent cache tier.
+//
+// Usage:
+//
+//	scheduld -addr :8080                    # serve on :8080
+//	scheduld -disk /var/lib/scheduld        # persistent tier: restarts come up warm
+//	scheduld -rate 50 -burst 100            # per-tenant token bucket (X-Tenant header)
+//	scheduld -inflight 8 -queue 32          # admission bound + bounded queue
+//	scheduld -breaker-threshold 5 -breaker-cooldown 30s
+//	scheduld -request-timeout 30s -drain 10s
+//	scheduld -backend exact -j 4 -n 100
+//
+// Endpoints: POST /v1/schedule, GET /healthz, /metrics, /stats. On SIGTERM
+// (or SIGINT) the daemon drains: admitted requests finish within -drain,
+// new ones are shed with 503 + Retry-After, the disk tier is flushed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"doacross/internal/passes"
+	"doacross/internal/pipeline"
+	"doacross/internal/server"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+	disk := flag.String("disk", "", "directory of the crash-safe persistent cache tier (\"\" = off)")
+	cacheCap := flag.Int("cache", 0, "in-memory cache capacity in entries (0 = unbounded)")
+	rate := flag.Float64("rate", 0, "per-tenant token-bucket refill rate in requests/s (0 = no rate limit)")
+	burst := flag.Float64("burst", 0, "token-bucket capacity (0 = max(1, rate))")
+	inflight := flag.Int("inflight", 0, "max concurrently served requests (0 = 2*GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max requests waiting for admission (0 = 4*inflight, negative = none)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive backend failures that open its circuit (0 = 5, negative = off)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-circuit cooldown before a probe (0 = 30s)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline, queue wait included (0 = 30s, negative = none)")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown drain budget for admitted requests")
+	backend := flag.String("backend", "", "default scheduling backend: "+strings.Join(passes.BackendNames(), ", ")+" (default sync)")
+	jobs := flag.Int("j", 0, "pipeline workers per flight (0 = GOMAXPROCS)")
+	n := flag.Int("n", 0, "default trip count (0 = 100, the paper's)")
+	flag.Parse()
+
+	popt := pipeline.Options{Workers: *jobs, N: *n}
+	popt.Compile.Backend = *backend
+	srv, err := server.New(server.Config{
+		Pipeline:         popt,
+		CacheCap:         *cacheCap,
+		DiskDir:          *disk,
+		MaxInFlight:      *inflight,
+		QueueLimit:       *queue,
+		RatePerSec:       *rate,
+		Burst:            *burst,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		RequestTimeout:   *requestTimeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scheduld: %v\n", err)
+		return 1
+	}
+	if *disk != "" {
+		fmt.Fprintf(os.Stderr, "scheduld: disk tier %s: %s\n", *disk, srv.LoadStats())
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scheduld: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "scheduld: serving on http://%s (/v1/schedule /healthz /metrics /stats)\n", bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Fprintf(os.Stderr, "scheduld: draining (up to %v)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "scheduld: shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "scheduld: drained cleanly")
+	return 0
+}

@@ -5,6 +5,7 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -174,10 +175,15 @@ func (f *Flags) Observability(metrics *pipeline.Metrics, w io.Writer) (*Observab
 	return o, nil
 }
 
+// shutdownGrace bounds how long Close waits for in-flight admin requests
+// (a /metrics scrape, a /trace download) before closing hard.
+const shutdownGrace = 5 * time.Second
+
 // Finish completes the observability side after the batch ran: it writes
 // the -trace-out file if requested, and with -serve it keeps the admin
-// surface up until SIGINT/SIGTERM so the finished run can still be scraped
-// and its trace downloaded.
+// surface up until SIGINT or SIGTERM so the finished run can still be
+// scraped and its trace downloaded. On either signal the server is drained
+// gracefully (see Close) instead of exiting mid-scrape.
 func (o *Observability) Finish() error {
 	if o.flags.TraceOut != "" && o.Recorder != nil {
 		fh, err := os.Create(o.flags.TraceOut)
@@ -203,10 +209,15 @@ func (o *Observability) Finish() error {
 	return nil
 }
 
-// Close tears the admin server down (safe on every Observability).
+// Close tears the admin server down (safe on every Observability): requests
+// already being served get shutdownGrace to finish — a SIGTERM during a
+// Prometheus scrape must not truncate the exposition mid-body — and only
+// then are stragglers closed hard.
 func (o *Observability) Close() {
 	if o.Server != nil {
-		_ = o.Server.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		_ = o.Server.Shutdown(ctx)
 	}
 }
 

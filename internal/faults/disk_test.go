@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDiskKindGating: the disk-io kinds only fire at the disk tier's probe
+// points — a short write has no meaning on a read and vice versa — and
+// NetDelay only at the daemon's network probe.
+func TestDiskKindGating(t *testing.T) {
+	stages := []string{StageCompile, StageSchedule, StageDiskWrite, StageDiskRead, StageNet}
+	allowed := map[Kind]map[string]bool{
+		DiskFail:       {StageDiskWrite: true, StageDiskRead: true},
+		DiskShortWrite: {StageDiskWrite: true},
+		DiskCorrupt:    {StageDiskRead: true},
+		NetDelay:       {StageNet: true},
+	}
+	in := MustNew(Plan{DiskFail: 0.2, DiskShortWrite: 0.2, DiskCorrupt: 0.2, NetDelay: 0.2})
+	fired := map[Kind]int{}
+	for i := 0; i < 400; i++ {
+		name := fmt.Sprintf("loop%d", i)
+		for _, stage := range stages {
+			k, ok := in.Decide(stage, name)
+			if !ok {
+				continue
+			}
+			if !allowed[k][stage] {
+				t.Fatalf("%v fired at %s", k, stage)
+			}
+			fired[k]++
+		}
+	}
+	for k := range allowed {
+		if fired[k] == 0 {
+			t.Errorf("%v never fired where it is allowed", k)
+		}
+	}
+}
+
+// TestDiskFaultKind pins the behavioral contract the disk store asserts
+// structurally (it matches on the returned strings without importing this
+// package).
+func TestDiskFaultKind(t *testing.T) {
+	want := map[Kind]string{
+		DiskFail:       "fail",
+		DiskShortWrite: "short-write",
+		DiskCorrupt:    "corrupt-read",
+		Error:          "",
+		NetDelay:       "",
+	}
+	for k, s := range want {
+		if got := (&Injected{Kind: k}).DiskFaultKind(); got != s {
+			t.Errorf("Injected{%v}.DiskFaultKind() = %q, want %q", k, got, s)
+		}
+	}
+}
+
+// TestDiskProbes: DiskFail probes return an *Injected carrying the kind
+// (the store turns it into a failed operation); short-write and corrupt
+// probes return one too, which the store interprets as behavior rather
+// than failure. Every firing is counted.
+func TestDiskProbes(t *testing.T) {
+	in := MustNew(Plan{DiskFail: 1})
+	err := in.Probe(StageDiskWrite, "aabbccdd")
+	inj, ok := IsInjected(err)
+	if !ok {
+		t.Fatalf("Probe returned %v, want *Injected", err)
+	}
+	if inj.Kind != DiskFail || inj.DiskFaultKind() != "fail" {
+		t.Errorf("injected = %+v", inj)
+	}
+	if !strings.Contains(err.Error(), "disk") {
+		t.Errorf("error text = %q", err)
+	}
+	if c := in.Counts(); c.DiskFails != 1 || c.Total() != 1 {
+		t.Errorf("counts = %s", c)
+	}
+
+	sw := MustNew(Plan{DiskShortWrite: 1})
+	if inj, ok := IsInjected(sw.Probe(StageDiskWrite, "x")); !ok || inj.DiskFaultKind() != "short-write" {
+		t.Errorf("short-write probe = %v", inj)
+	}
+	if sw.Probe(StageDiskRead, "x") != nil {
+		t.Error("short-write fired at disk-read")
+	}
+	if c := sw.Counts(); c.DiskShortWrites != 1 {
+		t.Errorf("counts = %s", c)
+	}
+
+	cr := MustNew(Plan{DiskCorrupt: 1})
+	if inj, ok := IsInjected(cr.Probe(StageDiskRead, "x")); !ok || inj.DiskFaultKind() != "corrupt-read" {
+		t.Errorf("corrupt-read probe = %v", inj)
+	}
+	if c := cr.Counts(); c.DiskCorrupts != 1 {
+		t.Errorf("counts = %s", c)
+	}
+}
+
+// TestNetDelayProbe: NetDelay behaves like Delay — the probe sleeps and
+// returns nil (the request is served slow, not failed).
+func TestNetDelayProbe(t *testing.T) {
+	in := MustNew(Plan{NetDelay: 1, DelayFor: 5 * time.Millisecond})
+	start := time.Now()
+	if err := in.Probe(StageNet, "loop0"); err != nil {
+		t.Errorf("NetDelay probe returned %v", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Errorf("NetDelay probe slept %v, want >= 5ms", d)
+	}
+	if c := in.Counts(); c.NetDelays != 1 {
+		t.Errorf("counts = %s", c)
+	}
+}
+
+// TestDiskKindsWrapped: wrapped disk faults keep their behavioral kind
+// through errors.As, which is how the store sees them.
+func TestDiskKindsWrapped(t *testing.T) {
+	in := MustNew(Plan{DiskCorrupt: 1})
+	wrapped := fmt.Errorf("store: %w", in.Probe(StageDiskRead, "k"))
+	var df interface{ DiskFaultKind() string }
+	if !errors.As(wrapped, &df) || df.DiskFaultKind() != "corrupt-read" {
+		t.Errorf("wrapped disk fault lost its kind: %v", wrapped)
+	}
+}

@@ -35,13 +35,22 @@ type Kind int
 // The fault kinds. Error, Panic and Delay can fire at any stage; Corrupt
 // fires only at the "cache" stage (the consumer drops the cached entry and
 // recomputes); Budget fires only at the "simulate" stage (the consumer
-// reports simulator cycle-budget exhaustion).
+// reports simulator cycle-budget exhaustion). The disk-io kinds fire at the
+// disk tier's probe points: DiskFail fails the operation outright (both
+// stages), DiskShortWrite truncates a write ("disk-write" only), and
+// DiskCorrupt flips bytes in the returned data ("disk-read" only) — the
+// store's checksums must catch the latter two. NetDelay stalls a network
+// handler ("net" only), modelling a slow client or congested accept path.
 const (
 	Error Kind = iota
 	Panic
 	Delay
 	Corrupt
 	Budget
+	DiskFail
+	DiskShortWrite
+	DiskCorrupt
+	NetDelay
 	numKinds
 )
 
@@ -52,6 +61,12 @@ const (
 	StageSchedule = "schedule"
 	StageSimulate = "simulate"
 	StageCache    = "cache"
+	// StageDiskWrite and StageDiskRead are the disk tier's probe points,
+	// fired once per entry written respectively read back.
+	StageDiskWrite = "disk-write"
+	StageDiskRead  = "disk-read"
+	// StageNet is the scheduling daemon's per-request network probe.
+	StageNet = "net"
 )
 
 // String names the kind.
@@ -67,6 +82,14 @@ func (k Kind) String() string {
 		return "corrupt"
 	case Budget:
 		return "budget"
+	case DiskFail:
+		return "disk-fail"
+	case DiskShortWrite:
+		return "disk-short-write"
+	case DiskCorrupt:
+		return "disk-corrupt"
+	case NetDelay:
+		return "net-delay"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -85,8 +108,28 @@ func (e *Injected) Error() string {
 		return fmt.Sprintf("faults: corrupted cache entry for %s", e.Name)
 	case Budget:
 		return fmt.Sprintf("faults: simulator cycle budget exhausted for %s (injected)", e.Name)
+	case DiskFail, DiskShortWrite, DiskCorrupt:
+		return fmt.Sprintf("faults: injected %s at %s of %s", e.Kind, e.Stage, e.Name)
 	}
 	return fmt.Sprintf("faults: injected %s at %s stage of %s", e.Kind, e.Stage, e.Name)
+}
+
+// DiskFaultKind reports the disk-behavior this fault requests from a disk
+// tier probe: "fail" (the operation errors outright), "short-write" (the
+// write is truncated mid-payload) or "corrupt-read" (bytes read back are
+// flipped). It returns "" for every non-disk kind. The disk store asserts
+// for this method with a locally declared interface, so the two packages
+// stay import-decoupled just like the stage-name constants.
+func (e *Injected) DiskFaultKind() string {
+	switch e.Kind {
+	case DiskFail:
+		return "fail"
+	case DiskShortWrite:
+		return "short-write"
+	case DiskCorrupt:
+		return "corrupt-read"
+	}
+	return ""
 }
 
 // IsInjected reports whether err originates from an injector, returning the
@@ -109,6 +152,10 @@ type Plan struct {
 	// Error, Panic, Delay, Corrupt and Budget are per-probe firing
 	// probabilities of each kind.
 	Error, Panic, Delay, Corrupt, Budget float64
+	// DiskFail, DiskShortWrite and DiskCorrupt are the disk tier's
+	// per-probe firing probabilities; NetDelay the daemon's network-stall
+	// probability.
+	DiskFail, DiskShortWrite, DiskCorrupt, NetDelay float64
 	// DelayFor is how long a Delay fault sleeps (default 25ms).
 	DelayFor time.Duration
 	// Stages, when non-empty, restricts injection to the named stages.
@@ -126,28 +173,36 @@ func (p Plan) rates() [numKinds]float64 {
 		return v
 	}
 	return [numKinds]float64{
-		Error:   clamp(p.Error),
-		Panic:   clamp(p.Panic),
-		Delay:   clamp(p.Delay),
-		Corrupt: clamp(p.Corrupt),
-		Budget:  clamp(p.Budget),
+		Error:          clamp(p.Error),
+		Panic:          clamp(p.Panic),
+		Delay:          clamp(p.Delay),
+		Corrupt:        clamp(p.Corrupt),
+		Budget:         clamp(p.Budget),
+		DiskFail:       clamp(p.DiskFail),
+		DiskShortWrite: clamp(p.DiskShortWrite),
+		DiskCorrupt:    clamp(p.DiskCorrupt),
+		NetDelay:       clamp(p.NetDelay),
 	}
 }
 
 // Counts is a snapshot of fired faults per kind.
 type Counts struct {
 	Errors, Panics, Delays, Corrupts, Budgets int64
+	DiskFails, DiskShortWrites, DiskCorrupts  int64
+	NetDelays                                 int64
 }
 
 // Total sums the fired faults.
 func (c Counts) Total() int64 {
-	return c.Errors + c.Panics + c.Delays + c.Corrupts + c.Budgets
+	return c.Errors + c.Panics + c.Delays + c.Corrupts + c.Budgets +
+		c.DiskFails + c.DiskShortWrites + c.DiskCorrupts + c.NetDelays
 }
 
 // String renders the counts.
 func (c Counts) String() string {
-	return fmt.Sprintf("errors=%d panics=%d delays=%d corrupts=%d budgets=%d",
-		c.Errors, c.Panics, c.Delays, c.Corrupts, c.Budgets)
+	return fmt.Sprintf("errors=%d panics=%d delays=%d corrupts=%d budgets=%d disk-fails=%d disk-short-writes=%d disk-corrupts=%d net-delays=%d",
+		c.Errors, c.Panics, c.Delays, c.Corrupts, c.Budgets,
+		c.DiskFails, c.DiskShortWrites, c.DiskCorrupts, c.NetDelays)
 }
 
 // Injector injects faults per its Plan. Safe for concurrent use; decisions
@@ -193,13 +248,23 @@ func MustNew(plan Plan) *Injector {
 }
 
 // kindAllowed gates stage-specific kinds: cache corruption only makes sense
-// at a cache probe, budget exhaustion only at a simulate probe.
+// at a cache probe, budget exhaustion only at a simulate probe, the disk-io
+// kinds only at the disk tier's probes (a short write has no meaning on a
+// read and vice versa), and network delays only at the daemon's net probe.
 func kindAllowed(k Kind, stage string) bool {
 	switch k {
 	case Corrupt:
 		return stage == StageCache
 	case Budget:
 		return stage == StageSimulate
+	case DiskFail:
+		return stage == StageDiskWrite || stage == StageDiskRead
+	case DiskShortWrite:
+		return stage == StageDiskWrite
+	case DiskCorrupt:
+		return stage == StageDiskRead
+	case NetDelay:
+		return stage == StageNet
 	}
 	return true
 }
@@ -249,9 +314,11 @@ func (in *Injector) Decide(stage, name string) (Kind, bool) {
 }
 
 // Probe fires the planned fault for (stage, name): Panic faults panic with
-// an *Injected value, Delay faults sleep for Plan.DelayFor and return nil,
-// and the remaining kinds return an *Injected error. Probes with no planned
-// fault return nil. Every fired fault is counted.
+// an *Injected value, Delay and NetDelay faults sleep for Plan.DelayFor and
+// return nil, and the remaining kinds return an *Injected error (the
+// disk-io behavioral kinds are interpreted by the disk store through
+// Injected.DiskFaultKind). Probes with no planned fault return nil. Every
+// fired fault is counted.
 func (in *Injector) Probe(stage, name string) error {
 	k, ok := in.Decide(stage, name)
 	if !ok {
@@ -262,7 +329,7 @@ func (in *Injector) Probe(stage, name string) error {
 	switch k {
 	case Panic:
 		panic(inj)
-	case Delay:
+	case Delay, NetDelay:
 		time.Sleep(in.plan.DelayFor)
 		return nil
 	}
@@ -276,10 +343,14 @@ func (in *Injector) Hook() func(stage, name string) error { return in.Probe }
 // Counts snapshots the fired-fault counters.
 func (in *Injector) Counts() Counts {
 	return Counts{
-		Errors:   in.fired[Error].Load(),
-		Panics:   in.fired[Panic].Load(),
-		Delays:   in.fired[Delay].Load(),
-		Corrupts: in.fired[Corrupt].Load(),
-		Budgets:  in.fired[Budget].Load(),
+		Errors:          in.fired[Error].Load(),
+		Panics:          in.fired[Panic].Load(),
+		Delays:          in.fired[Delay].Load(),
+		Corrupts:        in.fired[Corrupt].Load(),
+		Budgets:         in.fired[Budget].Load(),
+		DiskFails:       in.fired[DiskFail].Load(),
+		DiskShortWrites: in.fired[DiskShortWrite].Load(),
+		DiskCorrupts:    in.fired[DiskCorrupt].Load(),
+		NetDelays:       in.fired[NetDelay].Load(),
 	}
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -121,7 +122,24 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Close stops the server started by Start (no-op otherwise).
+// Shutdown gracefully stops the server started by Start (no-op otherwise):
+// the listener closes immediately, but handlers already running — a
+// /metrics scrape, a /trace download — finish before Shutdown returns, up
+// to ctx's deadline. Past the deadline remaining connections are closed
+// hard and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		_ = s.srv.Close()
+		return err
+	}
+	return nil
+}
+
+// Close stops the server started by Start immediately, dropping in-flight
+// requests (no-op otherwise). Prefer Shutdown for orderly teardown.
 func (s *Server) Close() error {
 	if s.srv == nil {
 		return nil

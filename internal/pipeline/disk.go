@@ -1,0 +1,442 @@
+package pipeline
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"doacross/internal/dfg"
+)
+
+// DiskStore is the crash-safe persistent tier under the in-memory schedule
+// cache: a content-addressed on-disk store whose keys are the same
+// dfg.Fingerprint values the in-memory Cache uses. It is designed to be
+// kill -9'd at any instant without ever serving garbage afterwards:
+//
+//   - Writes are atomic: each entry lands in a temp file in the same
+//     directory, is fsynced, and is then renamed over its final name. A
+//     crash mid-write leaves at most a *.tmp file that Open sweeps away;
+//     it never leaves a half-written entry under a live name.
+//   - Every entry carries a versioned header (magic, format version,
+//     payload length) and a SHA-256 checksum of its payload. Get re-hashes
+//     the payload on every read, so torn writes, truncation and bit rot
+//     surface as *CorruptEntryError — never as bad data.
+//   - Corrupt entries are never deleted silently: Quarantine moves them to
+//     a quarantine/ subdirectory for post-mortem and counts them.
+//
+// Integrity-checking the bytes is only half the trust story: the payload
+// may be a perfectly checksummed schedule that is semantically stale or
+// wrong. LoadDisk therefore re-verifies every decoded schedule through
+// internal/check before anything reaches the in-memory cache — the store
+// itself guarantees only "these are exactly the bytes that were written".
+//
+// A SetFaultHook hook is probed before every write ("disk-write") and read
+// ("disk-read") so the seeded chaos injector (internal/faults) can drive
+// the failure paths deterministically: outright IO failure, short (torn)
+// writes and corrupt reads.
+type DiskStore struct {
+	dir  string
+	qdir string
+
+	faultHook atomic.Pointer[func(stage, name string) error]
+
+	entries     atomic.Int64
+	writes      atomic.Int64
+	writeErrors atomic.Int64
+	reads       atomic.Int64
+	readErrors  atomic.Int64
+	corrupt     atomic.Int64
+	quarantined atomic.Int64
+}
+
+// Entry format: a fixed header followed by the payload.
+//
+//	offset 0  magic   "DOAX"
+//	offset 4  version uint32 LE
+//	offset 8  length  uint64 LE (payload bytes)
+//	offset 16 sum     SHA-256 of the payload
+//	offset 48 payload
+const (
+	diskMagic      = "DOAX"
+	diskVersion    = 1
+	diskHeaderSize = 4 + 4 + 8 + sha256.Size
+)
+
+// entryExt suffixes live entries; tmpExt marks in-progress writes that a
+// crash may leave behind (swept by Open).
+const (
+	entryExt = ".entry"
+	tmpExt   = ".tmp"
+)
+
+// quarantineDir is the subdirectory corrupt entries are moved to.
+const quarantineDir = "quarantine"
+
+// CorruptEntryError reports an on-disk entry whose bytes failed integrity
+// or semantic verification. The entry is still on disk (under its original
+// name, or under quarantine/ once quarantined).
+type CorruptEntryError struct {
+	Key    dfg.Fingerprint
+	Path   string
+	Reason string
+}
+
+// Error renders the corruption.
+func (e *CorruptEntryError) Error() string {
+	return fmt.Sprintf("disk store: corrupt entry %s: %s", hex.EncodeToString(e.Key[:8]), e.Reason)
+}
+
+// DiskStats is a snapshot of a store's counters. Entries is a gauge; the
+// rest are monotonic counters since Open.
+type DiskStats struct {
+	Entries     int64
+	Writes      int64
+	WriteErrors int64
+	Reads       int64
+	ReadErrors  int64
+	Corrupt     int64
+	Quarantined int64
+}
+
+// OpenDiskStore opens (creating if needed) the persistent tier rooted at
+// dir. Leftover temp files from a crashed writer are removed; live entries
+// are counted but not read — verification happens entry by entry in
+// LoadDisk, so a corrupt file cannot fail the whole open.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, errors.New("disk store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk store: %w", err)
+	}
+	s := &DiskStore{dir: dir, qdir: filepath.Join(dir, quarantineDir)}
+	if err := os.MkdirAll(s.qdir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk store: %w", err)
+	}
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != dir && filepath.Base(path) == quarantineDir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		switch filepath.Ext(path) {
+		case tmpExt:
+			// A crashed writer's leftovers: never renamed, so never live.
+			return os.Remove(path)
+		case entryExt:
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("disk store: scan %s: %w", dir, err)
+	}
+	s.entries.Store(int64(n))
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// SetFaultHook installs (or, with nil, removes) the chaos hook probed
+// before every write and read with ("disk-write"/"disk-read", key prefix).
+// An error whose DiskFaultKind() method returns "short-write" truncates the
+// write mid-payload, "corrupt-read" flips a payload byte on the way in, and
+// anything else fails the operation outright (internal/faults.Injected
+// implements the method; the interface is asserted structurally so the two
+// packages stay import-decoupled).
+func (s *DiskStore) SetFaultHook(h func(stage, name string) error) {
+	if h == nil {
+		s.faultHook.Store(nil)
+		return
+	}
+	s.faultHook.Store(&h)
+}
+
+// diskFaulter is the behavioral disk-fault contract, mirrored from
+// internal/faults without importing it.
+type diskFaulter interface{ DiskFaultKind() string }
+
+// probe fires the fault hook for one operation, returning the requested
+// behavior: "" (no fault), "fail", "short-write" or "corrupt-read", plus
+// the error to report for "fail".
+func (s *DiskStore) probe(stage string, key dfg.Fingerprint) (string, error) {
+	hp := s.faultHook.Load()
+	if hp == nil {
+		return "", nil
+	}
+	err := (*hp)(stage, hex.EncodeToString(key[:8]))
+	if err == nil {
+		return "", nil
+	}
+	var df diskFaulter
+	if errors.As(err, &df) {
+		if k := df.DiskFaultKind(); k == "short-write" || k == "corrupt-read" {
+			return k, nil
+		}
+	}
+	return "fail", err
+}
+
+// path returns the final location of a key's entry, fanned out over a
+// two-hex-digit directory level so no single directory grows unbounded.
+func (s *DiskStore) path(k dfg.Fingerprint) string {
+	h := hex.EncodeToString(k[:])
+	return filepath.Join(s.dir, h[:2], h+entryExt)
+}
+
+// quarantinePath returns where Quarantine moves a key's entry.
+func (s *DiskStore) quarantinePath(k dfg.Fingerprint) string {
+	return filepath.Join(s.qdir, hex.EncodeToString(k[:])+entryExt)
+}
+
+// encode frames a payload with the versioned header and checksum.
+func encodeEntry(payload []byte) []byte {
+	buf := make([]byte, diskHeaderSize+len(payload))
+	copy(buf, diskMagic)
+	binary.LittleEndian.PutUint32(buf[4:], diskVersion)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(buf[16:], sum[:])
+	copy(buf[diskHeaderSize:], payload)
+	return buf
+}
+
+// decodeEntry validates the header and checksum, returning the payload.
+func decodeEntry(k dfg.Fingerprint, path string, data []byte) ([]byte, error) {
+	corrupt := func(reason string) error {
+		return &CorruptEntryError{Key: k, Path: path, Reason: reason}
+	}
+	if len(data) < diskHeaderSize {
+		return nil, corrupt(fmt.Sprintf("truncated header: %d bytes", len(data)))
+	}
+	if !bytes.Equal(data[:4], []byte(diskMagic)) {
+		return nil, corrupt("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != diskVersion {
+		return nil, corrupt(fmt.Sprintf("unsupported format version %d", v))
+	}
+	n := binary.LittleEndian.Uint64(data[8:])
+	payload := data[diskHeaderSize:]
+	if uint64(len(payload)) != n {
+		return nil, corrupt(fmt.Sprintf("payload is %d bytes, header says %d", len(payload), n))
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[16:16+sha256.Size]) {
+		return nil, corrupt("payload checksum mismatch")
+	}
+	return payload, nil
+}
+
+// Put durably binds k to payload: temp file, fsync, rename. An existing
+// entry for k is replaced (the rename is atomic, so readers see either the
+// old or the new complete entry). Put never leaves a half-written entry
+// under the live name, whatever instant the process dies at.
+func (s *DiskStore) Put(k dfg.Fingerprint, payload []byte) error {
+	behavior, ferr := s.probe(StageDiskWrite, k)
+	if behavior == "fail" {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("disk store: write %s: %w", hex.EncodeToString(k[:8]), ferr)
+	}
+	final := s.path(k)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("disk store: %w", err)
+	}
+	buf := encodeEntry(payload)
+	if behavior == "short-write" {
+		// Injected torn write: the entry is published truncated mid-payload,
+		// modelling a lying disk. The checksum must catch it on read.
+		buf = buf[:diskHeaderSize+len(payload)/2]
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), "put-*"+tmpExt)
+	if err != nil {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("disk store: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		s.writeErrors.Add(1)
+		return fmt.Errorf("disk store: write %s: %w", hex.EncodeToString(k[:8]), err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		s.writeErrors.Add(1)
+		return fmt.Errorf("disk store: write %s: %w", hex.EncodeToString(k[:8]), err)
+	}
+	_, existed := s.stat(final)
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		s.writeErrors.Add(1)
+		return fmt.Errorf("disk store: publish %s: %w", hex.EncodeToString(k[:8]), err)
+	}
+	s.writes.Add(1)
+	if !existed {
+		s.entries.Add(1)
+	}
+	return nil
+}
+
+// stat reports whether path exists as a regular file.
+func (s *DiskStore) stat(path string) (os.FileInfo, bool) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, false
+	}
+	return fi, true
+}
+
+// Get reads and integrity-checks the entry bound to k. A missing entry
+// returns os.ErrNotExist; failed header or checksum validation returns a
+// *CorruptEntryError (the caller decides whether to Quarantine). The
+// returned payload passed its checksum but is otherwise untrusted — run it
+// through LoadDisk's verification before serving anything derived from it.
+func (s *DiskStore) Get(k dfg.Fingerprint) ([]byte, error) {
+	behavior, ferr := s.probe(StageDiskRead, k)
+	if behavior == "fail" {
+		s.readErrors.Add(1)
+		return nil, fmt.Errorf("disk store: read %s: %w", hex.EncodeToString(k[:8]), ferr)
+	}
+	path := s.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.readErrors.Add(1)
+		}
+		return nil, err
+	}
+	s.reads.Add(1)
+	if behavior == "corrupt-read" && len(data) > diskHeaderSize {
+		// Injected bit rot on the read path: flip one payload byte. The
+		// checksum below must reject the entry.
+		data[diskHeaderSize] ^= 0xff
+	}
+	payload, err := decodeEntry(k, path, data)
+	if err != nil {
+		s.corrupt.Add(1)
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Quarantine moves k's entry into the quarantine/ subdirectory (keeping the
+// bytes for post-mortem) and counts it. Quarantining a missing entry is a
+// no-op.
+func (s *DiskStore) Quarantine(k dfg.Fingerprint) error {
+	path := s.path(k)
+	if _, ok := s.stat(path); !ok {
+		return nil
+	}
+	if err := os.Rename(path, s.quarantinePath(k)); err != nil {
+		return fmt.Errorf("disk store: quarantine %s: %w", hex.EncodeToString(k[:8]), err)
+	}
+	s.quarantined.Add(1)
+	s.entries.Add(-1)
+	return nil
+}
+
+// Keys lists every live entry key, in unspecified order. Files whose names
+// are not well-formed keys are ignored (they cannot have been written by
+// Put).
+func (s *DiskStore) Keys() ([]dfg.Fingerprint, error) {
+	var out []dfg.Fingerprint
+	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != s.dir && filepath.Base(path) == quarantineDir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if filepath.Ext(name) != entryExt {
+			return nil
+		}
+		raw, err := hex.DecodeString(name[:len(name)-len(entryExt)])
+		if err != nil || len(raw) != len(dfg.Fingerprint{}) {
+			return nil
+		}
+		var k dfg.Fingerprint
+		copy(k[:], raw)
+		out = append(out, k)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("disk store: scan %s: %w", s.dir, err)
+	}
+	return out, nil
+}
+
+// Len returns the live entry count.
+func (s *DiskStore) Len() int { return int(s.entries.Load()) }
+
+// Flush fsyncs the store's directories so entry publications (renames)
+// survive power loss; the entry contents themselves were fsynced by Put.
+// Called by the daemon's drain path.
+func (s *DiskStore) Flush() error {
+	dirs := []string{s.dir}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("disk store: flush: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() && e.Name() != quarantineDir {
+			dirs = append(dirs, filepath.Join(s.dir, e.Name()))
+		}
+	}
+	for _, d := range dirs {
+		fh, err := os.Open(d)
+		if err != nil {
+			return fmt.Errorf("disk store: flush: %w", err)
+		}
+		serr := fh.Sync()
+		fh.Close()
+		// Some filesystems refuse directory fsync; that is not a data-loss
+		// path we can do anything about, so only real errors propagate.
+		if serr != nil && !errors.Is(serr, errors.ErrUnsupported) {
+			return fmt.Errorf("disk store: flush %s: %w", d, serr)
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the store's counters.
+func (s *DiskStore) Stats() DiskStats {
+	return DiskStats{
+		Entries:     s.entries.Load(),
+		Writes:      s.writes.Load(),
+		WriteErrors: s.writeErrors.Load(),
+		Reads:       s.reads.Load(),
+		ReadErrors:  s.readErrors.Load(),
+		Corrupt:     s.corrupt.Load(),
+		Quarantined: s.quarantined.Load(),
+	}
+}
+
+// Disk-tier probe stage names, mirroring internal/faults' constants without
+// importing it (like stageCompile/stageCache above).
+const (
+	StageDiskWrite = "disk-write"
+	StageDiskRead  = "disk-read"
+)

@@ -1,0 +1,223 @@
+package pipeline
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"doacross/internal/dfg"
+	"doacross/internal/faults"
+)
+
+func testKey(b byte) dfg.Fingerprint {
+	var k dfg.Fingerprint
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+func TestDiskStoreRoundtrip(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(1)
+	payload := []byte(`{"hello":"world"}`)
+	if err := s.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("Get = %q, want %q", got, payload)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != k {
+		t.Errorf("Keys = %v", keys)
+	}
+	// Replacing an entry neither duplicates it nor changes the count.
+	if err := s.Put(k, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len after replace = %d, want 1", s.Len())
+	}
+	if got, _ := s.Get(k); string(got) != "v2" {
+		t.Errorf("replaced entry = %q", got)
+	}
+	if _, err := s.Get(testKey(9)); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing key: %v, want ErrNotExist", err)
+	}
+	st := s.Stats()
+	if st.Writes != 2 || st.Reads != 2 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// corrupting helpers: the on-disk entry of k, located without exporting the
+// layout.
+func entryFile(t *testing.T, s *DiskStore, k dfg.Fingerprint) string {
+	t.Helper()
+	path := s.path(k)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiskStoreDetectsCorruption(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip, trunc := testKey(1), testKey(2)
+	for _, k := range []dfg.Fingerprint{flip, trunc} {
+		if err := s.Put(k, []byte("a perfectly fine payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Bit rot: flip one payload byte.
+	fp := entryFile(t, s, flip)
+	data, err := os.ReadFile(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(fp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptEntryError
+	if _, err := s.Get(flip); !errors.As(err, &ce) {
+		t.Fatalf("flipped entry: %v, want CorruptEntryError", err)
+	}
+
+	// Torn write: truncate mid-payload.
+	tp := entryFile(t, s, trunc)
+	if err := os.Truncate(tp, int64(diskHeaderSize+3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(trunc); !errors.As(err, &ce) {
+		t.Fatalf("truncated entry: %v, want CorruptEntryError", err)
+	}
+
+	// Quarantine keeps the bytes for post-mortem and removes the live entry.
+	if err := s.Quarantine(flip); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s.quarantinePath(flip)); err != nil {
+		t.Errorf("quarantined bytes missing: %v", err)
+	}
+	if _, err := s.Get(flip); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("quarantined entry still served: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	st := s.Stats()
+	if st.Corrupt != 2 || st.Quarantined != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Quarantined entries are invisible to Keys and to a reopened store.
+	keys, _ := s.Keys()
+	if len(keys) != 1 || keys[0] != trunc {
+		t.Errorf("Keys = %v", keys)
+	}
+	s2, err := OpenDiskStore(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Errorf("reopened Len = %d, want 1", s2.Len())
+	}
+}
+
+func TestDiskStoreSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(1), []byte("live")); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed writer's leftovers, at both directory levels.
+	sub := filepath.Dir(s.path(testKey(1)))
+	for _, p := range []string{filepath.Join(dir, "put-123.tmp"), filepath.Join(sub, "put-456.tmp")} {
+		if err := os.WriteFile(p, []byte("half-written"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s2.Len())
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*", "*.tmp"))
+	root, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if n := len(matches) + len(root); n != 0 {
+		t.Errorf("%d temp files survived the sweep", n)
+	}
+	if err := s2.Flush(); err != nil {
+		t.Errorf("Flush: %v", err)
+	}
+}
+
+// TestDiskStoreFaultInjection drives the three disk-io fault kinds through
+// the structural hook: DiskFail fails the operation, DiskShortWrite
+// publishes a truncated entry the checksum must catch, DiskCorrupt flips a
+// byte on the read path.
+func TestDiskStoreFaultInjection(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(7)
+
+	s.SetFaultHook(faults.MustNew(faults.Plan{DiskFail: 1}).Probe)
+	err = s.Put(k, []byte("payload"))
+	if err == nil {
+		t.Fatal("DiskFail write succeeded")
+	}
+	if _, ok := faults.IsInjected(err); !ok {
+		t.Fatalf("failed write does not carry the injected fault: %v", err)
+	}
+	if st := s.Stats(); st.WriteErrors != 1 || st.Entries != 0 {
+		t.Errorf("stats after failed write = %+v", st)
+	}
+
+	s.SetFaultHook(faults.MustNew(faults.Plan{DiskShortWrite: 1}).Probe)
+	if err := s.Put(k, []byte("a payload long enough to truncate")); err != nil {
+		t.Fatalf("short write reported failure: %v", err)
+	}
+	s.SetFaultHook(nil)
+	var ce *CorruptEntryError
+	if _, err := s.Get(k); !errors.As(err, &ce) {
+		t.Fatalf("short-written entry read back: %v, want CorruptEntryError", err)
+	}
+
+	if err := s.Put(k, []byte("clean payload")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultHook(faults.MustNew(faults.Plan{DiskCorrupt: 1}).Probe)
+	if _, err := s.Get(k); !errors.As(err, &ce) {
+		t.Fatalf("corrupt read served: %v, want CorruptEntryError", err)
+	}
+	s.SetFaultHook(nil)
+	if got, err := s.Get(k); err != nil || string(got) != "clean payload" {
+		t.Fatalf("clean read after fault removed: %q, %v", got, err)
+	}
+}

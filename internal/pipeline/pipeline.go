@@ -126,6 +126,14 @@ type Options struct {
 	// recompiles and reschedules nothing. Degraded (fallback) results are
 	// never published to the cache.
 	Cache *Cache
+	// Disk, when non-nil, is the crash-safe persistent tier under Cache:
+	// every fresh, verified, non-degraded, cacheable result is also written
+	// through to it (atomic rename + checksum, see DiskStore), and LoadDisk
+	// restores it into a Cache on startup so restarts come up warm. Disk
+	// write failures never fail a request — they are counted by the store.
+	// Requires Cache to be useful, but is consulted on no hot path: reads
+	// happen only in LoadDisk.
+	Disk *DiskStore
 	// Metrics, when non-nil, receives this batch's counters (pass one
 	// registry to several batches to aggregate). Otherwise a private
 	// registry is used and returned in Batch.Stats.
@@ -644,13 +652,13 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 	// key is computed whenever a cache is attached — even when a cache fault
 	// disabled reads for this request — so the recompute below publishes
 	// under this request's own fingerprint, never the zero key.
+	src := req.Source
+	if req.Loop != nil && (opt.Cache != nil || opt.Disk != nil) {
+		src = req.Loop.String()
+	}
 	var srcKey dfg.Fingerprint
 	var compiled *compileEntry
 	if opt.Cache != nil {
-		src := req.Source
-		if req.Loop != nil {
-			src = req.Loop.String()
-		}
 		srcKey = sourceKey(src, opt.compileSalt())
 	}
 	cspan := opt.Observer.Start(obs.KindStage, stageCompile, rspan)
@@ -1065,6 +1073,12 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 			res.Err = fmt.Errorf("pipeline: verify %s on %s: %w", res.Name, cfg.Name, err)
 			endSim(mspan, res.Err, mr, times, timeCached, opt.Observer)
 			return res
+		}
+		// Write-through to the persistent tier: freshly simulated, verified,
+		// non-degraded, cacheable results survive restarts. Failures are
+		// counted by the store and never fail the request.
+		if opt.Disk != nil && !timeCached && !mr.Degraded && entry.cacheable() {
+			persistResult(opt.Disk, res.Name, src, opt, cfg, fp, res.N, entry, times)
 		}
 		// Paper-level counters describe the schedule actually served (the
 		// synchronization-aware one, or the fallback standing in for it).

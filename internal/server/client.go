@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client calls a scheduld daemon with retries: shed responses (429, 503)
+// and transport errors are retried under jittered exponential backoff, and
+// a Retry-After from the server overrides the computed backoff — the
+// daemon knows better than the client when capacity frees up. Other errors
+// (400s, 500s, 504s) are returned immediately: retrying a bad loop or a
+// deterministic failure only adds load.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+	// Tenant is sent as X-Tenant for rate accounting ("" = default).
+	Tenant string
+	// MaxRetries bounds retry attempts after the first try (0 = 4,
+	// negative = no retries).
+	MaxRetries int
+	// BaseBackoff seeds the exponential backoff (0 = 100ms); MaxBackoff
+	// caps it (0 = 5s).
+	BaseBackoff, MaxBackoff time.Duration
+	// Sleep is the wait function, injectable for tests (nil = real sleep
+	// honoring ctx cancellation).
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// StatusError is a non-200 daemon answer that was not retried (or
+// exhausted its retries).
+type StatusError struct {
+	Code int
+	Resp ErrorResponse
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("scheduld: %s: %s", http.StatusText(e.Code), e.Resp.Error)
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	return 4
+}
+
+func (c *Client) baseBackoff() time.Duration {
+	if c.BaseBackoff > 0 {
+		return c.BaseBackoff
+	}
+	return 100 * time.Millisecond
+}
+
+func (c *Client) maxBackoff() time.Duration {
+	if c.MaxBackoff > 0 {
+		return c.MaxBackoff
+	}
+	return 5 * time.Second
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backoff computes the jittered exponential wait for retry attempt (0-based):
+// uniform over [base*2^attempt / 2, base*2^attempt], capped at MaxBackoff —
+// full-magnitude jitter so a thundering herd of retries decorrelates.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.baseBackoff() << attempt
+	if max := c.maxBackoff(); d > max || d <= 0 {
+		d = max
+	}
+	c.mu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	half := d / 2
+	d = half + time.Duration(c.rng.Int63n(int64(half)+1))
+	c.mu.Unlock()
+	return d
+}
+
+// retryable reports whether a status is worth retrying: only the daemon's
+// load sheds are — capacity may free up. Retry-After, when present,
+// overrides the exponential backoff.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// Schedule posts one loop and returns the daemon's answer, retrying sheds
+// as documented on Client.
+func (c *Client) Schedule(ctx context.Context, req ScheduleRequest) (*ScheduleResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("scheduld: encode request: %w", err)
+	}
+	var last error
+	for attempt := 0; ; attempt++ {
+		resp, retryAfter, err := c.once(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		last = err
+		se, shed := err.(*StatusError)
+		if shed && !retryable(se.Code) {
+			return nil, err
+		}
+		if attempt >= c.maxRetries() {
+			return nil, fmt.Errorf("scheduld: giving up after %d attempts: %w", attempt+1, last)
+		}
+		wait := c.backoff(attempt)
+		if retryAfter > 0 {
+			wait = retryAfter
+		}
+		if err := c.sleep(ctx, wait); err != nil {
+			return nil, fmt.Errorf("scheduld: %w (last error: %v)", err, last)
+		}
+	}
+}
+
+// once performs a single attempt; retryAfter carries the server's
+// Retry-After on shed responses (0 when absent).
+func (c *Client) once(ctx context.Context, body []byte) (*ScheduleResponse, time.Duration, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/schedule", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, fmt.Errorf("scheduld: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if c.Tenant != "" {
+		hreq.Header.Set("X-Tenant", c.Tenant)
+	}
+	hresp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, 0, fmt.Errorf("scheduld: %w", err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode == http.StatusOK {
+		var out ScheduleResponse
+		if err := json.NewDecoder(hresp.Body).Decode(&out); err != nil {
+			return nil, 0, fmt.Errorf("scheduld: decode response: %w", err)
+		}
+		return &out, 0, nil
+	}
+	se := &StatusError{Code: hresp.StatusCode}
+	_ = json.NewDecoder(io.LimitReader(hresp.Body, 64<<10)).Decode(&se.Resp)
+	var retryAfter time.Duration
+	if ra := hresp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return nil, retryAfter, se
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sleepRecorder captures the waits a Client would have slept, without
+// actually sleeping.
+type sleepRecorder struct {
+	waits []time.Duration
+}
+
+func (r *sleepRecorder) sleep(_ context.Context, d time.Duration) error {
+	r.waits = append(r.waits, d)
+	return nil
+}
+
+// TestClientHonorsRetryAfter: a shed answer's Retry-After overrides the
+// client's computed backoff, and the retry succeeds.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "shed", Reason: "ratelimit"})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(ScheduleResponse{Name: "x", Key: "00"})
+	}))
+	defer stub.Close()
+
+	rec := &sleepRecorder{}
+	c := &Client{BaseURL: stub.URL, Sleep: rec.sleep}
+	resp, err := c.Schedule(context.Background(), ScheduleRequest{Source: "src"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Name != "x" {
+		t.Errorf("response = %+v", resp)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("server saw %d calls, want 2", calls.Load())
+	}
+	if len(rec.waits) != 1 || rec.waits[0] != 3*time.Second {
+		t.Errorf("client waited %v, want [3s] from Retry-After", rec.waits)
+	}
+}
+
+// TestClientBacksOffExponentially: without Retry-After the waits follow the
+// jittered exponential schedule: each in [base*2^i / 2, base*2^i].
+func TestClientBacksOffExponentially(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "down"})
+	}))
+	defer stub.Close()
+
+	rec := &sleepRecorder{}
+	c := &Client{BaseURL: stub.URL, MaxRetries: 3, BaseBackoff: 8 * time.Millisecond, Sleep: rec.sleep}
+	_, err := c.Schedule(context.Background(), ScheduleRequest{Source: "src"})
+	if err == nil {
+		t.Fatal("Schedule succeeded against an always-503 daemon")
+	}
+	if !strings.Contains(err.Error(), "giving up after 4 attempts") {
+		t.Errorf("err = %v, want exhaustion after 4 attempts", err)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Errorf("err = %v, want wrapped StatusError 503", err)
+	}
+	if len(rec.waits) != 3 {
+		t.Fatalf("client slept %d times, want 3", len(rec.waits))
+	}
+	for i, d := range rec.waits {
+		hi := 8 * time.Millisecond << i
+		if d < hi/2 || d > hi {
+			t.Errorf("wait %d = %v, want in [%v, %v]", i, d, hi/2, hi)
+		}
+	}
+}
+
+// TestClientDoesNotRetryClientErrors: a 400 is the caller's bad loop —
+// retrying it only adds load, so the client returns it immediately.
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "bad loop"})
+	}))
+	defer stub.Close()
+
+	rec := &sleepRecorder{}
+	c := &Client{BaseURL: stub.URL, Sleep: rec.sleep}
+	_, err := c.Schedule(context.Background(), ScheduleRequest{Source: "src"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if calls.Load() != 1 || len(rec.waits) != 0 {
+		t.Errorf("client retried a 400: %d calls, %d sleeps", calls.Load(), len(rec.waits))
+	}
+}
+
+// TestClientEndToEnd: the retrying client against a real rate-limited
+// daemon — the first call lands, the immediate second is shed and then
+// served on retry, all through the public API.
+func TestClientEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{RatePerSec: 50, Burst: 1})
+	stub := httptest.NewServer(s.Handler())
+	defer stub.Close()
+
+	c := &Client{BaseURL: stub.URL, Tenant: "e2e"}
+	for i := 0; i < 2; i++ {
+		resp, err := c.Schedule(context.Background(), ScheduleRequest{Name: "fig1", Source: fig1})
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if len(resp.Machines) == 0 {
+			t.Fatalf("request %d: empty result", i)
+		}
+	}
+}
