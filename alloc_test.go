@@ -51,6 +51,39 @@ func TestScratchScheduleAllocs(t *testing.T) {
 	}
 }
 
+// TestSimNilTracerAllocs pins the untraced recurrence simulator's warm
+// steady state at exactly 2 allocations per run — the returned IterIssue
+// and IterDone timing slices, the only allocation sim.Time documents. The
+// point of the pin is the tracer hook: with no tracer attached it must add
+// nothing to the hot path. The pooled iteration scratch is warmed by one
+// cold call first.
+func TestSimNilTracerAllocs(t *testing.T) {
+	prog := doacross.MustCompile(hotbench.Fig1)
+	s, err := prog.ScheduleSync(doacross.Machine4Issue(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := doacross.SimOptions{Lo: 1, Hi: hotbench.N}
+	if _, err := doacross.SimulateOptions(s, opt); err != nil {
+		t.Fatal(err)
+	}
+	var failed error
+	got := testing.AllocsPerRun(100, func() {
+		tm, err := doacross.SimulateOptions(s, opt)
+		if err != nil {
+			failed = err
+		} else if tm.Total == 0 {
+			t.Error("zero makespan")
+		}
+	})
+	if failed != nil {
+		t.Fatal(failed)
+	}
+	if got != 2 {
+		t.Errorf("warm untraced simulation: %v allocs/op, want exactly 2 (the returned timing slices)", got)
+	}
+}
+
 // TestPipelineCachedHitAllocs pins the per-request allocation count of a
 // cached-hit batch request — the steady-state service shape where every
 // stage after compile is served from the schedule cache. The bound has a

@@ -10,7 +10,15 @@
 //
 // Usage:
 //
-//	schedcmp [-issue 4] [-fu 1] [-uniform] [-n 100] [-baseline cp] [-backend exact] [-exact-budget 200000] [-j 8] [-stats] [-trace] [-dump pass,...] [-serve :8080] [-trace-out t.json] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz] [file]
+//	schedcmp [-issue 4] [-fu 1] [-uniform] [-n 100] [-baseline cp] [-backend exact] [-exact-budget 200000] [-why] [-j 8] [-stats] [-trace] [-dump pass,...] [-serve :8080] [-trace-out t.json] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz] [file]
+//
+// -why re-simulates both schedules under the cycle-accurate machine tracer
+// and prints where the cycles went: a stall-cause attribution diff (sync
+// waits split LBD/LFD, window waits, drain, empty-issue-slot causes) plus
+// the hottest synchronization pairs of the served schedule. With -serve or
+// -trace-out, the traced loops' machine timelines (per-processor issue and
+// function-unit tracks) are merged into the Chrome trace next to the
+// pipeline spans.
 //
 // With no file, the loops are read from standard input. Example loop:
 //
@@ -41,6 +49,7 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print per-cycle function-unit occupancy charts")
 	dot := flag.Bool("dot", false, "print the data-flow graphs in Graphviz DOT format and exit")
 	window := flag.Int("window", 0, "signal hardware window (0 = unbounded)")
+	why := flag.Bool("why", false, "print per-loop stall-cause attribution diffs between the baseline and served schedules (traced simulation)")
 	lint := flag.Bool("lint", false, "print synchronization-linter findings for each loop (see schedlint)")
 	cf := cliutil.Register(flag.CommandLine)
 	flag.Parse()
@@ -105,6 +114,7 @@ func main() {
 	// A failing loop prints its diagnostic and is skipped; the rest of the
 	// batch still renders, and the final exit status reports the failure.
 	code := 0
+	timelines := 0
 	for i := range batch.Loops {
 		lr := &batch.Loops[i]
 		if lr.Err != nil {
@@ -169,6 +179,17 @@ func main() {
 		fmt.Printf("signals sent: %d (sync), arcs %d LBD / %d LFD\n",
 			mr.SyncSignals, mr.SyncLBD, mr.SyncLFD)
 		fmt.Printf("improvement: %.2f%%\n", mr.Improvement)
+		if *why {
+			str, err := printWhy(os.Stdout, mr.List, mr.Sync, lr.N, *window)
+			if err != nil {
+				fail(err)
+			}
+			if timelines < maxTimelineLoops {
+				str.Loop = lr.Name
+				ob.AddMachineEvents(str.Events(uint64(2 + i)))
+				timelines++
+			}
+		}
 		if *lint && len(lr.Lint) > 0 {
 			fmt.Printf("\n== lint findings ==\n")
 			for _, d := range lr.Lint {
@@ -191,6 +212,64 @@ func main() {
 		fmt.Fprintln(os.Stderr, "schedcmp:", err)
 	}
 	os.Exit(code)
+}
+
+// maxTimelineLoops caps how many traced loops merge their machine timeline
+// into the Chrome trace: each timeline carries per-cycle spans for every
+// processor, so an unbounded batch would swamp the trace viewer.
+const maxTimelineLoops = 8
+
+// printWhy re-simulates both schedules under the cycle-accurate machine
+// tracer (which verifies that the attribution covers 100% of every
+// processor's cycles) and prints the stall-cause diff plus the served
+// schedule's hottest synchronization pairs. The served schedule's tracer is
+// returned so its machine timeline can be merged into the run's trace.
+func printWhy(w io.Writer, list, served *doacross.Schedule, n, window int) (*doacross.SimTracer, error) {
+	opt := doacross.SimOptions{Lo: 1, Hi: n, Window: window}
+	_, ltr, err := doacross.SimulateTraced(list, opt)
+	if err != nil {
+		return nil, fmt.Errorf("trace %s: %w", list.Method, err)
+	}
+	_, str, err := doacross.SimulateTraced(served, opt)
+	if err != nil {
+		return nil, fmt.Errorf("trace %s: %w", served.Method, err)
+	}
+	lu, su := ltr.Utilization(), str.Utilization()
+	fmt.Fprintf(w, "\n== why: stall-cause attribution at n=%d ==\n", n)
+	fmt.Fprintf(w, "%-26s %12s %12s %12s\n", "", list.Method, served.Method, "delta")
+	row := func(name string, a, b int) {
+		fmt.Fprintf(w, "%-26s %12d %12d %+12d\n", name, a, b, b-a)
+	}
+	row("cycles (makespan)", lu.Cycles, su.Cycles)
+	row("issued proc-cycles", lu.IssuedCycles, su.IssuedCycles)
+	row("sync-wait proc-cycles", lu.SyncWaitCycles, su.SyncWaitCycles)
+	row("  on LBD arcs", lu.LBDWaitCycles, su.LBDWaitCycles)
+	row("  on LFD arcs", lu.LFDWaitCycles, su.LFDWaitCycles)
+	row("window-wait proc-cycles", lu.WindowWaitCycles, su.WindowWaitCycles)
+	row("drain proc-cycles", lu.DrainCycles, su.DrainCycles)
+	row("empty slots: RAW", lu.EmptyRAW, su.EmptyRAW)
+	row("empty slots: FU busy", lu.EmptyFUBusy, su.EmptyFUBusy)
+	row("empty slots: issue width", lu.EmptyWidth, su.EmptyWidth)
+	row("empty slots: drain", lu.EmptyDrain, su.EmptyDrain)
+	row("signals sent", lu.SignalsSent, su.SignalsSent)
+	fmt.Fprintf(w, "%-26s %11.1f%% %11.1f%% %+11.1f%%\n", "issue-slot efficiency",
+		100*lu.SlotEfficiency, 100*su.SlotEfficiency, 100*(su.SlotEfficiency-lu.SlotEfficiency))
+	if stalls := str.SyncStalls(); len(stalls) > 0 {
+		fmt.Fprintf(w, "hottest sync pairs (%s):\n", served.Method)
+		for i, st := range stalls {
+			if i == 5 {
+				fmt.Fprintf(w, "  ... and %d more\n", len(stalls)-i)
+				break
+			}
+			kind := "LFD"
+			if st.LBD {
+				kind = "LBD"
+			}
+			fmt.Fprintf(w, "  %-8s d=%-3d %s %8d stall cycles over %d waits\n",
+				st.Signal, st.Dist, kind, st.Cycles, st.Count)
+		}
+	}
+	return str, nil
 }
 
 func printSpans(s *doacross.Schedule) {

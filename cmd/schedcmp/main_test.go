@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"doacross"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const fig1 = `
+DO I = 1, N
+  S1: B[I] = A[I-2] + E[I+1]
+  S2: G[I-3] = A[I-1] * E[I+2]
+  S3: A[I] = B[I] + C[I+3]
+ENDDO
+`
+
+// TestWhyGolden pins the -why stall-attribution report for the paper's
+// Fig. 1 loop (4-issue uniform machine, n=100) to a golden file. The report
+// is deterministic — every number is a verified cycle count from the traced
+// simulation — so any drift means the attribution or the format changed.
+// Regenerate with: go test ./cmd/schedcmp -run WhyGolden -update
+func TestWhyGolden(t *testing.T) {
+	prog, err := doacross.Compile(fig1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doacross.UniformMachine(4, 1)
+	list, err := prog.ScheduleListProgramOrder(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := prog.ScheduleSync(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := printWhy(&buf, list, syn, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	path := filepath.Join("testdata", "fig1_why.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-why report diverges from %s:\n-- got --\n%s\n-- want --\n%s", path, got, want)
+	}
+}

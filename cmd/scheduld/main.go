@@ -11,16 +11,23 @@
 //	scheduld -breaker-threshold 5 -breaker-cooldown 30s
 //	scheduld -request-timeout 30s -drain 10s
 //	scheduld -backend exact -j 4 -n 100
+//	scheduld -log info -flight-dir /var/log/scheduld -machine-obs
 //
-// Endpoints: POST /v1/schedule, GET /healthz, /metrics, /stats. On SIGTERM
-// (or SIGINT) the daemon drains: admitted requests finish within -drain,
-// new ones are shed with 503 + Retry-After, the disk tier is flushed.
+// Endpoints: POST /v1/schedule, GET /healthz, /metrics, /stats,
+// /debug/flightrecord. Every request carries a correlation ID (the client's
+// X-Request-Id, or a minted one), echoed on the response and keyed into
+// every structured log line; the always-on flight recorder dumps its ring
+// as JSONL on panic, deadline breach, breaker-open — and on SIGQUIT, for
+// live inspection without stopping the daemon. On SIGTERM (or SIGINT) the
+// daemon drains: admitted requests finish within -drain, new ones are shed
+// with 503 + Retry-After, the disk tier is flushed.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -49,9 +56,23 @@ func run() int {
 	backend := flag.String("backend", "", "default scheduling backend: "+strings.Join(passes.BackendNames(), ", ")+" (default sync)")
 	jobs := flag.Int("j", 0, "pipeline workers per flight (0 = GOMAXPROCS)")
 	n := flag.Int("n", 0, "default trip count (0 = 100, the paper's)")
+	logLevel := flag.String("log", "", "structured decision log level on stderr: debug, info, warn, error (\"\" = off; the flight recorder records regardless)")
+	flightDir := flag.String("flight-dir", "", "directory for triggered flight-recorder dumps (\"\" = stderr)")
+	flightRing := flag.Int("flight-ring", 0, "flight-recorder ring capacity in records (0 = 256)")
+	machineObs := flag.Bool("machine-obs", false, "trace every simulation and attach machine-level utilization reports to responses")
 	flag.Parse()
 
-	popt := pipeline.Options{Workers: *jobs, N: *n}
+	var logger *slog.Logger
+	if *logLevel != "" {
+		var lv slog.Level
+		if err := lv.UnmarshalText([]byte(*logLevel)); err != nil {
+			fmt.Fprintf(os.Stderr, "scheduld: -log %s: %v\n", *logLevel, err)
+			return 2
+		}
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+	}
+
+	popt := pipeline.Options{Workers: *jobs, N: *n, Utilization: *machineObs}
 	popt.Compile.Backend = *backend
 	srv, err := server.New(server.Config{
 		Pipeline:         popt,
@@ -64,6 +85,9 @@ func run() int {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		RequestTimeout:   *requestTimeout,
+		Logger:           logger,
+		FlightDir:        *flightDir,
+		FlightRing:       *flightRing,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scheduld: %v\n", err)
@@ -77,7 +101,21 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "scheduld: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "scheduld: serving on http://%s (/v1/schedule /healthz /metrics /stats)\n", bound)
+	fmt.Fprintf(os.Stderr, "scheduld: serving on http://%s (/v1/schedule /healthz /metrics /stats /debug/flightrecord)\n", bound)
+
+	// SIGQUIT dumps the flight recorder without stopping the daemon.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			if path, err := srv.DumpFlightRecord("sigquit"); err != nil {
+				fmt.Fprintf(os.Stderr, "scheduld: flight-record dump: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "scheduld: flight record dumped to %s\n", path)
+			}
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -64,6 +64,12 @@ type (
 	Timing = sim.Timing
 	// SimOptions configures a simulation run.
 	SimOptions = sim.Options
+	// SimTracer is the opt-in cycle-accurate machine trace with stall-cause
+	// attribution (set SimOptions.Tracer, or use SimulateTraced).
+	SimTracer = sim.Tracer
+	// MachineUtilization is the per-FU/per-cycle utilization report derived
+	// from a SimTracer.
+	MachineUtilization = sim.Utilization
 	// Dependence is one data dependence of a loop.
 	Dependence = dep.Dependence
 	// SyncOptions holds ablation knobs for the new scheduler.
@@ -336,6 +342,26 @@ func SimulateOptions(s *Schedule, opt SimOptions) (Timing, error) {
 // N); use SeedStore for synthetic data.
 func Execute(s *Schedule, st *Store, opt SimOptions) (Timing, error) {
 	return sim.Run(s, st, opt)
+}
+
+// SimulateTraced simulates with a cycle-accurate tracer attached, verifies
+// that the stall-cause attribution accounts for every non-issue cycle
+// bit-exactly against the timing counters, and returns both. Reuses
+// opt.Tracer when the caller supplies one.
+func SimulateTraced(s *Schedule, opt SimOptions) (Timing, *SimTracer, error) {
+	tr := opt.Tracer
+	if tr == nil {
+		tr = &SimTracer{}
+		opt.Tracer = tr
+	}
+	tm, err := sim.Time(s, opt)
+	if err != nil {
+		return tm, nil, err
+	}
+	if err := tr.Check(tm); err != nil {
+		return tm, nil, err
+	}
+	return tm, tr, nil
 }
 
 // SeedStore builds a deterministic pseudo-random store covering the loop's

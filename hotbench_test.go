@@ -37,3 +37,13 @@ func BenchmarkHotScheduleWarm(b *testing.B) { hotbench.ScheduleWarm(b) }
 // schedule is already cached: one request through a warm pipeline, measuring
 // the per-request overhead when every stage after compile is a cache hit.
 func BenchmarkHotPipelineCachedHit(b *testing.B) { hotbench.PipelineCachedHit(b) }
+
+// BenchmarkHotSim measures the recurrence simulator on the Fig. 1 sync
+// schedule untraced (the pipeline's hot path — the nil tracer hook must
+// cost nothing, pinned by TestSimNilTracerAllocs) against the same run with
+// the cycle-accurate tracer attached and its attribution books verified
+// (the cost of -why, -machine-obs and the utilization audit).
+func BenchmarkHotSim(b *testing.B) {
+	b.Run("untraced", hotbench.SimUntraced)
+	b.Run("traced", hotbench.SimTraced)
+}

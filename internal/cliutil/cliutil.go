@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -141,6 +142,30 @@ type Observability struct {
 
 	flags    *Flags
 	announce io.Writer
+
+	mu      sync.Mutex
+	machine []obs.Event
+}
+
+// AddMachineEvents merges pre-built machine-timeline events (the simulator
+// tracer's per-processor issue and FU tracks) into the run's trace: they are
+// served on /trace next to the pipeline spans and written into the
+// -trace-out file. Safe from concurrent loop renderers; a no-op when neither
+// -serve nor -trace-out asked for a trace.
+func (o *Observability) AddMachineEvents(evs []obs.Event) {
+	if o.Recorder == nil || len(evs) == 0 {
+		return
+	}
+	o.mu.Lock()
+	o.machine = append(o.machine, evs...)
+	o.mu.Unlock()
+}
+
+// machineEvents snapshots the collected machine timelines.
+func (o *Observability) machineEvents() []obs.Event {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]obs.Event(nil), o.machine...)
 }
 
 // Observability starts the observability side requested by the flags: a
@@ -165,6 +190,7 @@ func (f *Flags) Observability(metrics *pipeline.Metrics, w io.Writer) (*Observab
 		Recorder: o.Recorder,
 		Metrics:  metrics.WritePrometheus,
 		Stats:    func() any { return metrics.Stats() },
+		Extra:    o.machineEvents,
 	}
 	addr, err := o.Server.Start(f.Serve)
 	if err != nil {
@@ -190,7 +216,8 @@ func (o *Observability) Finish() error {
 		if err != nil {
 			return err
 		}
-		if err := o.Recorder.WriteChromeTrace(fh); err != nil {
+		err = obs.WriteChromeTraceMerged(fh, o.Recorder.Snapshot(), o.Recorder.Epoch(), o.machineEvents())
+		if err != nil {
 			fh.Close()
 			return err
 		}

@@ -89,6 +89,32 @@ func (s *Schedule) latency(node int) int {
 	return s.Cfg.Latency[s.Prog.Instrs[node].Class()]
 }
 
+// Occupancy returns, per function-unit class, the number of units busy in
+// every cycle up to CompletionLength. Units are not pipelined — an
+// instruction holds its unit for its full latency — matching Validate's
+// resource model. Classes that need no unit (synchronization) are absent.
+// Validate uses it for the oversubscription check and the simulator's
+// tracer for empty-slot attribution.
+func (s *Schedule) Occupancy() map[dlx.Class][]int {
+	occupancy := map[dlx.Class][]int{}
+	horizon := s.CompletionLength()
+	for v := range s.Cycle {
+		cls := s.Prog.Instrs[v].Class()
+		if !dlx.NeedsUnit(cls) {
+			continue
+		}
+		occ := occupancy[cls]
+		if occ == nil {
+			occ = make([]int, horizon)
+			occupancy[cls] = occ
+		}
+		for c := s.Cycle[v]; c < s.Cycle[v]+s.latency(v); c++ {
+			occ[c]++
+		}
+	}
+	return occupancy
+}
+
 // PairSpan describes one synchronization pair's placement in the schedule.
 type PairSpan struct {
 	Signal string
@@ -208,23 +234,11 @@ func (s *Schedule) Validate() error {
 	}
 	// Function-unit occupancy (units are not pipelined: an instruction holds
 	// its unit for its full latency).
-	occupancy := map[dlx.Class][]int{}
-	horizon := s.CompletionLength()
-	for v := 0; v < n; v++ {
-		cls := s.Prog.Instrs[v].Class()
-		if !dlx.NeedsUnit(cls) {
-			continue
-		}
-		occ := occupancy[cls]
-		if occ == nil {
-			occ = make([]int, horizon)
-			occupancy[cls] = occ
-		}
-		for c := s.Cycle[v]; c < s.Cycle[v]+s.latency(v); c++ {
-			occ[c]++
-			if occ[c] > s.Cfg.Units[cls] {
+	for cls, occ := range s.Occupancy() {
+		for c, busy := range occ {
+			if busy > s.Cfg.Units[cls] {
 				return fmt.Errorf("core: cycle %d oversubscribes %s units (%d > %d)",
-					c, cls, occ[c], s.Cfg.Units[cls])
+					c, cls, busy, s.Cfg.Units[cls])
 			}
 		}
 	}

@@ -187,6 +187,55 @@ func PipelineCachedHit(b *testing.B) {
 	}
 }
 
+// SimUntraced is the recurrence simulator alone on the Fig. 1 sync
+// schedule with no tracer attached — the pipeline's hot simulate path.
+// TestSimNilTracerAllocs at the repo root pins its steady-state allocation
+// count so the opt-in tracer hook stays free when unused.
+func SimUntraced(b *testing.B) {
+	s := simSchedule(b)
+	opt := doacross.SimOptions{Lo: 1, Hi: N}
+	if _, err := doacross.SimulateOptions(s, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm, err := doacross.SimulateOptions(s, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tm.Total == 0 {
+			b.Fatal("zero makespan")
+		}
+	}
+}
+
+// SimTraced is the same simulation with the cycle-accurate tracer attached
+// and its attribution books verified every iteration — the cost of -why,
+// -machine-obs and the utilization audit, measured against SimUntraced.
+func SimTraced(b *testing.B) {
+	s := simSchedule(b)
+	tr := &doacross.SimTracer{}
+	opt := doacross.SimOptions{Lo: 1, Hi: N, Tracer: tr}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := doacross.SimulateTraced(s, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func simSchedule(b *testing.B) *doacross.Schedule {
+	b.Helper()
+	prog := doacross.MustCompile(Fig1)
+	s, err := prog.ScheduleSync(doacross.Machine4Issue(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
 // Row is one benchmark's snapshot: the current measurement next to the
 // recorded seed (pre-refactor) numbers, when the workload existed then.
 type Row struct {
@@ -242,6 +291,8 @@ var workloads = []struct {
 	{"BenchmarkHotCompileSchedule", CompileSchedule},
 	{"BenchmarkHotScheduleWarm", ScheduleWarm},
 	{"BenchmarkHotPipelineCachedHit", PipelineCachedHit},
+	{"BenchmarkHotSim/untraced", SimUntraced},
+	{"BenchmarkHotSim/traced", SimTraced},
 }
 
 // Run measures every tracked workload with testing.Benchmark and returns

@@ -8,10 +8,14 @@ import (
 	"time"
 )
 
-// chromeEvent is one Chrome trace_event "complete" (ph=X) event. The format
-// is the one chrome://tracing and Perfetto load: timestamps and durations in
+// Event is one raw Chrome trace_event entry: ph=X "complete" spans, ph=M
+// metadata (process/thread names), ph=i instants. The format is the one
+// chrome://tracing and Perfetto load: timestamps and durations in
 // microseconds, pid/tid selecting the display track, args free-form.
-type chromeEvent struct {
+// Producers outside the span recorder — the simulator's machine-level
+// tracer — build Events directly and merge them into the same timeline via
+// WriteChromeTraceMerged.
+type Event struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat"`
 	Ph   string         `json:"ph"`
@@ -24,8 +28,8 @@ type chromeEvent struct {
 
 // chromeTrace is the trace_event JSON object format.
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
 }
 
 // attrArgs renders a span's attributes (plus its error, if any) as trace
@@ -53,6 +57,13 @@ func attrArgs(s Span) map[string]any {
 // in Perfetto (ui.perfetto.dev) and chrome://tracing; request spans appear
 // as separate tracks with their stage and pass spans nested inside.
 func WriteChromeTrace(w io.Writer, spans []Span, epoch time.Time) error {
+	return WriteChromeTraceMerged(w, spans, epoch, nil)
+}
+
+// WriteChromeTraceMerged writes the spans plus pre-built extra events (e.g.
+// the simulator's machine timelines, which use their own pid so each loop
+// appears as its own process group) as one merged trace.
+func WriteChromeTraceMerged(w io.Writer, spans []Span, epoch time.Time, extra []Event) error {
 	if epoch.IsZero() {
 		for _, s := range spans {
 			if epoch.IsZero() || s.Start.Before(epoch) {
@@ -60,9 +71,9 @@ func WriteChromeTrace(w io.Writer, spans []Span, epoch time.Time) error {
 			}
 		}
 	}
-	events := make([]chromeEvent, 0, len(spans))
+	events := make([]Event, 0, len(spans)+len(extra))
 	for _, s := range spans {
-		events = append(events, chromeEvent{
+		events = append(events, Event{
 			Name: s.Name,
 			Cat:  s.Kind.String(),
 			Ph:   "X",
@@ -72,6 +83,16 @@ func WriteChromeTrace(w io.Writer, spans []Span, epoch time.Time) error {
 			TID:  s.Track,
 			Args: attrArgs(s),
 		})
+	}
+	events = append(events, extra...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteEvents writes pre-built events alone as a loadable trace.
+func WriteEvents(w io.Writer, events []Event) error {
+	if events == nil {
+		events = []Event{}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})

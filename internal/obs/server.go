@@ -30,6 +30,10 @@ type Server struct {
 	Metrics func(w io.Writer)
 	// Stats returns the JSON-marshalable snapshot for /stats.
 	Stats func() any
+	// Extra supplies pre-built events (machine timelines from the simulator
+	// tracer) merged into /trace alongside the recorded spans (nil: spans
+	// only).
+	Extra func() []Event
 
 	start time.Time
 	srv   *http.Server
@@ -97,7 +101,11 @@ func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="doacross-trace.json"`)
-	_ = s.Recorder.WriteChromeTrace(w)
+	var extra []Event
+	if s.Extra != nil {
+		extra = s.Extra()
+	}
+	_ = WriteChromeTraceMerged(w, s.Recorder.Snapshot(), s.Recorder.Epoch(), extra)
 }
 
 func (s *Server) handleTraceJSONL(w http.ResponseWriter, _ *http.Request) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"doacross/internal/passes"
+	"doacross/internal/sim"
 )
 
 // Stage names of the batch pipeline's own stages. Compilation is no longer
@@ -106,6 +107,14 @@ type Metrics struct {
 	// Send_Signal issues, wait-stall cycles, and the LBD/LFD split of the
 	// synchronization arcs (the paper's LBD loop theorem quantities).
 	signals, stallCycles, lbdArcs, lfdArcs atomic.Int64
+	// Machine-level utilization counters, accumulated from the traced
+	// simulations of served schedules when the batch runs with
+	// Options.Utilization: processor-cycle totals split by attributed
+	// cause, and issue-slot totals split by the static reason each empty
+	// slot stayed empty.
+	simCyclesIssued, simCyclesSyncWait, simCyclesWindowWait, simCyclesDrain atomic.Int64
+	simSlotsTotal, simSlotsUsed                                             atomic.Int64
+	simEmptyRAW, simEmptyFUBusy, simEmptyWidth, simEmptyDrain               atomic.Int64
 	// cache, when attached, supplies occupancy and eviction gauges to
 	// snapshots.
 	cache atomic.Pointer[Cache]
@@ -217,6 +226,26 @@ func (m *Metrics) ObserveSim(signals, stalls, lbd, lfd int64) {
 	m.stallCycles.Add(stalls)
 	m.lbdArcs.Add(lbd)
 	m.lfdArcs.Add(lfd)
+}
+
+// ObserveUtil folds one machine-level utilization report (the served
+// schedule's traced simulation) into the aggregate machine counters. A nil
+// report — an untraced batch, or a cache hit recorded without tracing — is
+// a no-op.
+func (m *Metrics) ObserveUtil(u *sim.Utilization) {
+	if u == nil {
+		return
+	}
+	m.simCyclesIssued.Add(int64(u.IssuedCycles))
+	m.simCyclesSyncWait.Add(int64(u.SyncWaitCycles))
+	m.simCyclesWindowWait.Add(int64(u.WindowWaitCycles))
+	m.simCyclesDrain.Add(int64(u.DrainCycles))
+	m.simSlotsTotal.Add(int64(u.SlotsTotal))
+	m.simSlotsUsed.Add(int64(u.SlotsIssued))
+	m.simEmptyRAW.Add(int64(u.EmptyRAW))
+	m.simEmptyFUBusy.Add(int64(u.EmptyFUBusy))
+	m.simEmptyWidth.Add(int64(u.EmptyWidth))
+	m.simEmptyDrain.Add(int64(u.EmptyDrain))
 }
 
 // AttachCache points snapshots at the batch's schedule cache, whose
@@ -348,6 +377,14 @@ type Stats struct {
 	// synchronization arcs.
 	SignalsSent, WaitStallCycles int64
 	LBDArcs, LFDArcs             int64
+	// Machine-level utilization totals (zero unless utilization tracing
+	// was enabled): processor cycles by attributed cause and issue slots
+	// by static empty-slot reason, summed over served schedules.
+	MachineCyclesIssued, MachineCyclesSyncWait  int64
+	MachineCyclesWindowWait, MachineCyclesDrain int64
+	MachineSlotsTotal, MachineSlotsUsed         int64
+	MachineEmptyRAW, MachineEmptyFUBusy         int64
+	MachineEmptyIssueWidth, MachineEmptyDrain   int64
 }
 
 // Stats snapshots the registry.
@@ -396,6 +433,16 @@ func (m *Metrics) Stats() Stats {
 	out.WaitStallCycles = m.stallCycles.Load()
 	out.LBDArcs = m.lbdArcs.Load()
 	out.LFDArcs = m.lfdArcs.Load()
+	out.MachineCyclesIssued = m.simCyclesIssued.Load()
+	out.MachineCyclesSyncWait = m.simCyclesSyncWait.Load()
+	out.MachineCyclesWindowWait = m.simCyclesWindowWait.Load()
+	out.MachineCyclesDrain = m.simCyclesDrain.Load()
+	out.MachineSlotsTotal = m.simSlotsTotal.Load()
+	out.MachineSlotsUsed = m.simSlotsUsed.Load()
+	out.MachineEmptyRAW = m.simEmptyRAW.Load()
+	out.MachineEmptyFUBusy = m.simEmptyFUBusy.Load()
+	out.MachineEmptyIssueWidth = m.simEmptyWidth.Load()
+	out.MachineEmptyDrain = m.simEmptyDrain.Load()
 	if c := m.cache.Load(); c != nil {
 		out.CacheEntries = int64(c.Len())
 		out.CacheEvictions = c.Evictions()
@@ -464,6 +511,13 @@ func (s Stats) String() string {
 	if s.SignalsSent+s.WaitStallCycles+s.LBDArcs+s.LFDArcs > 0 {
 		fmt.Fprintf(&sb, "sync: %d signals sent, %d wait-stall cycles, arcs %d LBD / %d LFD\n",
 			s.SignalsSent, s.WaitStallCycles, s.LBDArcs, s.LFDArcs)
+	}
+	if s.MachineSlotsTotal > 0 {
+		fmt.Fprintf(&sb, "machine: %d/%d issue slots used (%.1f%%), cycles %d issued / %d sync / %d window / %d drain\n",
+			s.MachineSlotsUsed, s.MachineSlotsTotal,
+			100*float64(s.MachineSlotsUsed)/float64(s.MachineSlotsTotal),
+			s.MachineCyclesIssued, s.MachineCyclesSyncWait,
+			s.MachineCyclesWindowWait, s.MachineCyclesDrain)
 	}
 	for _, st := range s.Stages {
 		fmt.Fprintf(&sb, "%-10s %6d runs, %3d errors, mean %9v, max %9v, total %9v\n",

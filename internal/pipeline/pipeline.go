@@ -77,6 +77,11 @@ type Request struct {
 	Loop *lang.Loop
 	// N overrides Options.N for this request (0 = use the batch default).
 	N int
+	// ID is an optional correlation ID (e.g. the daemon's X-Request-Id). It
+	// is attached to the request's observer span so service logs, span
+	// trees and flight-recorder dumps can be joined on it; it never enters
+	// cache or coalescing keys.
+	ID string
 }
 
 // name returns the request's label in results and fault probes.
@@ -155,6 +160,14 @@ type Options struct {
 	// a seeded deterministic implementation; production batches leave it
 	// nil.
 	FaultHook func(stage, name string) error
+	// Utilization additionally traces every simulation with the machine-
+	// level tracer (sim.Tracer) and attaches the derived utilization
+	// reports (per-FU occupancy, issue-slot efficiency, stall-cause
+	// histogram) to each MachineResult. The tracer's attribution books are
+	// verified against the timing counters on every traced run. Cached
+	// timings carry whatever the original run recorded — a hit from an
+	// untraced run has nil reports (best effort, like span observation).
+	Utilization bool
 	// Observer, when non-nil, records a span per batch, request, stage and
 	// compilation pass into its bounded ring buffer (see internal/obs),
 	// reconstructible as a batch → request → stage → pass tree and
@@ -292,6 +305,10 @@ type MachineResult struct {
 	BackendNote string
 	// CacheHit reports whether the schedules came from the cache.
 	CacheHit bool
+	// ListUtil and SyncUtil are the machine-level utilization reports of
+	// the traced simulations (nil unless Options.Utilization, and nil on
+	// cache hits recorded by untraced runs).
+	ListUtil, SyncUtil *sim.Utilization
 	// Degraded reports that the synchronization-aware schedule (and Best)
 	// was replaced by the verified program-order list fallback after a
 	// scheduler or simulator failure; Sync then holds the fallback, which
@@ -446,6 +463,10 @@ type timeEntry struct {
 	listLBD, syncLBD             int
 	listLFD, syncLFD             int
 	listSignals, syncSignals     int
+	// Machine-level utilization reports, recorded only when the batch ran
+	// with Options.Utilization (nil otherwise; a cache hit serves whatever
+	// the recording run kept).
+	listUtil, syncUtil *sim.Utilization
 }
 
 // Run schedules every request and returns per-loop results plus aggregate
@@ -602,7 +623,11 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 		if opt.Observer == nil {
 			return
 		}
-		opt.Observer.End(&rspan, res.Err, obs.I("index", int64(idx)))
+		attrs := []obs.Attr{obs.I("index", int64(idx))}
+		if req.ID != "" {
+			attrs = append(attrs, obs.S("request_id", req.ID))
+		}
+		opt.Observer.End(&rspan, res.Err, attrs...)
 	}()
 	// Last line of defense: a panic that escapes the per-stage recovery
 	// (e.g. in glue code or a fault hook outside a stage) fails this request
@@ -978,14 +1003,29 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 					if err := probe(StageSimulate); err != nil {
 						return err
 					}
-					lt, err := sim.Time(entry.list, simOpt)
+					// With Options.Utilization the run is traced and the
+					// attribution books are verified against the timing
+					// counters; otherwise this is plain sim.Time.
+					timeOne := func(s *core.Schedule) (sim.Timing, *sim.Utilization, error) {
+						if !opt.Utilization {
+							tm, err := sim.Time(s, simOpt)
+							return tm, nil, err
+						}
+						tm, u, err := sim.Utilize(s, simOpt)
+						if err == nil {
+							u.Loop = res.Name
+						}
+						return tm, u, err
+					}
+					lt, lu, err := timeOne(entry.list)
 					if err != nil {
 						return err
 					}
-					st, err := sim.Time(entry.sync, simOpt)
+					st, su, err := timeOne(entry.sync)
 					if err != nil {
 						return err
 					}
+					te.listUtil, te.syncUtil = lu, su
 					te.listTime, te.listStalls = lt.Total, lt.StallCycles
 					te.syncTime, te.syncStalls = st.Total, st.StallCycles
 					te.listSignals, te.syncSignals = lt.SignalsSent, st.SignalsSent
@@ -1058,6 +1098,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 			}
 		}
 		mr.ListTime, mr.SyncTime, mr.BestTime = times.listTime, times.syncTime, times.bestTime
+		mr.ListUtil, mr.SyncUtil = times.listUtil, times.syncUtil
 		mr.ListStalls, mr.SyncStalls = times.listStalls, times.syncStalls
 		mr.ListLBD, mr.SyncLBD = times.listLBD, times.syncLBD
 		mr.ListLFD, mr.SyncLFD = times.listLFD, times.syncLFD
@@ -1084,6 +1125,7 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 		// synchronization-aware one, or the fallback standing in for it).
 		metrics.ObserveSim(int64(times.syncSignals), int64(times.syncStalls),
 			int64(times.syncLBD), int64(times.syncLFD))
+		metrics.ObserveUtil(times.syncUtil)
 		endSim(mspan, nil, mr, times, timeCached, opt.Observer)
 	}
 	return res

@@ -86,6 +86,35 @@ func (s Stats) WritePrometheus(w io.Writer) {
 	counter("doacross_sim_wait_stall_cycles_total", "Cycles lost to Wait_Signal stalls across served simulations.", s.WaitStallCycles)
 	counter("doacross_sched_lbd_arcs_total", "Synchronization arcs left lexically backward by served schedules.", s.LBDArcs)
 	counter("doacross_sched_lfd_arcs_total", "Synchronization arcs placed lexically forward by served schedules.", s.LFDArcs)
+	if s.MachineSlotsTotal > 0 {
+		labeled := func(name, help string, vals ...struct {
+			label string
+			v     int64
+		}) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, lv := range vals {
+				fmt.Fprintf(w, "%s{cause=%q} %d\n", name, lv.label, lv.v)
+			}
+		}
+		type lv = struct {
+			label string
+			v     int64
+		}
+		counter("doacross_sim_issue_slots_total", "Issue slots offered by the machine (procs x cycles x width) across traced served simulations.", s.MachineSlotsTotal)
+		counter("doacross_sim_issue_slots_used_total", "Issue slots actually filled by an instruction across traced served simulations.", s.MachineSlotsUsed)
+		labeled("doacross_sim_machine_cycles_total",
+			"Processor cycles across traced served simulations, split by attributed cause.",
+			lv{"issued", s.MachineCyclesIssued},
+			lv{"sync_wait", s.MachineCyclesSyncWait},
+			lv{"window_wait", s.MachineCyclesWindowWait},
+			lv{"drain", s.MachineCyclesDrain})
+		labeled("doacross_sim_empty_slots_total",
+			"Empty issue slots on cycles that did issue, split by the static reason the slot stayed empty.",
+			lv{"raw", s.MachineEmptyRAW},
+			lv{"fu_busy", s.MachineEmptyFUBusy},
+			lv{"issue_width", s.MachineEmptyIssueWidth},
+			lv{"drain", s.MachineEmptyDrain})
+	}
 	gauge("doacross_workers_in_flight", "Requests currently executing inside a worker.", s.InFlight)
 	gauge("doacross_queue_depth", "Requests enqueued but not yet picked up by a worker.", s.QueueDepth)
 	gauge("doacross_cache_entries", "Entries resident in the attached schedule cache.", s.CacheEntries)

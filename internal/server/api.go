@@ -9,6 +9,8 @@
 // SIGTERM. Client is the matching retrying client.
 package server
 
+import "doacross/internal/sim"
+
 // ScheduleRequest is the POST /v1/schedule body: one loop to schedule
 // under the daemon's configured options. The optional Backend field
 // overrides the scheduling backend per request (see passes.BackendNames);
@@ -42,6 +44,11 @@ type MachineResult struct {
 	DegradedReason string  `json:"degraded_reason,omitempty"`
 	SyncSignals    int     `json:"sync_signals"`
 	StallCycles    int     `json:"stall_cycles"`
+	// Utilization is the machine-level utilization report of the served
+	// (synchronization-aware) schedule's traced simulation — present only
+	// when the daemon runs with pipeline utilization tracing and the
+	// timing was not served from an untraced cache entry.
+	Utilization *sim.Utilization `json:"utilization,omitempty"`
 }
 
 // ScheduleResponse is the 200 body of POST /v1/schedule.
@@ -53,6 +60,10 @@ type ScheduleResponse struct {
 	// mean byte-identical results, and are what concurrent duplicates
 	// coalesce on.
 	Key string `json:"key"`
+	// RequestID echoes the request's correlation ID (the client's
+	// X-Request-Id, or the one the daemon minted), the join key for the
+	// daemon's structured logs and flight-recorder entries.
+	RequestID string `json:"request_id,omitempty"`
 	// Coalesced reports that this response was served by another caller's
 	// in-flight computation of the same key.
 	Coalesced bool `json:"coalesced"`
@@ -66,6 +77,9 @@ type ScheduleResponse struct {
 type ErrorResponse struct {
 	// Error describes what went wrong.
 	Error string `json:"error"`
+	// RequestID echoes the request's correlation ID, when one was resolved
+	// before the failure.
+	RequestID string `json:"request_id,omitempty"`
 	// Reason classifies sheds: "draining", "ratelimit", "queue", "breaker".
 	Reason string `json:"reason,omitempty"`
 	// Diagnostics carries positioned compile diagnostics on 400s.

@@ -26,6 +26,10 @@ type Client struct {
 	HTTPClient *http.Client
 	// Tenant is sent as X-Tenant for rate accounting ("" = default).
 	Tenant string
+	// RequestID fixes the X-Request-Id sent with every call ("" = a fresh
+	// ID per Schedule call, stable across its retries so the daemon's logs
+	// show one correlation ID for the whole retry loop).
+	RequestID string
 	// MaxRetries bounds retry attempts after the first try (0 = 4,
 	// negative = no retries).
 	MaxRetries int
@@ -128,9 +132,13 @@ func (c *Client) Schedule(ctx context.Context, req ScheduleRequest) (*ScheduleRe
 	if err != nil {
 		return nil, fmt.Errorf("scheduld: encode request: %w", err)
 	}
+	rid := c.RequestID
+	if rid == "" {
+		rid = newRequestID()
+	}
 	var last error
 	for attempt := 0; ; attempt++ {
-		resp, retryAfter, err := c.once(ctx, body)
+		resp, retryAfter, err := c.once(ctx, body, rid)
 		if err == nil {
 			return resp, nil
 		}
@@ -154,12 +162,13 @@ func (c *Client) Schedule(ctx context.Context, req ScheduleRequest) (*ScheduleRe
 
 // once performs a single attempt; retryAfter carries the server's
 // Retry-After on shed responses (0 when absent).
-func (c *Client) once(ctx context.Context, body []byte) (*ScheduleResponse, time.Duration, error) {
+func (c *Client) once(ctx context.Context, body []byte, rid string) (*ScheduleResponse, time.Duration, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/schedule", bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, fmt.Errorf("scheduld: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Request-Id", rid)
 	if c.Tenant != "" {
 		hreq.Header.Set("X-Tenant", c.Tenant)
 	}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"doacross/internal/obs"
+)
+
+// Request correlation. Every schedule request carries an ID: the client's
+// X-Request-Id when it sent one, the trace-id of a W3C traceparent header
+// when only that is present, or a fresh random ID otherwise. The ID is
+// echoed on every response (header and body), attached to the pipeline
+// request's observer span, keyed into every structured log line the daemon
+// emits about the request, and recorded in the flight recorder — one join
+// key from client retry loop to pass-level span.
+
+// requestID extracts or mints the correlation ID of a request.
+func requestID(r *http.Request) string {
+	if id := sanitizeID(r.Header.Get("X-Request-Id")); id != "" {
+		return id
+	}
+	// traceparent: version-traceid-parentid-flags; reuse the trace-id so
+	// daemon logs join an existing distributed trace.
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		if parts := strings.Split(tp, "-"); len(parts) == 4 && len(parts[1]) == 32 {
+			if id := sanitizeID(parts[1]); id != "" {
+				return id
+			}
+		}
+	}
+	return newRequestID()
+}
+
+// sanitizeID accepts client-supplied IDs only when they are short and
+// log/header-safe; anything else is discarded (a fresh ID is minted).
+func sanitizeID(id string) string {
+	if id == "" || len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// newRequestID mints a 16-hex-digit random ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// maybeDump dumps the flight recorder for the given trigger, rate-limited
+// to one dump per second so a failure storm cannot turn the black box into
+// a disk filler. The trigger itself is recorded in the ring first, so the
+// dump explains why it exists.
+func (s *Server) maybeDump(reason string) {
+	now := time.Now().UnixNano()
+	last := s.lastDump.Load()
+	if now-last < int64(time.Second) || !s.lastDump.CompareAndSwap(last, now) {
+		return
+	}
+	s.flight.Add(obs.FlightRecord{Kind: "trigger", Msg: reason})
+	path, err := s.DumpFlightRecord(reason)
+	if err != nil {
+		s.log.Error("flight-record dump failed", "reason", reason, "error", err.Error())
+		return
+	}
+	s.log.Warn("flight record dumped", "reason", reason, "path", path)
+}
+
+// DumpFlightRecord writes the flight recorder's ring as JSONL to a
+// timestamped file under Config.FlightDir (to stderr when unset) and
+// returns the path written. Triggered automatically on panic, deadline
+// breach and breaker-open; cmd/scheduld also calls it on SIGQUIT.
+func (s *Server) DumpFlightRecord(reason string) (string, error) {
+	if s.cfg.FlightDir == "" {
+		return "stderr", s.flight.WriteJSONL(os.Stderr)
+	}
+	path := filepath.Join(s.cfg.FlightDir,
+		fmt.Sprintf("flightrecord-%s-%d.jsonl", reason, time.Now().UnixNano()))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	err = s.flight.WriteJSONL(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// handleFlightRecord serves the current ring as JSONL: the same content a
+// trigger would dump, on demand.
+func (s *Server) handleFlightRecord(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/jsonl")
+	_ = s.flight.WriteJSONL(w)
+}
+
+// recovered wraps a handler so a panic dumps the flight recorder before the
+// connection dies — the black box survives even when the handler does not.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.log.Error("panic in handler",
+					"path", r.URL.Path, "panic", fmt.Sprint(p))
+				s.maybeDump("panic")
+				panic(p)
+			}
+		}()
+		h(w, r)
+	}
+}

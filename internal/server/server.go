@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"doacross/internal/diag"
+	"doacross/internal/obs"
 	"doacross/internal/passes"
 	"doacross/internal/pipeline"
 )
@@ -65,6 +67,18 @@ type Config struct {
 	// "disk-read" in the persistent tier. internal/faults provides the
 	// seeded implementation; production daemons leave it nil.
 	FaultHook func(stage, name string) error
+	// Logger receives the daemon's structured decision log (admission,
+	// sheds, breaker transitions, served requests), every line keyed by
+	// request_id. Nil logs nowhere live — but every record still lands in
+	// the always-on flight recorder, which keeps debug-grade context
+	// regardless of the live level.
+	Logger *slog.Logger
+	// FlightDir is where triggered flight-recorder dumps are written
+	// ("" = stderr). Triggers: handler panic, deadline breach,
+	// breaker-open, SIGQUIT (via DumpFlightRecord).
+	FlightDir string
+	// FlightRing bounds the flight recorder (0 = 256 records).
+	FlightRing int
 }
 
 func (c Config) maxInFlight() int {
@@ -133,6 +147,10 @@ type Server struct {
 	breakers *breakerSet
 	sm       serverMetrics
 
+	log      *slog.Logger
+	flight   *obs.FlightRecorder
+	lastDump atomic.Int64
+
 	loadStats pipeline.LoadStats
 	draining  atomic.Bool
 	start     time.Time
@@ -152,8 +170,14 @@ func New(cfg Config) (*Server, error) {
 		limiter:  newRateLimiter(cfg.RatePerSec, cfg.burst()),
 		adm:      newAdmission(cfg.maxInFlight(), cfg.queueLimit()),
 		breakers: newBreakerSet(cfg.breakerThreshold(), cfg.BreakerCooldown),
+		flight:   obs.NewFlightRecorder(cfg.FlightRing),
 		start:    time.Now(),
 	}
+	var inner slog.Handler
+	if cfg.Logger != nil {
+		inner = cfg.Logger.Handler()
+	}
+	s.log = obs.FlightLogger(s.flight, inner)
 	s.opt = cfg.Pipeline
 	s.opt.Cache = s.cache
 	s.opt.Metrics = s.metrics
@@ -183,6 +207,9 @@ func New(cfg Config) (*Server, error) {
 		s.disk = disk
 		s.loadStats = ls
 		s.opt.Disk = disk
+		s.log.Info("disk tier loaded",
+			"dir", cfg.DiskDir, "scanned", ls.Scanned, "loaded", ls.Loaded,
+			"stale", ls.Stale, "corrupt", ls.Corrupt, "errors", ls.Errors)
 	}
 	return s, nil
 }
@@ -195,16 +222,18 @@ func (s *Server) Metrics() *pipeline.Metrics { return s.metrics }
 
 // Handler builds the daemon mux:
 //
-//	POST /v1/schedule  schedule one loop (coalesced, admission-controlled)
-//	GET  /healthz      liveness: status, uptime, admission gauges
-//	GET  /metrics      Prometheus exposition: doacross_* then scheduld_*
-//	GET  /stats        JSON snapshot: server, pipeline, disk, warm-start
+//	POST /v1/schedule        schedule one loop (coalesced, admission-controlled)
+//	GET  /healthz            liveness: status, uptime, admission gauges
+//	GET  /metrics            Prometheus exposition: doacross_* then scheduld_*
+//	GET  /stats              JSON snapshot: server, pipeline, disk, warm-start
+//	GET  /debug/flightrecord the flight recorder's ring as JSONL
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	mux.HandleFunc("/v1/schedule", s.recovered(s.handleSchedule))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/debug/flightrecord", s.handleFlightRecord)
 	return mux
 }
 
@@ -244,10 +273,30 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, 0, ErrorResponse{Error: "POST only"})
 		return
 	}
+	rid := requestID(r)
+	w.Header().Set("X-Request-Id", rid)
+	started := time.Now()
+	name := "loop"
+	backend := ""
+	// deny answers with an error response, logging the decision and landing
+	// it in the flight recorder, everything keyed by the correlation ID.
+	deny := func(level slog.Level, code int, retryAfter time.Duration, resp ErrorResponse) {
+		resp.RequestID = rid
+		writeError(w, code, retryAfter, resp)
+		s.log.Log(r.Context(), level, "request refused",
+			"request_id", rid, "loop", name, "backend", backend,
+			"status", code, "reason", resp.Reason, "error", resp.Error)
+		s.flight.Add(obs.FlightRecord{Kind: "request", RequestID: rid,
+			Request: &obs.RequestRecord{
+				Name: name, Backend: backend, Status: code,
+				DurationMS: float64(time.Since(started).Microseconds()) / 1e3,
+				Err:        resp.Error,
+			}})
+	}
 	s.sm.requests.Add(1)
 	if s.draining.Load() {
 		s.sm.shedDraining.Add(1)
-		writeError(w, http.StatusServiceUnavailable, time.Second,
+		deny(slog.LevelWarn, http.StatusServiceUnavailable, time.Second,
 			ErrorResponse{Error: "daemon is draining for shutdown", Reason: "draining"})
 		return
 	}
@@ -255,22 +304,21 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxSourceBytes()))
 	if err := dec.Decode(&req); err != nil {
 		s.sm.clientErrors.Add(1)
-		writeError(w, http.StatusBadRequest, 0, ErrorResponse{Error: "bad request body: " + err.Error()})
+		deny(slog.LevelInfo, http.StatusBadRequest, 0, ErrorResponse{Error: "bad request body: " + err.Error()})
 		return
+	}
+	if req.Name != "" {
+		name = req.Name
 	}
 	if strings.TrimSpace(req.Source) == "" {
 		s.sm.clientErrors.Add(1)
-		writeError(w, http.StatusBadRequest, 0, ErrorResponse{Error: "missing source"})
+		deny(slog.LevelInfo, http.StatusBadRequest, 0, ErrorResponse{Error: "missing source"})
 		return
 	}
 	if req.N < 0 {
 		s.sm.clientErrors.Add(1)
-		writeError(w, http.StatusBadRequest, 0, ErrorResponse{Error: fmt.Sprintf("negative trip count n=%d", req.N)})
+		deny(slog.LevelInfo, http.StatusBadRequest, 0, ErrorResponse{Error: fmt.Sprintf("negative trip count n=%d", req.N)})
 		return
-	}
-	name := req.Name
-	if name == "" {
-		name = "loop"
 	}
 
 	// Per-request backend override; fail unknown names before any work.
@@ -278,10 +326,10 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if req.Backend != "" {
 		opt.Compile.Backend = req.Backend
 	}
-	backend := backendName(opt.Compile.Backend)
+	backend = backendName(opt.Compile.Backend)
 	if _, err := passes.Backend(opt.Compile.Backend, passes.BackendConfig{Sync: opt.Sync, Exact: opt.Compile.Exact}); err != nil {
 		s.sm.clientErrors.Add(1)
-		writeError(w, http.StatusBadRequest, 0, ErrorResponse{Error: err.Error()})
+		deny(slog.LevelInfo, http.StatusBadRequest, 0, ErrorResponse{Error: err.Error()})
 		return
 	}
 
@@ -291,7 +339,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		if err := s.cfg.FaultHook(stageNet, name); err != nil {
 			s.sm.netFaults.Add(1)
 			s.sm.serverErrors.Add(1)
-			writeError(w, http.StatusServiceUnavailable, time.Second,
+			deny(slog.LevelWarn, http.StatusServiceUnavailable, time.Second,
 				ErrorResponse{Error: "network fault: " + err.Error()})
 			return
 		}
@@ -300,13 +348,13 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	// Admission control: token bucket, then circuit, then bounded queue.
 	if ok, wait := s.limiter.admit(r.Header.Get("X-Tenant"), time.Now()); !ok {
 		s.sm.shedRate.Add(1)
-		writeError(w, http.StatusTooManyRequests, wait,
+		deny(slog.LevelWarn, http.StatusTooManyRequests, wait,
 			ErrorResponse{Error: "tenant rate limit exceeded", Reason: "ratelimit"})
 		return
 	}
 	if ok, wait := s.breakers.allow(backend, time.Now()); !ok {
 		s.sm.shedBreaker.Add(1)
-		writeError(w, http.StatusServiceUnavailable, wait,
+		deny(slog.LevelWarn, http.StatusServiceUnavailable, wait,
 			ErrorResponse{Error: fmt.Sprintf("backend %q circuit open", backend), Reason: "breaker"})
 		return
 	}
@@ -319,19 +367,42 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	release, admitted := s.adm.acquire(ctx)
 	if !admitted {
 		s.sm.shedQueue.Add(1)
-		writeError(w, http.StatusServiceUnavailable, time.Second,
+		deny(slog.LevelWarn, http.StatusServiceUnavailable, time.Second,
 			ErrorResponse{Error: "admission queue full", Reason: "queue"})
 		return
 	}
 	defer release()
 
+	// recordBreaker feeds the circuit only from flight leaders and dumps
+	// the flight recorder when this very outcome opened the circuit.
+	recordBreaker := func(ok bool, coalesced bool) {
+		if coalesced {
+			return
+		}
+		before := s.breakers.opens.Load()
+		s.breakers.record(backend, ok, time.Now())
+		if s.breakers.opens.Load() > before {
+			s.log.Error("circuit breaker opened", "request_id", rid, "backend", backend)
+			s.maybeDump("breaker-open")
+		}
+	}
+
 	// Coalesce on the content address of the scheduling problem: among
 	// concurrent identical requests exactly one runs the pipeline; the
-	// flight inherits the latest deadline of everyone who joined.
-	preq := pipeline.Request{Name: name, Source: req.Source, N: req.N}
+	// flight inherits the latest deadline of everyone who joined. The
+	// leader's flight carries this request's correlation ID and, when no
+	// batch-level observer is configured, a per-flight span recorder whose
+	// tree lands in the flight record.
+	preq := pipeline.Request{Name: name, Source: req.Source, N: req.N, ID: rid}
 	key := pipeline.RequestKey(preq, opt)
+	var frec *obs.Recorder
 	v, err, coalesced := s.flights.Do(ctx, key, func(fctx context.Context) (any, error) {
-		b, err := pipeline.RunContext(fctx, []pipeline.Request{preq}, opt)
+		fopt := opt
+		if fopt.Observer == nil {
+			frec = obs.NewRecorder(512)
+			fopt.Observer = frec
+		}
+		b, err := pipeline.RunContext(fctx, []pipeline.Request{preq}, fopt)
 		if err != nil {
 			return nil, err
 		}
@@ -342,43 +413,72 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.sm.flights.Add(1)
 	}
+	var spans []obs.SpanNode
+	if frec != nil {
+		spans = obs.SpanNodes(frec.Snapshot())
+	}
+	record := func(status int, degraded bool, errText string) {
+		s.flight.Add(obs.FlightRecord{Kind: "request", RequestID: rid,
+			Request: &obs.RequestRecord{
+				Name: name, Backend: backend, Status: status,
+				DurationMS: float64(time.Since(started).Microseconds()) / 1e3,
+				Coalesced:  coalesced, Degraded: degraded,
+				Err: errText, Spans: spans,
+			}})
+	}
 	if err != nil {
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 			// Our own deadline expired; the flight may still finish for
 			// other waiters, so this says nothing about backend health.
 			s.sm.timeouts.Add(1)
-			writeError(w, http.StatusGatewayTimeout, 0, ErrorResponse{Error: err.Error()})
+			writeError(w, http.StatusGatewayTimeout, 0, ErrorResponse{Error: err.Error(), RequestID: rid})
+			s.log.Error("request deadline breached",
+				"request_id", rid, "loop", name, "backend", backend,
+				"error", err.Error())
+			record(http.StatusGatewayTimeout, false, err.Error())
+			s.maybeDump("deadline")
 			return
 		}
 		s.sm.serverErrors.Add(1)
-		if !coalesced {
-			s.breakers.record(backend, false, time.Now())
-		}
-		writeError(w, http.StatusInternalServerError, 0, ErrorResponse{Error: err.Error()})
+		recordBreaker(false, coalesced)
+		writeError(w, http.StatusInternalServerError, 0, ErrorResponse{Error: err.Error(), RequestID: rid})
+		s.log.Error("flight failed",
+			"request_id", rid, "loop", name, "backend", backend, "error", err.Error())
+		record(http.StatusInternalServerError, false, err.Error())
 		return
 	}
 	res := v.(*pipeline.LoopResult)
 	if res.Err != nil {
-		s.finishError(w, res, backend, coalesced)
+		status := s.finishError(w, res, rid, func(ok bool) { recordBreaker(ok, coalesced) })
+		s.log.Error("request failed",
+			"request_id", rid, "loop", name, "backend", backend,
+			"status", status, "error", res.Err.Error())
+		record(status, false, res.Err.Error())
+		if status == http.StatusGatewayTimeout {
+			s.maybeDump("deadline")
+		}
 		return
 	}
 
 	// Degraded (fallback-served) results are still correct answers — the
 	// fallback passed internal/check — but they mean the backend failed,
 	// which is exactly what the circuit breaker wants to know.
-	if !coalesced {
-		s.breakers.record(backend, !res.Degraded(), time.Now())
-	}
+	recordBreaker(!res.Degraded(), coalesced)
 	s.sm.responsesOK.Add(1)
 	resp := &ScheduleResponse{
 		Name:      res.Name,
 		N:         res.N,
 		Key:       fmt.Sprintf("%x", key[:]),
+		RequestID: rid,
 		Coalesced: coalesced,
 		Machines:  make([]MachineResult, len(res.Machines)),
 	}
+	cacheHits := 0
 	for i := range res.Machines {
 		m := &res.Machines[i]
+		if m.CacheHit {
+			cacheHits++
+		}
 		resp.Machines[i] = MachineResult{
 			Machine:        m.Machine,
 			Key:            fmt.Sprintf("%x", m.Key[:]),
@@ -395,6 +495,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			DegradedReason: m.DegradedReason,
 			SyncSignals:    m.SyncSignals,
 			StallCycles:    m.SyncStalls,
+			Utilization:    m.SyncUtil,
 		}
 	}
 	for _, d := range res.Lint {
@@ -402,35 +503,41 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
+	s.log.Info("request served",
+		"request_id", rid, "loop", name, "backend", backend,
+		"n", res.N, "machines", len(res.Machines), "cache_hits", cacheHits,
+		"coalesced", coalesced, "degraded", res.Degraded(),
+		"duration_ms", float64(time.Since(started).Microseconds())/1e3)
+	record(http.StatusOK, res.Degraded(), "")
 }
 
 // finishError classifies a per-request pipeline error into a status code
-// and feeds the circuit breaker only backend-health outcomes: compile
-// diagnostics are the client's bad source (400, breaker-neutral), expired
-// deadlines are timeouts (504, breaker-neutral — the flight may still
-// finish for other waiters), everything else is a server failure (500).
-func (s *Server) finishError(w http.ResponseWriter, res *pipeline.LoopResult, backend string, coalesced bool) {
+// and feeds the circuit breaker (through recordBreaker) only backend-health
+// outcomes: compile diagnostics are the client's bad source (400,
+// breaker-neutral), expired deadlines are timeouts (504, breaker-neutral —
+// the flight may still finish for other waiters), everything else is a
+// server failure (500). Returns the status served, for the decision log.
+func (s *Server) finishError(w http.ResponseWriter, res *pipeline.LoopResult, rid string, recordBreaker func(ok bool)) int {
 	err := res.Err
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		s.sm.timeouts.Add(1)
-		writeError(w, http.StatusGatewayTimeout, 0, ErrorResponse{Error: err.Error()})
-		return
+		writeError(w, http.StatusGatewayTimeout, 0, ErrorResponse{Error: err.Error(), RequestID: rid})
+		return http.StatusGatewayTimeout
 	}
 	var d *diag.Diagnostic
 	if errors.As(err, &d) && !strings.Contains(d.Msg, "panic:") {
 		s.sm.clientErrors.Add(1)
-		resp := ErrorResponse{Error: err.Error()}
+		resp := ErrorResponse{Error: err.Error(), RequestID: rid}
 		for _, dd := range res.Diags {
 			resp.Diagnostics = append(resp.Diagnostics, dd.Error())
 		}
 		writeError(w, http.StatusBadRequest, 0, resp)
-		return
+		return http.StatusBadRequest
 	}
 	s.sm.serverErrors.Add(1)
-	if !coalesced {
-		s.breakers.record(backend, false, time.Now())
-	}
-	writeError(w, http.StatusInternalServerError, 0, ErrorResponse{Error: err.Error()})
+	recordBreaker(false)
+	writeError(w, http.StatusInternalServerError, 0, ErrorResponse{Error: err.Error(), RequestID: rid})
+	return http.StatusInternalServerError
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"doacross/internal/dlx"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestFig1MachineTraceGolden pins the Chrome trace_event export of the
+// paper's Fig. 1 loop (sync schedule, 4-issue uniform machine, n=6) to a
+// golden file: track naming, iteration and stall spans with their sync-arc
+// annotations, and FU occupancy must stay byte-stable, since the file is a
+// user-facing artifact loaded into Perfetto.
+// Regenerate with: go test ./internal/sim -run MachineTraceGolden -update
+func TestFig1MachineTraceGolden(t *testing.T) {
+	b := build(t, fig1Source)
+	s := mustSync(t, b, dlx.Uniform(4, 1))
+	tr := &Tracer{Loop: "fig1"}
+	tm, err := Time(s, Options{Lo: 1, Hi: 6, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(tm); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	path := filepath.Join("testdata", "fig1_machine_trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("machine trace diverges from %s:\n-- got --\n%s\n-- want --\n%s", path, got, want)
+	}
+}

@@ -247,8 +247,15 @@ func (sc *timeScratch) run(s *core.Schedule, opt Options) (Timing, error) {
 	}
 	L := s.Length()
 	n := opt.N()
+	tr := opt.Tracer
+	if tr != nil {
+		tr.reset(s, opt)
+	}
 	t := Timing{IterIssue: make([]int, n), IterDone: make([]int, n)}
 	if n == 0 || L == 0 {
+		if tr != nil {
+			tr.Timing = t
+		}
 		return t, nil
 	}
 	procs := opt.procs()
@@ -278,6 +285,11 @@ func (sc *timeScratch) run(s *core.Schedule, opt Options) (Timing, error) {
 				pb += ringSize
 			}
 			start = ring[pb+E] + 1
+		}
+		if tr != nil {
+			it := &tr.Iters[idx]
+			it.Proc = idx % procs
+			it.Start = start
 		}
 		for e := 0; e < E; e++ {
 			row := int(sc.evRow[e])
@@ -329,6 +341,9 @@ func (sc *timeScratch) run(s *core.Schedule, opt Options) (Timing, error) {
 				}
 			}
 			t.StallCycles += earliest - unconstrained
+			if tr != nil && earliest > unconstrained {
+				sc.attributeStalls(&tr.Iters[idx], idx, e, row, unconstrained, earliest, opt, ring, base, stride, ringSize)
+			}
 			ring[base+e] = earliest
 		}
 		t.SignalsSent += sc.nsends
@@ -365,10 +380,92 @@ func (sc *timeScratch) run(s *core.Schedule, opt Options) (Timing, error) {
 		if done > t.Total {
 			t.Total = done
 		}
+		if tr != nil {
+			// Reconstruct every row's issue time from the event ring: rows
+			// between events are a straight run, one row per cycle.
+			it := &tr.Iters[idx]
+			it.Done = done
+			t0, lastRow := start, 0
+			for e := 0; e < E; e++ {
+				er := int(sc.evRow[e])
+				for r := lastRow; r < er; r++ {
+					it.Rows[r] = int32(t0 + r - lastRow)
+				}
+				it.Rows[er] = int32(ring[base+e])
+				t0, lastRow = ring[base+e]+1, er+1
+			}
+			for r := lastRow; r < L; r++ {
+				it.Rows[r] = int32(t0 + r - lastRow)
+			}
+		}
 		base += stride
 		if base == ringSize {
 			base = 0
 		}
 	}
+	if tr != nil {
+		tr.Timing = t
+	}
 	return t, nil
+}
+
+// attributeStalls is the recurrence engine's twin of rowMeta.attributeStalls:
+// at an event row that stalled (earliest > unconstrained), re-scan the same
+// constraints in the same order to split [unconstrained, earliest) into the
+// binding synchronization wait and the bounded-window gate. The scans mirror
+// the issue-time computation exactly, so both engines attribute bit-identical
+// spans.
+func (sc *timeScratch) attributeStalls(it *IterTrace, idx, e, row, unconstrained, earliest int, opt Options, ring []int, base, stride, ringSize int) {
+	syncTo := unconstrained
+	bind := int32(-1)
+	for k := sc.waitOff[e]; k < sc.waitOff[e+1]; k++ {
+		dist := int(sc.waitDist[k])
+		if idx-dist < 0 {
+			continue
+		}
+		sb := base - dist*stride
+		if sb < 0 {
+			sb += ringSize
+		}
+		if sendT := ring[sb+int(sc.sendEv[sc.waitSig[k]])]; sendT+1 > syncTo {
+			syncTo = sendT + 1
+			bind = k
+		}
+	}
+	if syncTo > earliest {
+		syncTo = earliest
+	}
+	if bind >= 0 && syncTo > unconstrained {
+		id := sc.waitSig[bind]
+		dist := int(sc.waitDist[bind])
+		it.Stalls = append(it.Stalls, Stall{
+			Row: row, From: unconstrained, To: syncTo, Cause: CauseSyncWait,
+			Signal: sc.sigName[id], Dist: dist, SrcIter: idx - dist,
+			SendCycle: syncTo - 1, LBD: int(sc.sendRow[id]) >= row,
+		})
+	}
+	if earliest > syncTo {
+		st := Stall{Row: row, From: syncTo, To: earliest, Cause: CauseWindowWait}
+		if opt.Window > 0 && idx-opt.Window >= 0 {
+			winTo := syncTo
+			for k := sc.sendOff[e]; k < sc.sendOff[e+1]; k++ {
+				id := sc.sendSig[k]
+				for c := sc.consOff[id]; c < sc.consOff[id+1]; c++ {
+					back := opt.Window - int(sc.consDist[c])
+					if back == 0 || idx-back < 0 {
+						continue
+					}
+					cb := base - back*stride
+					if cb < 0 {
+						cb += ringSize
+					}
+					if ct := ring[cb+int(sc.consEv[c])]; ct+1 > winTo {
+						winTo = ct + 1
+						st.Signal, st.Dist, st.SrcIter, st.SendCycle = sc.sigName[id], int(sc.consDist[c]), idx-back, ct
+					}
+				}
+			}
+		}
+		it.Stalls = append(it.Stalls, st)
+	}
 }

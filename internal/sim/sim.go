@@ -52,6 +52,10 @@ type Options struct {
 	// schedule length (any correct schedule finishes well inside it), so a
 	// pathological schedule is always caught.
 	MaxCycles int
+	// Tracer, when non-nil, records a cycle-accurate execution trace with
+	// stall-cause attribution (both engines fill it identically). Nil costs
+	// the hot path nothing.
+	Tracer *Tracer
 }
 
 // N returns the trip count.
@@ -201,8 +205,15 @@ func Run(s *core.Schedule, st *lang.Store, opt Options) (Timing, error) {
 		return Timing{}, err
 	}
 	n := opt.N()
+	tr := opt.Tracer
+	if tr != nil {
+		tr.reset(s, opt)
+	}
 	t := Timing{IterIssue: make([]int, n), IterDone: make([]int, n)}
 	if n == 0 || m.length == 0 {
+		if tr != nil {
+			tr.Timing = t
+		}
 		return t, nil
 	}
 	procs := opt.procs()
@@ -243,6 +254,10 @@ func Run(s *core.Schedule, st *lang.Store, opt Options) (Timing, error) {
 		if nextIter < n {
 			ps[p].idx = nextIter
 			ps[p].frame = tac.NewFrame(s.Prog.NumTemps, opt.Lo+nextIter)
+			if tr != nil {
+				tr.Iters[nextIter].Proc = p
+				tr.Iters[nextIter].Start = 0
+			}
 			nextIter++
 		}
 	}
@@ -273,7 +288,7 @@ func Run(s *core.Schedule, st *lang.Store, opt Options) (Timing, error) {
 			return Timing{}, fmt.Errorf("sim: cycle budget %d exhausted (%d iterations unfinished; blocked iterations %v)",
 				budget, remaining, blocked)
 		}
-		for _, p := range ps {
+		for pi, p := range ps {
 			if p.idx < 0 {
 				continue
 			}
@@ -318,6 +333,17 @@ func Run(s *core.Schedule, st *lang.Store, opt Options) (Timing, error) {
 				t.StallCycles++
 				continue
 			}
+			if tr != nil {
+				it := &tr.Iters[p.idx]
+				it.Rows[p.row] = int32(cycle)
+				lower := 0
+				if p.started {
+					lower = p.prevT + 1
+				}
+				if cycle > lower {
+					m.attributeStalls(it, p.idx, p.row, lower, cycle, opt, signals, rowTime)
+				}
+			}
 			// Issue the row: execute its instructions against shared memory.
 			for _, v := range m.rows[p.row] {
 				in := s.Prog.Instrs[v]
@@ -345,23 +371,83 @@ func Run(s *core.Schedule, st *lang.Store, opt Options) (Timing, error) {
 			if p.row == m.length {
 				done := p.maxDone
 				t.IterDone[p.idx] = done
+				if tr != nil {
+					tr.Iters[p.idx].Done = done
+				}
 				if done > t.Total {
 					t.Total = done
 				}
 				remaining--
+				// Blocked cyclic reuse (matching the recurrence engine and the
+				// package doc): processor p runs iterations p, p+P, ... — the
+				// next iteration's first row can issue no earlier than the
+				// cycle after this one (started stays true so the prevT gate
+				// applies).
+				next := p.idx + procs
 				p.idx = -1
-				if nextIter < n {
-					// Reuse the processor: the next iteration's first row can
-					// issue no earlier than the cycle after this one (started
-					// stays true so the prevT gate applies).
-					p.idx = nextIter
+				if next < n {
+					p.idx = next
 					p.row = 0
 					p.maxDone = 0
-					p.frame = tac.NewFrame(s.Prog.NumTemps, opt.Lo+nextIter)
-					nextIter++
+					p.frame = tac.NewFrame(s.Prog.NumTemps, opt.Lo+next)
+					if tr != nil {
+						tr.Iters[next].Proc = pi
+						tr.Iters[next].Start = cycle + 1
+					}
 				}
 			}
 		}
 	}
+	if tr != nil {
+		tr.Timing = t
+	}
 	return t, nil
+}
+
+// attributeStalls reconstructs, at a row's issue cycle, the attributed wait
+// spans covering [lower, issue): first the binding synchronization wait
+// (the latest send the row waited on), then the bounded-window gate. The
+// constraints are monotone — once satisfiable they stay satisfiable — so the
+// issue cycle is exactly their maximum and the spans partition the gap.
+func (m *rowMeta) attributeStalls(it *IterTrace, idx, row, lower, issue int, opt Options, signals map[string][]int, rowTime [][]int) {
+	syncTo := lower
+	var bind *tac.Instr
+	for _, w := range m.waits[row] {
+		if idx-w.SigDist < 0 {
+			continue
+		}
+		if sendT := signals[w.Signal][idx-w.SigDist]; sendT+1 > syncTo {
+			syncTo = sendT + 1
+			bind = w
+		}
+	}
+	if syncTo > issue {
+		syncTo = issue
+	}
+	if bind != nil && syncTo > lower {
+		it.Stalls = append(it.Stalls, Stall{
+			Row: row, From: lower, To: syncTo, Cause: CauseSyncWait,
+			Signal: bind.Signal, Dist: bind.SigDist, SrcIter: idx - bind.SigDist,
+			SendCycle: syncTo - 1, LBD: m.sendRow[bind.Signal] >= row,
+		})
+	}
+	if issue > syncTo {
+		st := Stall{Row: row, From: syncTo, To: issue, Cause: CauseWindowWait}
+		if opt.Window > 0 && idx-opt.Window >= 0 {
+			winTo := syncTo
+			for _, sig := range m.sends[row] {
+				for _, c := range m.consume[sig] {
+					cIdx := idx - opt.Window + c.dist
+					if cIdx < 0 || cIdx == idx {
+						continue
+					}
+					if ct := rowTime[cIdx][c.row]; ct+1 > winTo {
+						winTo = ct + 1
+						st.Signal, st.Dist, st.SrcIter, st.SendCycle = sig, c.dist, cIdx, ct
+					}
+				}
+			}
+		}
+		it.Stalls = append(it.Stalls, st)
+	}
 }

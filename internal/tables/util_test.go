@@ -1,0 +1,111 @@
+package tables
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"doacross/internal/dlx"
+)
+
+// TestRunUtilPartitionInvariant runs the machine-utilization audit over
+// generated loops and checks the tentpole invariant on every row: the
+// stall-cause attribution partitions every processor's cycles exactly —
+// Issued + SyncWait + WindowWait + Drain = procs × makespan (one processor
+// per iteration, so procs = n). sim.Utilize has already verified the
+// per-processor books internally; this pins the aggregate arithmetic the
+// report publishes.
+func TestRunUtilPartitionInvariant(t *testing.T) {
+	count := 12
+	if testing.Short() {
+		count = 4
+	}
+	loops := gapCorpus(t, count)
+	r, err := RunUtil(loops, UtilOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != count*len(dlx.PaperConfigs()) {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), count*len(dlx.PaperConfigs()))
+	}
+	for _, row := range r.Rows {
+		if row.Loop == "" {
+			t.Fatal("unfilled row (concurrent index bug)")
+		}
+		total := row.Issued + row.SyncWait + row.WindowWait + row.Drain
+		if want := r.N * row.SyncCycles; total != want {
+			t.Errorf("%s on %s: attribution covers %d proc-cycles, want %d (procs %d x cycles %d)",
+				row.Loop, row.Config, total, want, r.N, row.SyncCycles)
+		}
+		if row.LBDWait+row.LFDWait != row.SyncWait {
+			t.Errorf("%s on %s: LBD %d + LFD %d != sync-wait %d",
+				row.Loop, row.Config, row.LBDWait, row.LFDWait, row.SyncWait)
+		}
+		if row.SyncEff < 0 || row.SyncEff > 1 || row.ListEff < 0 || row.ListEff > 1 {
+			t.Errorf("%s on %s: efficiency out of [0,1]: list %v sync %v",
+				row.Loop, row.Config, row.ListEff, row.SyncEff)
+		}
+	}
+	for _, s := range r.Summaries {
+		if s.Loops != count {
+			t.Errorf("summary %s covers %d loops, want %d", s.Config, s.Loops, count)
+		}
+	}
+}
+
+// TestRunUtilDeterministic pins the audit's concurrency to a deterministic
+// output: two runs over the same corpus must agree byte for byte, or the
+// committed BENCH_machine_util.json snapshot could not be reproducible.
+func TestRunUtilDeterministic(t *testing.T) {
+	loops := gapCorpus(t, 6)
+	a, err := RunUtil(loops, UtilOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunUtil(loops, UtilOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Error("two RunUtil runs over the same corpus differ")
+	}
+	if a.Render() != b.Render() {
+		t.Error("two renders differ")
+	}
+}
+
+// TestUtilJSONRoundTrip checks the snapshot survives marshal/unmarshal with
+// nothing lost, so CI can diff a regenerated BENCH_machine_util.json
+// against the committed one field by field.
+func TestUtilJSONRoundTrip(t *testing.T) {
+	loops := gapCorpus(t, 3)
+	r, err := RunUtil(loops, UtilOptions{N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back UtilResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N != 50 {
+		t.Errorf("round-tripped N = %d, want 50", back.N)
+	}
+	if !reflect.DeepEqual(back.Rows, r.Rows) {
+		t.Error("rows changed across the JSON round trip")
+	}
+	if len(back.Summaries) != len(r.Summaries) {
+		t.Fatalf("summaries: got %d, want %d", len(back.Summaries), len(r.Summaries))
+	}
+}
