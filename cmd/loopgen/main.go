@@ -1,11 +1,15 @@
-// Command loopgen emits the synthetic Perfect benchmark suites: the loop
-// sources, their templates, and the Table 1 characteristics.
+// Command loopgen emits the synthetic Perfect benchmark suites — the loop
+// sources, their templates, and the Table 1 characteristics — and generates
+// random loops with controlled dependence character for fuzzing the
+// dependence analyzer (internal/loopgen).
 //
 // Usage:
 //
 //	loopgen                 # characteristics of all suites
 //	loopgen -bench TRACK    # print TRACK's loops
 //	loopgen -bench ADM -doacross   # only ADM's DOACROSS loops
+//	loopgen -gen 20 -shape coupled -seed 7   # 20 coupled-subscript loops
+//	loopgen -gen 10 -shape nonaffine -stmts 4 -const-bounds
 package main
 
 import (
@@ -13,13 +17,40 @@ import (
 	"fmt"
 	"os"
 
+	"doacross/internal/loopgen"
 	"doacross/internal/perfect"
 )
 
 func main() {
 	bench := flag.String("bench", "", "print the loops of one benchmark (FLQ52, QCD, MDG, TRACK, ADM)")
 	doacrossOnly := flag.Bool("doacross", false, "with -bench: skip DOALL loops")
+	gen := flag.Int("gen", 0, "generate this many analyzer-fuzzing loops instead of the Perfect suites")
+	shape := flag.String("shape", "", "with -gen: dependence shape (affine, coupled, symbolic, nonaffine, guarded, mixed); empty cycles through all")
+	seed := flag.Uint64("seed", 1, "with -gen: generation seed")
+	stmts := flag.Int("stmts", 3, "with -gen -shape: body statements per loop")
+	constBounds := flag.Bool("const-bounds", false, "with -gen -shape: constant loop bounds (unlocks Diophantine enumeration)")
 	flag.Parse()
+
+	if *gen > 0 {
+		if *shape == "" {
+			for i, src := range loopgen.Suite(*seed, *gen) {
+				fmt.Printf("! loop %d\n%s\n", i, src)
+			}
+			return
+		}
+		sh, err := loopgen.ParseShape(*shape)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loopgen:", err)
+			os.Exit(1)
+		}
+		for i := 0; i < *gen; i++ {
+			src := loopgen.Generate(*seed+uint64(i)*0x9E3779B97F4A7C15, loopgen.Options{
+				Shape: sh, Stmts: *stmts, ConstBounds: *constBounds,
+			})
+			fmt.Printf("! %s loop %d\n%s\n", sh, i, src)
+		}
+		return
+	}
 
 	suites, err := perfect.Suites()
 	if err != nil {

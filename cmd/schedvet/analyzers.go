@@ -1,0 +1,301 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// finding is one reported contract violation.
+type finding struct {
+	position token.Position
+	msg      string
+}
+
+// unit is one typechecked package under analysis.
+type unit struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// allowDirective is the suppression marker: a comment containing it on the
+// reported line or the line above silences the finding, keeping deliberate
+// exceptions (with their reason inline) out of the report.
+const allowDirective = "schedvet:allow"
+
+// analyze runs the suite over one package and returns the surviving
+// findings in source order.
+func analyze(u *unit) []finding {
+	var out []finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, finding{position: u.fset.Position(pos), msg: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range u.files {
+		u.checkBorrowedSchedules(f, report)
+		u.checkDiagnosticPositions(f, report)
+		u.checkContextDiscipline(f, report)
+	}
+	allowed := u.allowedLines()
+	kept := out[:0]
+	for _, f := range out {
+		if allowed[lineKey{f.position.Filename, f.position.Line}] ||
+			allowed[lineKey{f.position.Filename, f.position.Line - 1}] {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// allowedLines collects the lines carrying a suppression directive.
+func (u *unit) allowedLines() map[lineKey]bool {
+	allowed := map[lineKey]bool{}
+	for _, f := range u.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, allowDirective) {
+					continue
+				}
+				p := u.fset.Position(c.Pos())
+				allowed[lineKey{p.Filename, p.Line}] = true
+			}
+		}
+	}
+	return allowed
+}
+
+// pathHasSuffix reports whether an import path is pkg or ends in "/pkg".
+func pathHasSuffix(path, pkg string) bool {
+	return path == pkg || strings.HasSuffix(path, "/"+pkg)
+}
+
+// named unwraps pointers and aliases down to a named type, or nil.
+func named(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isPkgType reports whether t (possibly behind a pointer) is the named type
+// pkgSuffix.name.
+func isPkgType(t types.Type, pkgSuffix, name string) bool {
+	n := named(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && pathHasSuffix(n.Obj().Pkg().Path(), pkgSuffix)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Context" && n.Obj().Pkg().Path() == "context"
+}
+
+// --- borrowed-schedule retention -----------------------------------------
+
+// isBorrowedCall reports whether e is a call returning a BORROWED schedule:
+// a Scratch.Sync/List/Best method call (internal/core) or any ScheduleWith
+// call (the facade's scratch-backed entry point).
+func (u *unit) isBorrowedCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := u.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if obj.Name() == "ScheduleWith" {
+		return true
+	}
+	switch obj.Name() {
+	case "Sync", "List", "Best":
+		return isPkgType(sig.Recv().Type(), "internal/core", "Scratch")
+	}
+	return false
+}
+
+// checkBorrowedSchedules flags retention sinks for borrowed schedules:
+// writes into struct fields, map or slice elements, package-level
+// variables, append targets, channel sends and composite literals. Locals,
+// returns and direct uses are fine — the borrow propagates with the
+// documentation.
+func (u *unit) checkBorrowedSchedules(f *ast.File, report func(token.Pos, string, ...any)) {
+	const advice = "result of %s is BORROWED (recycled by the next call on the same Scratch); Clone it before storing"
+	callName := func(e ast.Expr) string {
+		call := ast.Unparen(e).(*ast.CallExpr)
+		sel := call.Fun.(*ast.SelectorExpr)
+		return sel.Sel.Name
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !u.isBorrowedCall(rhs) {
+					continue
+				}
+				// A single call assigning multiple values binds its first
+				// result — the schedule — to the first LHS.
+				lhs := n.Lhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					lhs = n.Lhs[i]
+				}
+				if u.isRetentionTarget(lhs) {
+					report(n.Pos(), advice, callName(rhs))
+				}
+			}
+		case *ast.SendStmt:
+			if u.isBorrowedCall(n.Value) {
+				report(n.Pos(), advice, callName(n.Value))
+			}
+		case *ast.CallExpr:
+			if fn, ok := n.Fun.(*ast.Ident); ok && fn.Name == "append" {
+				for _, arg := range n.Args[1:] {
+					if u.isBorrowedCall(arg) {
+						report(n.Pos(), advice, callName(arg))
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if u.isBorrowedCall(v) {
+					report(v.Pos(), advice, callName(v))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isRetentionTarget reports whether writing to lhs outlives the call site:
+// struct fields, map or slice elements, and package-level variables.
+func (u *unit) isRetentionTarget(lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		// A selector LHS is a field write (package-qualified identifiers
+		// resolve to a Var of the package, handled below).
+		if id, ok := lhs.X.(*ast.Ident); ok {
+			if _, isPkg := u.info.Uses[id].(*types.PkgName); isPkg {
+				obj := u.info.Uses[lhs.Sel]
+				return obj != nil && obj.Parent() == obj.Pkg().Scope()
+			}
+		}
+		return true
+	case *ast.IndexExpr:
+		return true
+	case *ast.Ident:
+		obj := u.info.ObjectOf(lhs)
+		return obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+	}
+	return false
+}
+
+// --- positioned diagnostics ----------------------------------------------
+
+// checkDiagnosticPositions flags diag.Diagnostic composite literals without
+// a Pos field. The diag package itself is exempt: its helpers are exactly
+// where posless construction is centralized.
+func (u *unit) checkDiagnosticPositions(f *ast.File, report func(token.Pos, string, ...any)) {
+	if pathHasSuffix(u.pkg.Path(), "internal/diag") {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := u.info.Types[lit]
+		if !ok || !isPkgType(tv.Type, "internal/diag", "Diagnostic") {
+			return true
+		}
+		if len(lit.Elts) > 0 {
+			if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+				return true // positional literal sets every field
+			}
+		}
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Pos" {
+				return true
+			}
+		}
+		report(lit.Pos(), "diag.Diagnostic literal without a Pos: findings must be positioned (use diag.Errorf/Warningf with the statement position)")
+		return true
+	})
+}
+
+// --- context discipline ---------------------------------------------------
+
+// checkContextDiscipline enforces, in the pipeline and server packages,
+// that context.Context is the first parameter of any function taking one
+// and is never stored in a struct.
+func (u *unit) checkContextDiscipline(f *ast.File, report func(token.Pos, string, ...any)) {
+	path := u.pkg.Path()
+	if !pathHasSuffix(path, "internal/pipeline") && !pathHasSuffix(path, "internal/server") {
+		return
+	}
+	checkParams := func(ft *ast.FuncType) {
+		if ft.Params == nil {
+			return
+		}
+		idx := 0
+		for _, field := range ft.Params.List {
+			tv, ok := u.info.Types[field.Type]
+			isCtx := ok && isContextType(tv.Type)
+			names := len(field.Names)
+			if names == 0 {
+				names = 1
+			}
+			if isCtx && idx > 0 {
+				report(field.Pos(), "context.Context must be the first parameter")
+			}
+			idx += names
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkParams(n.Type)
+		case *ast.FuncLit:
+			checkParams(n.Type)
+		case *ast.StructType:
+			for _, field := range n.Fields.List {
+				tv, ok := u.info.Types[field.Type]
+				if ok && isContextType(tv.Type) {
+					report(field.Pos(), "context.Context must not be stored in a struct; pass it through call chains")
+				}
+			}
+		}
+		return true
+	})
+}

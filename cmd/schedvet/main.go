@@ -1,0 +1,208 @@
+// Command schedvet is the repo-native static-analysis suite, run as a
+// `go vet -vettool` plugin:
+//
+//	go build -o /tmp/schedvet ./cmd/schedvet
+//	go vet -vettool=/tmp/schedvet ./...
+//
+// It enforces three contracts the compiler cannot:
+//
+//   - borrowed-schedule retention: the results of Scratch.Sync/List/Best and
+//     Program.ScheduleWith are BORROWED (their storage is recycled by the
+//     next call on the same Scratch) and must not be retained — stored into
+//     a struct field, map, slice, package variable or channel — without
+//     Clone.
+//   - positioned diagnostics: diag.Diagnostic literals outside the diag
+//     package itself must carry a Pos, so every surfaced finding is
+//     clickable; posless diagnostics route through the package helpers.
+//   - context discipline in pipeline/server: context.Context is always the
+//     first parameter and never a struct field.
+//
+// A finding can be suppressed by a `//schedvet:allow <reason>` comment on
+// the same line or the line above (used for the singleflight Group, which
+// stores the leader's context by design).
+//
+// The command speaks cmd/go's vettool protocol (-flags, -V=full, then one
+// JSON config file per package) using only the standard library: the
+// container's toolchain has no x/tools, so the unitchecker wire format is
+// implemented directly.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON document cmd/go writes for each package (the
+// unitchecker wire format). Fields the suite does not need are still listed
+// so the document round-trips cleanly if it is ever re-emitted.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	// Protocol handshake: cmd/go first asks for the supported flags, then
+	// for a version line it uses as the analysis cache key.
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasPrefix(arg, "-V"):
+			fmt.Printf("schedvet version devel buildID=%s\n", selfID())
+			return
+		}
+	}
+	if len(os.Args) != 2 || !strings.HasSuffix(os.Args[1], ".cfg") {
+		fmt.Fprintln(os.Stderr, "usage: go vet -vettool=$(which schedvet) ./...")
+		os.Exit(1)
+	}
+	os.Exit(runConfig(os.Args[1]))
+}
+
+// selfID derives the tool's build ID from its own binary, so cmd/go's vet
+// result cache is invalidated whenever the tool is rebuilt with different
+// analyzers.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+func runConfig(path string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "schedvet: %s: %v\n", path, err)
+		return 1
+	}
+	// cmd/go expects the facts file to exist for every analyzed package;
+	// the suite keeps no cross-package facts, so an empty one suffices.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "schedvet:", err)
+			return 1
+		}
+	}
+	// Dependency packages are analyzed facts-only by cmd/go; with no facts
+	// to compute, only the packages of this module need typechecking.
+	if cfg.VetxOnly || !inModule(cfg.ImportPath) {
+		return 0
+	}
+	findings, err := checkPackage(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "schedvet:", err)
+		return 1
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.position, f.msg)
+	}
+	return 2
+}
+
+// inModule reports whether the import path belongs to this module (test
+// binary pseudo-packages like "doacross/internal/dep.test" included).
+func inModule(path string) bool {
+	return path == "doacross" || strings.HasPrefix(path, "doacross/") ||
+		strings.HasPrefix(path, "doacross.") || strings.HasSuffix(path, ".test")
+}
+
+// checkPackage parses and typechecks one package from its vet config and
+// runs the analyzer suite over it.
+func checkPackage(cfg *vetConfig) ([]finding, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// Imports resolve through the export data cmd/go already compiled,
+	// mapped via ImportMap (vendoring, canonical paths) then PackageFile.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, compilerFor(cfg), lookup),
+		GoVersion: languageVersion(cfg.GoVersion),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return analyze(&unit{fset: fset, files: files, pkg: pkg, info: info}), nil
+}
+
+func compilerFor(cfg *vetConfig) string {
+	if cfg.Compiler != "" {
+		return cfg.Compiler
+	}
+	return "gc"
+}
+
+// languageVersion reduces a toolchain version ("go1.24.0") to the language
+// version go/types accepts ("go1.24").
+func languageVersion(v string) string {
+	if parts := strings.SplitN(v, ".", 3); len(parts) > 2 {
+		return parts[0] + "." + parts[1]
+	}
+	return v
+}

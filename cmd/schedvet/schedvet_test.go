@@ -1,0 +1,272 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// mapImporter resolves imports from packages typechecked earlier in the
+// test, letting synthetic sources stand in for internal/core, internal/diag
+// and context without export data.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("test importer: unknown package %q", path)
+}
+
+// checkSource typechecks src as a package with the given import path
+// against deps and runs the analyzer suite over it.
+func checkSource(t *testing.T, deps mapImporter, path, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: deps}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v\n%s", err, src)
+	}
+	if deps != nil {
+		deps[path] = pkg
+	}
+	return analyze(&unit{fset: fset, files: []*ast.File{f}, pkg: pkg, info: info})
+}
+
+// deps builds the synthetic dependency universe: a Scratch with the
+// borrowed-schedule methods, a Diagnostic with a Pos, and a context
+// package.
+func deps(t *testing.T) mapImporter {
+	t.Helper()
+	m := mapImporter{}
+	checkSource(t, m, "fake/internal/core", `
+package core
+type Schedule struct{ Cycles []int }
+func (s *Schedule) Clone() *Schedule { return s }
+type Scratch struct{}
+func (s *Scratch) Sync(g, m int) (*Schedule, error) { return nil, nil }
+func (s *Scratch) Best(g, m int) (*Schedule, error) { return nil, nil }
+func (s *Scratch) List(g, m, pri int) (*Schedule, error) { return nil, nil }
+`)
+	checkSource(t, m, "fake/internal/diag", `
+package diag
+type Pos struct{ Line, Col int }
+type Diagnostic struct {
+	Stage string
+	Pos   Pos
+	Msg   string
+}
+`)
+	checkSource(t, m, "context", `
+package context
+type Context interface{ Err() error }
+func Background() Context { return nil }
+`)
+	return m
+}
+
+// msgs flattens findings for substring assertions.
+func msgs(fs []finding) string {
+	var sb strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&sb, "%s: %s\n", f.position, f.msg)
+	}
+	return sb.String()
+}
+
+func TestBorrowedScheduleRetention(t *testing.T) {
+	d := deps(t)
+	got := checkSource(t, d, "fake/app", `
+package app
+
+import "fake/internal/core"
+
+type cacheT struct{ best *core.Schedule }
+
+var global *core.Schedule
+
+func bad(sc *core.Scratch, c *cacheT, m map[int]*core.Schedule, ch chan *core.Schedule) {
+	c.best, _ = sc.Best(1, 2)            // field write: flagged
+	global, _ = sc.Sync(1, 2)            // package var: flagged
+	s, _ := sc.List(1, 2, 3)             // local: fine
+	m[7] = s                             // aliased local: out of scope for the checker
+	one, _ := sc.Sync(1, 2)
+	ch <- one                            // aliased local: out of scope
+	var all []*core.Schedule
+	_ = all
+}
+
+func worse(sc *core.Scratch, ch chan *core.Schedule) {
+	var all []*core.Schedule
+	two, _ := sc.Best(1, 2)
+	_ = two
+	all = appendOne(all, sc)
+	_ = all
+}
+
+func appendOne(all []*core.Schedule, sc *core.Scratch) []*core.Schedule {
+	s, _ := sc.Sync(1, 2)
+	return append(all, s.Clone()) // cloned: fine
+}
+
+func ok(sc *core.Scratch) (*core.Schedule, error) {
+	return sc.Best(1, 2) // returning propagates the borrow: fine
+}
+`)
+	out := msgs(got)
+	if n := len(got); n != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", n, out)
+	}
+	for _, want := range []string{"result of Best is BORROWED", "result of Sync is BORROWED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBorrowedScheduleSinks(t *testing.T) {
+	d := deps(t)
+	got := checkSource(t, d, "fake/sink", `
+package sink
+
+import "fake/internal/core"
+
+type holder struct{ s *core.Schedule }
+
+func sinks(sc *core.Scratch, m map[int]*core.Schedule, ch chan *core.Schedule, all []*core.Schedule) []*core.Schedule {
+	s3, _ := sc.Sync(1, 2)
+	m[1] = s3 // aliased separately; the direct forms below are flagged
+	h := holder{}
+	h.s, _ = sc.Best(1, 2)
+	return all
+}
+`)
+	if len(got) != 1 || !strings.Contains(msgs(got), "result of Best is BORROWED") {
+		t.Fatalf("want exactly the field-write finding, got:\n%s", msgs(got))
+	}
+}
+
+func TestDiagnosticPositionRequired(t *testing.T) {
+	d := deps(t)
+	got := checkSource(t, d, "fake/consumer", `
+package consumer
+
+import "fake/internal/diag"
+
+func bad(stage, msg string) *diag.Diagnostic {
+	return &diag.Diagnostic{Stage: stage, Msg: msg}
+}
+
+func good(stage, msg string, pos diag.Pos) diag.Diagnostic {
+	return diag.Diagnostic{Stage: stage, Pos: pos, Msg: msg}
+}
+
+func positional(stage, msg string, pos diag.Pos) diag.Diagnostic {
+	return diag.Diagnostic{stage, pos, msg}
+}
+`)
+	if len(got) != 1 || !strings.Contains(msgs(got), "without a Pos") {
+		t.Fatalf("want exactly one posless-literal finding, got:\n%s", msgs(got))
+	}
+	// The diag package itself is exempt: helpers centralize posless
+	// construction there.
+	exempt := checkSource(t, d, "fake2/internal/diag", `
+package diag
+import real "fake/internal/diag"
+func FromPanic(stage, msg string) *real.Diagnostic {
+	return &real.Diagnostic{Stage: stage, Msg: msg}
+}
+`)
+	if len(exempt) != 0 {
+		t.Fatalf("diag package should be exempt, got:\n%s", msgs(exempt))
+	}
+}
+
+func TestContextDiscipline(t *testing.T) {
+	d := deps(t)
+	got := checkSource(t, d, "fake/internal/pipeline", `
+package pipeline
+
+import "context"
+
+type flight struct {
+	ctx context.Context
+}
+
+type allowed struct {
+	ctx context.Context //schedvet:allow leader-scoped by design
+}
+
+func bad(name string, ctx context.Context) error { return nil }
+
+func good(ctx context.Context, name string) error {
+	f := func(n int, c context.Context) {}
+	f(1, ctx)
+	return nil
+}
+`)
+	out := msgs(got)
+	if len(got) != 3 {
+		t.Fatalf("got %d findings, want 3:\n%s", len(got), out)
+	}
+	if !strings.Contains(out, "must not be stored in a struct") {
+		t.Errorf("missing struct-field finding:\n%s", out)
+	}
+	if c := strings.Count(out, "must be the first parameter"); c != 2 {
+		t.Errorf("want 2 first-parameter findings (decl + literal), got %d:\n%s", c, out)
+	}
+	// Outside pipeline/server the rule does not apply.
+	free := checkSource(t, d, "fake/internal/sim", `
+package sim
+import "context"
+type job struct{ ctx context.Context }
+func run(n int, ctx context.Context) {}
+`)
+	if len(free) != 0 {
+		t.Fatalf("context rules must be scoped to pipeline/server, got:\n%s", msgs(free))
+	}
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	d := deps(t)
+	got := checkSource(t, d, "fake/internal/server", `
+package server
+
+import "context"
+
+type lease struct {
+	//schedvet:allow stored for the watchdog, cancelled on release
+	ctx context.Context
+}
+`)
+	if len(got) != 0 {
+		t.Fatalf("directive on the line above should suppress, got:\n%s", msgs(got))
+	}
+}
+
+func TestLanguageVersion(t *testing.T) {
+	for in, want := range map[string]string{
+		"go1.24.0": "go1.24",
+		"go1.22":   "go1.22",
+		"":         "",
+	} {
+		if got := languageVersion(in); got != want {
+			t.Errorf("languageVersion(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package doacross
+
+import (
+	"testing"
+
+	"doacross/internal/check"
+	"doacross/internal/loopgen"
+)
+
+// TestDepPrecisionDifferential compiles 200 generated loops (50 under
+// -short) twice — once with the precise dependence analysis, once with the
+// seed's conservative baseline (CompileOptions.BaselineDeps) — and checks,
+// per loop:
+//
+//   - the precise analysis never leaves more conservative pair verdicts than
+//     the baseline, and proves at least as many pairs independent;
+//   - every refined schedule passes the independent static verifier
+//     (internal/check re-derives the dependence edges from the compiled code
+//     and re-checks the paper's synchronization conditions) — refinement
+//     must never admit an invalid schedule;
+//   - CompileBest — the analysis-level never-degrades guard — simulates no
+//     slower than the conservative baseline on every loop, and keeps the
+//     precise compilation for the overwhelming majority (the scheduling
+//     heuristic is not monotone in the constraint set, so the guard exists
+//     for the rare loop where the conservative webs steer it better).
+func TestDepPrecisionDifferential(t *testing.T) {
+	count := 200
+	if testing.Short() {
+		count = 50
+	}
+	loops := loopgen.Suite(0xD3B0, count)
+	machines := []Machine{NewMachine(4, 1), Machine2Issue(2), UniformMachine(2, 1)}
+	const n = 96
+
+	refined, keptPrecise := 0, 0
+	for i, src := range loops {
+		precise, err := CompileWith(src, CompileOptions{})
+		if err != nil {
+			t.Fatalf("loop %d: precise compile: %v\n%s", i, err, src)
+		}
+		baseline, err := CompileWith(src, CompileOptions{BaselineDeps: true})
+		if err != nil {
+			t.Fatalf("loop %d: baseline compile: %v\n%s", i, err, src)
+		}
+
+		_, pIndep, pCons := precise.Analysis.Counts()
+		_, bIndep, bCons := baseline.Analysis.Counts()
+		if pCons > bCons {
+			t.Fatalf("loop %d: precise analysis is more conservative than the baseline (%d > %d pairs)\n%s",
+				i, pCons, bCons, src)
+		}
+		if pIndep < bIndep {
+			t.Fatalf("loop %d: precise analysis proves fewer pairs independent than the baseline (%d < %d)\n%s",
+				i, pIndep, bIndep, src)
+		}
+		if pCons < bCons || pIndep > bIndep {
+			refined++
+		}
+
+		m := machines[i%len(machines)]
+		ps, err := precise.ScheduleBest(m)
+		if err != nil {
+			t.Fatalf("loop %d: precise schedule: %v\n%s", i, err, src)
+		}
+		if diags := check.Verify(ps); len(diags.Errors()) != 0 {
+			t.Fatalf("loop %d: refined schedule rejected by the verifier:\n%s\n%s",
+				i, diags.Errors(), src)
+		}
+
+		guarded, kept, err := CompileBest(src, m, n, CompileOptions{})
+		if err != nil {
+			t.Fatalf("loop %d: CompileBest: %v\n%s", i, err, src)
+		}
+		if kept {
+			keptPrecise++
+		}
+		gs, err := guarded.ScheduleBest(m)
+		if err != nil {
+			t.Fatalf("loop %d: guarded schedule: %v\n%s", i, err, src)
+		}
+		bs, err := baseline.ScheduleBest(m)
+		if err != nil {
+			t.Fatalf("loop %d: baseline schedule: %v\n%s", i, err, src)
+		}
+		gt := Simulate(gs, n).Total
+		bt := Simulate(bs, n).Total
+		if gt > bt {
+			t.Errorf("loop %d on %s: guarded compile simulates slower than baseline (%d > %d cycles)\n%s",
+				i, m.Name, gt, bt, src)
+		}
+	}
+	if refined == 0 {
+		t.Fatalf("no loop of %d was refined by the precise analysis; the differential is vacuous", count)
+	}
+	if keptPrecise < count*3/4 {
+		t.Fatalf("CompileBest kept the precise analysis on only %d/%d loops; the guard is doing the analysis's job", keptPrecise, count)
+	}
+	t.Logf("depdiff: %d/%d loops refined, precise analysis kept on %d, all refined schedules verifier-accepted, guard never slower",
+		refined, count, keptPrecise)
+}

@@ -208,6 +208,41 @@ func programFrom(ctx *passes.Context) *Program {
 	}
 }
 
+// CompileBest compiles the loop twice — once with the precise dependence
+// analysis, once with the conservative baseline webs (the seed analyzer's
+// verdicts) — schedules both with ScheduleBest on m, and keeps whichever
+// compilation simulates faster over n iterations, preferring the precise
+// analysis on ties. This is the analysis-level never-degrades guard,
+// mirroring ScheduleBest's backend-level one: the precise analysis provably
+// never admits an invalid schedule (every refinement carries machine-checked
+// evidence), but the scheduling heuristic is not monotone in the constraint
+// set, so on rare loops the conservative webs happen to steer it better.
+// The returned bool reports whether the precise compilation was kept.
+func CompileBest(src string, m Machine, n int, opt CompileOptions) (*Program, bool, error) {
+	opt.BaselineDeps = false
+	precise, err := CompileWith(src, opt)
+	if err != nil {
+		return nil, false, err
+	}
+	opt.BaselineDeps = true
+	baseline, err := CompileWith(src, opt)
+	if err != nil {
+		return nil, false, err
+	}
+	ps, err := precise.ScheduleBest(m)
+	if err != nil {
+		return nil, false, err
+	}
+	bs, err := baseline.ScheduleBest(m)
+	if err != nil {
+		return nil, false, err
+	}
+	if Simulate(bs, n).Total < Simulate(ps, n).Total {
+		return baseline, false, nil
+	}
+	return precise, true, nil
+}
+
 // MustCompile is Compile panicking on error, for tests and examples.
 func MustCompile(src string) *Program {
 	p, err := Compile(src)

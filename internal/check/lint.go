@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"strings"
 
 	"doacross/internal/dep"
 	"doacross/internal/diag"
@@ -191,6 +192,94 @@ func lintOps(base *lang.Loop, a *dep.Analysis, ops []lintOp) diag.List {
 	}
 
 	lintRedundantWaits(base, ops, report, render)
+	out = append(out, lintDepPrecision(base, a, ops, render)...)
+	return out
+}
+
+// hotspotThreshold is how many conservative pair decisions one statement must
+// be party to before the linter flags it as a hotspot worth rewriting.
+const hotspotThreshold = 2
+
+// lintDepPrecision surfaces the precise dependence analysis through the
+// linter: waits whose guarded statement pair is proven independent on every
+// subscript pair (the synchronization arc is provably redundant, with the
+// independence certificate named), and statements concentrating conservative
+// pair decisions (hotspots where the analysis had to assume a dependence).
+func lintDepPrecision(base *lang.Loop, a *dep.Analysis, ops []lintOp, render func(lintOp) string) diag.List {
+	if a == nil || len(a.Pairs) == 0 {
+		return nil
+	}
+	var out diag.List
+	for _, op := range ops {
+		if !op.wait || op.dist <= 0 || op.next >= len(base.Body) {
+			continue
+		}
+		src := base.StmtIndex(op.signal)
+		if src < 0 || src == op.next {
+			continue
+		}
+		indep, total := 0, 0
+		var rule dep.Rule
+		for i := range a.Pairs {
+			p := &a.Pairs[i]
+			if (p.A.Stmt == src && p.B.Stmt == op.next) || (p.A.Stmt == op.next && p.B.Stmt == src) {
+				total++
+				if p.Verdict == dep.VerdictIndependent {
+					indep++
+					rule = p.Evidence.Rule
+				}
+			}
+		}
+		if total > 0 && indep == total {
+			d := diag.Warningf(LintStage, op.pos,
+				"provably-redundant synchronization arc: %s guards %s against %s, but every subscript pair between them is proven independent (%s)",
+				render(op), base.Body[op.next].Label, op.signal, rule)
+			if op.stmt != "" {
+				d = d.WithStmt(op.stmt)
+			}
+			out = append(out, d)
+		}
+	}
+	// Conservative hotspots: statements party to several pair decisions the
+	// analysis could not refine. Counted once per pair even when both
+	// references sit in the same statement.
+	counts := make([]int, len(base.Body))
+	reasons := make([]map[dep.Rule]bool, len(base.Body))
+	note := func(stmt int, r dep.Rule) {
+		if stmt < 0 || stmt >= len(base.Body) {
+			return
+		}
+		counts[stmt]++
+		if reasons[stmt] == nil {
+			reasons[stmt] = map[dep.Rule]bool{}
+		}
+		reasons[stmt][r] = true
+	}
+	for i := range a.Pairs {
+		p := &a.Pairs[i]
+		if p.Verdict != dep.VerdictConservative || p.Evidence.Rule == dep.RuleScalar {
+			continue
+		}
+		note(p.A.Stmt, p.Evidence.Rule)
+		if p.B.Stmt != p.A.Stmt {
+			note(p.B.Stmt, p.Evidence.Rule)
+		}
+	}
+	for s, n := range counts {
+		if n < hotspotThreshold {
+			continue
+		}
+		var rules []string
+		for r := dep.Rule(0); int(r) < 16; r++ {
+			if reasons[s][r] {
+				rules = append(rules, r.String())
+			}
+		}
+		st := base.Body[s]
+		out = append(out, diag.Warningf(LintStage, st.Pos(),
+			"conservative-dependence hotspot: %s is party to %d conservative dependence pairs (%s); the analyzer had to assume distance-1 webs for each",
+			st.Label, n, strings.Join(rules, ", ")).WithStmt(st.Label))
+	}
 	return out
 }
 

@@ -224,3 +224,39 @@ func TestLintNoSyncOps(t *testing.T) {
 		t.Errorf("loop without sync ops has findings: %s", l)
 	}
 }
+
+// TestLintProvablyRedundantArc: a hand-written wait guarding a statement pair
+// the precise analysis proves independent is flagged with the certificate.
+func TestLintProvablyRedundantArc(t *testing.T) {
+	_, warns := lint(t, `DOACROSS I = 1, N
+  S1: A[2*I] = B[I] + 1
+  Wait_Signal(S1, I-1)
+  S2: C[I] = A[2*I+1] * 2
+  Send_Signal(S1)
+ENDDO`)
+	wantFinding(t, warns, "provably-redundant synchronization arc")
+	wantFinding(t, warns, "proven independent (gcd)")
+}
+
+// TestLintConservativeHotspot: a statement party to several pair decisions
+// the analyzer could not refine is flagged with line:col and the reasons.
+func TestLintConservativeHotspot(t *testing.T) {
+	_, warns := lint(t, `DOACROSS I = 1, N
+  Wait_Signal(S3, I-1)
+  S1: A[X[I]] = B[I] + 1
+  S2: C[I] = A[X[I]+1] * 2
+  S3: A[I*I] = C[I-1] + 3
+  Send_Signal(S3)
+ENDDO`)
+	wantFinding(t, warns, "conservative-dependence hotspot")
+	wantFinding(t, warns, "non-affine")
+	found := false
+	for _, w := range warns {
+		if strings.Contains(w, "hotspot") && strings.Contains(w, "line 3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hotspot finding carries no source position; got %q", warns)
+	}
+}

@@ -1,0 +1,206 @@
+package dep
+
+import "doacross/internal/lang"
+
+const (
+	// maxGaps caps how many distinct exact distances the engine will emit as
+	// individual arcs for one reference pair; solution sets wider than this
+	// stay conservative (RuleDistanceSpread).
+	maxGaps = 8
+	// enumTrip caps the constant trip count the Diophantine enumeration
+	// walks; larger constant-bound loops with differing strides stay
+	// conservative rather than spending quadratic work.
+	enumTrip = 64
+)
+
+// form caches a reference's reduced subscript: the affine form over the
+// induction variable and loop-invariant symbols, or ok=false when the
+// subscript is non-linear or uses a symbol written inside the loop body.
+type form struct {
+	f  lang.AffineForm
+	ok bool
+}
+
+// decision is the outcome of the decision procedure for one reference pair.
+type decision struct {
+	verdict Verdict
+	ev      Evidence
+	// web marks an exact fixed-location pair (same element every iteration):
+	// the emitter produces the scalar-style distance-0/1 web instead of
+	// per-distance arcs.
+	web bool
+	// gaps[:ngaps] are the exact iteration gaps (B touches A's element gap
+	// iterations after A; negative means before), each witnessed by A
+	// executing at iteration wit[k].
+	ngaps int
+	gaps  [maxGaps]int
+	wit   [maxGaps]int
+}
+
+func conservativeDecision(rule Rule) decision {
+	return decision{verdict: VerdictConservative, ev: Evidence{Rule: rule}}
+}
+
+// baseIter is the canonical witness base iteration: the constant lower bound
+// when known, otherwise the normalized 1.
+func (a *Analysis) baseIter() int {
+	if a.bounded {
+		return a.lo
+	}
+	return 1
+}
+
+// witBase picks an A-iteration from which both witness iterations are inside
+// the (known or normalized) iteration range for the given gap.
+func (a *Analysis) witBase(gap int) int {
+	b := a.baseIter()
+	if gap < 0 {
+		b -= gap
+	}
+	return b
+}
+
+// decideArray runs the decision procedure for one array reference pair whose
+// subscripts reduced to fw and fx. In baseline mode it reproduces the seed
+// analyzer's syntactic matching exactly.
+func (a *Analysis) decideArray(fw, fx form) decision {
+	if a.opt.Baseline {
+		return a.decideBaseline(fw, fx)
+	}
+	if !fw.ok || !fx.ok {
+		return conservativeDecision(RuleNonAffine)
+	}
+	if !fw.f.SymsEqual(fx.f) {
+		return conservativeDecision(RuleSymbolMismatch)
+	}
+	// Equal symbolic parts cancel in the subscript difference; from here the
+	// pair behaves like pure affine subscripts ca*i+oa vs cb*i+ob.
+	ca, oa := fw.f.Coef, fw.f.Off
+	cb, ob := fx.f.Coef, fx.f.Off
+	if ca == cb {
+		if ca == 0 {
+			if oa == ob {
+				b := a.baseIter()
+				return decision{verdict: VerdictExact, web: true,
+					ev: Evidence{Rule: RuleSameElement, Witness: Witness{SrcIter: b, SnkIter: b, Elem: oa}}}
+			}
+			return decision{verdict: VerdictIndependent, ev: Evidence{Rule: RuleDistinctElem}}
+		}
+		diff := oa - ob
+		if diff%ca != 0 {
+			g := abs(ca)
+			return decision{verdict: VerdictIndependent, ev: Evidence{Rule: RuleGCD, Div: g, Rem: mod(ob-oa, g)}}
+		}
+		gap := diff / ca
+		if a.bounded && abs(gap) > a.hi-a.lo {
+			// Bound separation: the unique collision distance exceeds the
+			// constant iteration range, so no two in-range iterations collide.
+			return decision{verdict: VerdictIndependent, ev: Evidence{Rule: RuleBoundSep, Lo: a.lo, Hi: a.hi}}
+		}
+		d := decision{verdict: VerdictExact, ngaps: 1}
+		d.gaps[0], d.wit[0] = gap, a.witBase(gap)
+		d.ev = Evidence{Rule: RuleUniformStride,
+			Witness: Witness{SrcIter: d.wit[0], SnkIter: d.wit[0] + gap, Elem: ca*d.wit[0] + oa}}
+		return d
+	}
+	// Differing strides. gcd > 0 because ca != cb excludes ca == cb == 0.
+	g := gcd(abs(ca), abs(cb))
+	if (ob-oa)%g != 0 {
+		return decision{verdict: VerdictIndependent, ev: Evidence{Rule: RuleGCD, Div: g, Rem: mod(ob-oa, g)}}
+	}
+	if !a.bounded {
+		return conservativeDecision(RuleUnboundedStride)
+	}
+	if a.hi-a.lo+1 > enumTrip {
+		return conservativeDecision(RuleDistanceSpread)
+	}
+	// Enumerate the Diophantine solutions ca*x+oa = cb*y+ob over the
+	// iteration box, collecting the distinct gaps y-x with one witness each.
+	d := decision{verdict: VerdictExact}
+	found := false
+	for x := a.lo; x <= a.hi; x++ {
+		ea := ca*x + oa
+		for y := a.lo; y <= a.hi; y++ {
+			if ea != cb*y+ob {
+				continue
+			}
+			found = true
+			gap := y - x
+			known := false
+			for k := 0; k < d.ngaps; k++ {
+				if d.gaps[k] == gap {
+					known = true
+					break
+				}
+			}
+			if known {
+				continue
+			}
+			if d.ngaps == maxGaps {
+				return conservativeDecision(RuleDistanceSpread)
+			}
+			d.gaps[d.ngaps], d.wit[d.ngaps] = gap, x
+			d.ngaps++
+		}
+	}
+	if !found {
+		return decision{verdict: VerdictIndependent, ev: Evidence{Rule: RuleBoundSep, Lo: a.lo, Hi: a.hi}}
+	}
+	// Sort gaps ascending (witnesses ride along) so emission order is
+	// canonical regardless of enumeration order.
+	for i := 1; i < d.ngaps; i++ {
+		for j := i; j > 0 && d.gaps[j] < d.gaps[j-1]; j-- {
+			d.gaps[j], d.gaps[j-1] = d.gaps[j-1], d.gaps[j]
+			d.wit[j], d.wit[j-1] = d.wit[j-1], d.wit[j]
+		}
+	}
+	d.ev = Evidence{Rule: RuleDiophantine, Lo: a.lo, Hi: a.hi,
+		Witness: Witness{SrcIter: d.wit[0], SnkIter: d.wit[0] + d.gaps[0], Elem: ca*d.wit[0] + oa}}
+	return d
+}
+
+// decideBaseline reproduces the seed analyzer's pair classification: pure
+// affine subscripts only (any symbolic term defeats the match), equal
+// coefficients solved exactly, differing strides refuted only by the cheap
+// GCD disproof, constant pairs A[c] vs A[c] assumed conservative.
+func (a *Analysis) decideBaseline(fw, fx form) decision {
+	if !fw.ok || fw.f.HasSyms() || !fx.ok || fx.f.HasSyms() {
+		return conservativeDecision(RuleAssumed)
+	}
+	ca, oa := fw.f.Coef, fw.f.Off
+	cb, ob := fx.f.Coef, fx.f.Off
+	if ca != cb {
+		if !mayOverlap(ca, oa, cb, ob) {
+			g := gcd(abs(ca), abs(cb))
+			return decision{verdict: VerdictIndependent, ev: Evidence{Rule: RuleGCD, Div: g, Rem: mod(ob-oa, g)}}
+		}
+		return conservativeDecision(RuleAssumed)
+	}
+	if ca == 0 {
+		if oa == ob {
+			return conservativeDecision(RuleAssumed)
+		}
+		return decision{verdict: VerdictIndependent, ev: Evidence{Rule: RuleDistinctElem}}
+	}
+	diff := oa - ob
+	if diff%ca != 0 {
+		g := abs(ca)
+		return decision{verdict: VerdictIndependent, ev: Evidence{Rule: RuleGCD, Div: g, Rem: mod(ob-oa, g)}}
+	}
+	gap := diff / ca
+	d := decision{verdict: VerdictExact, ngaps: 1}
+	d.gaps[0], d.wit[0] = gap, a.witBase(gap)
+	d.ev = Evidence{Rule: RuleUniformStride,
+		Witness: Witness{SrcIter: d.wit[0], SnkIter: d.wit[0] + gap, Elem: ca*d.wit[0] + oa}}
+	return d
+}
+
+// mayOverlap is the seed analyzer's cheap GCD-style disproof for differing
+// strides, kept verbatim for baseline mode. It errs on the side of overlap.
+func mayOverlap(ca, oa, cb, ob int) bool {
+	g := gcd(abs(ca), abs(cb))
+	if g == 0 {
+		return oa == ob
+	}
+	return (oa-ob)%g == 0
+}

@@ -4,6 +4,16 @@
 // distances for affine subscripts, and classifies each dependence as
 // lexically forward (LFD) or lexically backward (LBD).
 //
+// The analysis is a decision procedure with machine-checkable evidence
+// (decide.go, evidence.go): subscripts reduce to affine forms over the
+// induction variable and loop-invariant symbols, pairs are solved by exact
+// distance computation, GCD tests, Banerjee-style bound separation, and
+// Diophantine enumeration over constant iteration ranges. Every proven
+// dependence carries a witness iteration pair, every proven independence an
+// infeasibility certificate, and the Conservative residue an explicit
+// undecidability reason. Options.Baseline reproduces the seed analyzer's
+// purely syntactic matching for audit comparison.
+//
 // Terminology follows the paper (§2):
 //
 //   - Src / Snk: dependence source and sink statements.
@@ -86,9 +96,12 @@ type Dependence struct {
 	// loop-independent (within one iteration).
 	Distance int
 	// Conservative marks dependences assumed (distance 1) because the
-	// subscript pair was not analyzable (non-affine, coefficient mismatch,
-	// or coefficient zero).
+	// subscript pair was not analyzable; Evidence.Rule names why.
 	Conservative bool
+	// Evidence justifies the dependence: the rule that proved it plus a
+	// witness iteration pair for exact distances, or the undecidability
+	// reason for conservative assumptions.
+	Evidence Evidence
 }
 
 // Carried reports whether the dependence crosses iterations.
@@ -111,17 +124,41 @@ func (d Dependence) String() string {
 		d.Kind, d.Src.Stmt+1, d.Snk.Stmt+1, d.Distance, d.Src.Name(), carried)
 }
 
+// Options configures the analysis.
+type Options struct {
+	// Baseline disables the precise decision procedure and reproduces the
+	// seed analyzer's syntactic subscript matching: symbolic terms, coupled
+	// subscripts and fixed-element pairs all fall back to conservative
+	// distance-1 webs. Used by the precision audit as the comparison point.
+	Baseline bool
+}
+
 // Analysis holds the dependence analysis result for one loop.
 type Analysis struct {
 	Loop *lang.Loop
 	// Deps lists every dependence, deterministic order.
 	Deps []Dependence
+	// Pairs records the per-decision provenance: one verdict with evidence
+	// for every ordered (write, other) reference pair examined.
+	Pairs []PairDecision
+
+	opt     Options
+	lo, hi  int  // constant loop bounds when bounded
+	bounded bool // both bounds are compile-time integer constants
 }
 
-// Analyze computes all dependences of the loop.
-func Analyze(loop *lang.Loop) *Analysis {
+// Analyze computes all dependences of the loop with the precise engine.
+func Analyze(loop *lang.Loop) *Analysis { return AnalyzeOpts(loop, Options{}) }
+
+// AnalyzeOpts computes all dependences of the loop under the given options.
+func AnalyzeOpts(loop *lang.Loop, opt Options) *Analysis {
 	refs := collectRefs(loop)
-	a := &Analysis{Loop: loop, Deps: make([]Dependence, 0, 2*len(refs))}
+	a := &Analysis{Loop: loop, Deps: make([]Dependence, 0, 2*len(refs)), opt: opt}
+	if lo, ok := lang.ConstInt(loop.Lo); ok {
+		if hi, ok := lang.ConstInt(loop.Hi); ok {
+			a.lo, a.hi, a.bounded = lo, hi, lo <= hi
+		}
+	}
 	// Group references by variable (scalar and array namespaces are
 	// disjoint): a stable sort brings each variable's references together
 	// while keeping textual order within the group. The final sortDeps pass
@@ -138,11 +175,13 @@ func Analyze(loop *lang.Loop) *Analysis {
 	if !grouped {
 		sort.Stable(refsByVar(refs))
 	}
+	forms := subscriptForms(loop, refs)
 	for i := 0; i < len(refs); {
 		j := i + 1
 		for j < len(refs) && !refLess(refs[i], refs[j]) && !refLess(refs[j], refs[i]) {
 			j++
 		}
+		lo := i
 		group := refs[i:j]
 		i = j
 		for gi := 0; gi < len(group); gi++ {
@@ -158,15 +197,52 @@ func Analyze(loop *lang.Loop) *Analysis {
 					if gi > gj {
 						continue
 					}
-					a.addWriteWrite(loop, w, x)
+					a.addWriteWrite(w, x, forms[lo+gi], forms[lo+gj])
 				} else {
-					a.addWriteRead(loop, w, x)
+					a.addWriteRead(w, x, forms[lo+gi], forms[lo+gj])
 				}
 			}
 		}
 	}
 	sortDeps(a.Deps)
 	return a
+}
+
+// subscriptForms reduces every array reference's subscript once, aligned
+// with refs. A form whose symbols are written inside the loop body is not
+// loop-invariant and is demoted to non-affine.
+func subscriptForms(loop *lang.Loop, refs []Ref) []form {
+	forms := make([]form, len(refs))
+	var written []string
+	for _, st := range loop.Body {
+		if s, ok := st.LHS.(*lang.Scalar); ok {
+			written = append(written, s.Name)
+		}
+	}
+	isWritten := func(name string) bool {
+		for _, w := range written {
+			if w == name {
+				return true
+			}
+		}
+		return false
+	}
+	for i, r := range refs {
+		if r.Array == nil {
+			continue
+		}
+		f, ok := lang.AffineSym(r.Array.Index, loop.Var)
+		if ok {
+			for _, t := range f.Syms {
+				if isWritten(t.Name) {
+					ok = false
+					break
+				}
+			}
+		}
+		forms[i] = form{f: f, ok: ok}
+	}
+	return forms
 }
 
 // refsByVar stable-sorts references into per-variable groups: scalars first,
@@ -186,64 +262,6 @@ func refLess(a, b Ref) bool {
 	return a.Name() < b.Name()
 }
 
-// subscript classification for a pair of references.
-type pairClass int
-
-const (
-	pairExact        pairClass = iota // distance computed exactly
-	pairNone                          // provably independent
-	pairConservative                  // unknown; assume distance 1
-)
-
-// classify computes the iteration gap between two affine references to the
-// same array: how many iterations after the iteration executing `a` does the
-// iteration executing `b` touch the same element. gap>0 means b later,
-// gap<0 means b earlier, gap==0 same iteration.
-func classify(loop *lang.Loop, a, b Ref) (gap int, cls pairClass) {
-	if a.Array == nil {
-		// Scalar: every iteration touches the same location; handled by the
-		// caller with distance-1 loop-carried plus distance-0 rules.
-		return 0, pairExact
-	}
-	ca, oa, oka := lang.AffineIndex(a.Array.Index, loop.Var)
-	cb, ob, okb := lang.AffineIndex(b.Array.Index, loop.Var)
-	if !oka || !okb {
-		return 0, pairConservative
-	}
-	if ca != cb {
-		// Different strides (e.g. A[I] vs A[2*I]) — a full test (GCD/Banerjee)
-		// is overkill for the paper's loop shapes; be conservative unless a
-		// cheap GCD disproof applies.
-		if !mayOverlap(ca, oa, cb, ob) {
-			return 0, pairNone
-		}
-		return 0, pairConservative
-	}
-	if ca == 0 {
-		// Same fixed element every iteration (A[3] vs A[3]) or provably
-		// different elements (A[3] vs A[5]).
-		if oa == ob {
-			return 0, pairConservative
-		}
-		return 0, pairNone
-	}
-	diff := oa - ob
-	if diff%ca != 0 {
-		return 0, pairNone
-	}
-	return diff / ca, pairExact
-}
-
-// mayOverlap is a cheap GCD-style disproof for differing strides over the
-// iteration ranges the paper uses. It errs on the side of overlap.
-func mayOverlap(ca, oa, cb, ob int) bool {
-	g := gcd(abs(ca), abs(cb))
-	if g == 0 {
-		return oa == ob
-	}
-	return (oa-ob)%g == 0
-}
-
 func gcd(a, b int) int {
 	for b != 0 {
 		a, b = b, a%b
@@ -258,113 +276,186 @@ func abs(x int) int {
 	return x
 }
 
-func (a *Analysis) addWriteRead(loop *lang.Loop, w, r Ref) {
-	if w.Array == nil {
-		// Scalar write/read.
-		if w.Stmt < r.Stmt {
-			a.Deps = append(a.Deps, Dependence{Kind: Flow, Src: w, Snk: r, Distance: 0})
-			// The read in the *next* iteration still sees this write unless
-			// rewritten, but the textually-later same-iteration flow carries
-			// the constraint; adding the carried one too is harmless and
-			// matches conservative scalar handling.
-			a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: 1})
-		} else {
-			// Read at or before the write within an iteration: the read sees
-			// the previous iteration's write (loop-carried flow), and
-			// anti-depends on this iteration's write.
-			a.Deps = append(a.Deps, Dependence{Kind: Flow, Src: w, Snk: r, Distance: 1})
-			if r.Stmt < w.Stmt {
-				a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: 0})
-			} else if r.Stmt == w.Stmt {
-				// Same statement: RHS read precedes LHS write (reduction).
-				a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: 0})
-			}
-		}
-		return
-	}
-	gap, cls := classify(loop, w, r)
-	switch cls {
-	case pairNone:
-		return
-	case pairConservative:
-		a.Deps = append(a.Deps,
-			Dependence{Kind: Flow, Src: w, Snk: r, Distance: 1, Conservative: true},
-			Dependence{Kind: Anti, Src: r, Snk: w, Distance: 1, Conservative: true})
-		if w.Stmt < r.Stmt {
-			a.Deps = append(a.Deps, Dependence{Kind: Flow, Src: w, Snk: r, Distance: 0, Conservative: true})
-		} else if r.Stmt <= w.Stmt {
-			a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: 0, Conservative: true})
-		}
-		return
-	}
-	switch {
-	case gap > 0:
-		// Read gap iterations after the write: loop-carried flow dependence.
-		a.Deps = append(a.Deps, Dependence{Kind: Flow, Src: w, Snk: r, Distance: gap})
-	case gap < 0:
-		// Read earlier than the write: anti dependence read → write.
-		a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: -gap})
-	default:
-		// Same iteration: textual order decides.
-		if w.Stmt < r.Stmt {
-			a.Deps = append(a.Deps, Dependence{Kind: Flow, Src: w, Snk: r, Distance: 0})
-		} else {
-			// Read first (including same statement: RHS evaluates before the
-			// LHS store).
-			a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: 0})
-		}
-	}
+func (a *Analysis) recordPair(w, x Ref, v Verdict, ev Evidence, ndeps int) {
+	a.Pairs = append(a.Pairs, PairDecision{A: w, B: x, Verdict: v, Evidence: ev, Deps: ndeps})
 }
 
-func (a *Analysis) addWriteWrite(loop *lang.Loop, w1, w2 Ref) {
+// webEvidence builds oriented per-dependence evidence for a fixed-location
+// (scalar or same-element) web arc.
+func (a *Analysis) webEvidence(rule Rule, distance, elem int) Evidence {
+	b := a.baseIter()
+	return Evidence{Rule: rule, Witness: Witness{SrcIter: b, SnkIter: b + distance, Elem: elem}}
+}
+
+// emitWeb emits the exact fixed-location web between a write and a read of
+// the same memory location (a scalar, or an array element whose subscript is
+// iteration-invariant): within an iteration the textual order decides the
+// distance-0 arc, and the location being re-touched every iteration adds the
+// carried distance-1 arc in the opposite direction. rule is RuleScalar or
+// RuleSameElement; elem is the element index (0 for scalars).
+func (a *Analysis) emitWebWriteRead(w, r Ref, rule Rule, elem int) int {
+	if w.Stmt < r.Stmt {
+		a.Deps = append(a.Deps,
+			Dependence{Kind: Flow, Src: w, Snk: r, Distance: 0, Evidence: a.webEvidence(rule, 0, elem)},
+			// The read in the *next* iteration still sees this write unless
+			// rewritten, but the textually-later same-iteration flow carries
+			// the constraint; the carried anti arc closes the web.
+			Dependence{Kind: Anti, Src: r, Snk: w, Distance: 1, Evidence: a.webEvidence(rule, 1, elem)})
+		return 2
+	}
+	// Read at or before the write within an iteration: the read sees the
+	// previous iteration's write (loop-carried flow), and anti-depends on
+	// this iteration's write (including same statement: the RHS read
+	// precedes the LHS store — a reduction).
+	a.Deps = append(a.Deps,
+		Dependence{Kind: Flow, Src: w, Snk: r, Distance: 1, Evidence: a.webEvidence(rule, 1, elem)},
+		Dependence{Kind: Anti, Src: r, Snk: w, Distance: 0, Evidence: a.webEvidence(rule, 0, elem)})
+	return 2
+}
+
+func (a *Analysis) emitWebWriteWrite(w1, w2 Ref, rule Rule, elem int) int {
+	src, snk := w1, w2
+	if w2.Stmt < w1.Stmt {
+		src, snk = w2, w1
+	}
+	a.Deps = append(a.Deps,
+		Dependence{Kind: Output, Src: src, Snk: snk, Distance: 0, Evidence: a.webEvidence(rule, 0, elem)},
+		Dependence{Kind: Output, Src: snk, Snk: src, Distance: 1, Evidence: a.webEvidence(rule, 1, elem)})
+	return 2
+}
+
+// exactEvidence builds the oriented evidence for one exact-distance arc: the
+// decision's witness base for that gap, oriented source→sink.
+func exactEvidence(rule Rule, aIter, gap, elem int) Evidence {
+	src, snk := aIter, aIter+gap
+	if gap < 0 {
+		src, snk = aIter+gap, aIter
+	}
+	return Evidence{Rule: rule, Witness: Witness{SrcIter: src, SnkIter: snk, Elem: elem}}
+}
+
+func (a *Analysis) addWriteRead(w, r Ref, fw, fr form) {
+	if w.Array == nil {
+		// Scalar write/read: one fixed location, exact web.
+		n := a.emitWebWriteRead(w, r, RuleScalar, 0)
+		a.recordPair(w, r, VerdictExact, Evidence{Rule: RuleScalar}, n)
+		return
+	}
+	d := a.decideArray(fw, fr)
+	switch d.verdict {
+	case VerdictIndependent:
+		a.recordPair(w, r, VerdictIndependent, d.ev, 0)
+		return
+	case VerdictConservative:
+		a.Deps = append(a.Deps,
+			Dependence{Kind: Flow, Src: w, Snk: r, Distance: 1, Conservative: true, Evidence: d.ev},
+			Dependence{Kind: Anti, Src: r, Snk: w, Distance: 1, Conservative: true, Evidence: d.ev})
+		n := 2
+		if w.Stmt < r.Stmt {
+			a.Deps = append(a.Deps, Dependence{Kind: Flow, Src: w, Snk: r, Distance: 0, Conservative: true, Evidence: d.ev})
+			n++
+		} else if r.Stmt <= w.Stmt {
+			a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: 0, Conservative: true, Evidence: d.ev})
+			n++
+		}
+		a.recordPair(w, r, VerdictConservative, d.ev, n)
+		return
+	}
+	if d.web {
+		n := a.emitWebWriteRead(w, r, d.ev.Rule, d.ev.Witness.Elem)
+		a.recordPair(w, r, VerdictExact, d.ev, n)
+		return
+	}
+	n := 0
+	for k := 0; k < d.ngaps; k++ {
+		gap := d.gaps[k]
+		elem := fw.f.Coef*d.wit[k] + fw.f.Off
+		ev := exactEvidence(d.ev.Rule, d.wit[k], gap, elem)
+		switch {
+		case gap > 0:
+			// Read gap iterations after the write: loop-carried flow dependence.
+			a.Deps = append(a.Deps, Dependence{Kind: Flow, Src: w, Snk: r, Distance: gap, Evidence: ev})
+			n++
+		case gap < 0:
+			// Read earlier than the write: anti dependence read → write.
+			a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: -gap, Evidence: ev})
+			n++
+		default:
+			// Same iteration: textual order decides.
+			if w.Stmt < r.Stmt {
+				a.Deps = append(a.Deps, Dependence{Kind: Flow, Src: w, Snk: r, Distance: 0, Evidence: ev})
+			} else {
+				// Read first (including same statement: RHS evaluates before
+				// the LHS store).
+				a.Deps = append(a.Deps, Dependence{Kind: Anti, Src: r, Snk: w, Distance: 0, Evidence: ev})
+			}
+			n++
+		}
+	}
+	a.recordPair(w, r, VerdictExact, d.ev, n)
+}
+
+func (a *Analysis) addWriteWrite(w1, w2 Ref, f1, f2 form) {
 	if w1 == w2 {
 		return
 	}
 	if w1.Array == nil {
 		// Scalar output dependences: same location every iteration.
-		if w1.Stmt < w2.Stmt {
-			a.Deps = append(a.Deps,
-				Dependence{Kind: Output, Src: w1, Snk: w2, Distance: 0},
-				Dependence{Kind: Output, Src: w2, Snk: w1, Distance: 1})
-		} else {
-			a.Deps = append(a.Deps,
-				Dependence{Kind: Output, Src: w2, Snk: w1, Distance: 0},
-				Dependence{Kind: Output, Src: w1, Snk: w2, Distance: 1})
-		}
+		n := a.emitWebWriteWrite(w1, w2, RuleScalar, 0)
+		a.recordPair(w1, w2, VerdictExact, Evidence{Rule: RuleScalar}, n)
 		return
 	}
-	gap, cls := classify(loop, w1, w2)
-	switch cls {
-	case pairNone:
+	d := a.decideArray(f1, f2)
+	switch d.verdict {
+	case VerdictIndependent:
+		a.recordPair(w1, w2, VerdictIndependent, d.ev, 0)
 		return
-	case pairConservative:
+	case VerdictConservative:
 		a.Deps = append(a.Deps,
-			Dependence{Kind: Output, Src: w1, Snk: w2, Distance: 1, Conservative: true},
-			Dependence{Kind: Output, Src: w2, Snk: w1, Distance: 1, Conservative: true})
+			Dependence{Kind: Output, Src: w1, Snk: w2, Distance: 1, Conservative: true, Evidence: d.ev},
+			Dependence{Kind: Output, Src: w2, Snk: w1, Distance: 1, Conservative: true, Evidence: d.ev})
+		n := 2
 		if w1.Stmt != w2.Stmt {
 			src, snk := w1, w2
 			if w2.Stmt < w1.Stmt {
 				src, snk = w2, w1
 			}
-			a.Deps = append(a.Deps, Dependence{Kind: Output, Src: src, Snk: snk, Distance: 0, Conservative: true})
+			a.Deps = append(a.Deps, Dependence{Kind: Output, Src: src, Snk: snk, Distance: 0, Conservative: true, Evidence: d.ev})
+			n++
 		}
+		a.recordPair(w1, w2, VerdictConservative, d.ev, n)
 		return
 	}
-	switch {
-	case gap > 0:
-		a.Deps = append(a.Deps, Dependence{Kind: Output, Src: w1, Snk: w2, Distance: gap})
-	case gap < 0:
-		a.Deps = append(a.Deps, Dependence{Kind: Output, Src: w2, Snk: w1, Distance: -gap})
-	default:
-		if w1.Stmt == w2.Stmt {
-			return
-		}
-		src, snk := w1, w2
-		if w2.Stmt < w1.Stmt {
-			src, snk = w2, w1
-		}
-		a.Deps = append(a.Deps, Dependence{Kind: Output, Src: src, Snk: snk, Distance: 0})
+	if d.web {
+		n := a.emitWebWriteWrite(w1, w2, d.ev.Rule, d.ev.Witness.Elem)
+		a.recordPair(w1, w2, VerdictExact, d.ev, n)
+		return
 	}
+	n := 0
+	for k := 0; k < d.ngaps; k++ {
+		gap := d.gaps[k]
+		elem := f1.f.Coef*d.wit[k] + f1.f.Off
+		ev := exactEvidence(d.ev.Rule, d.wit[k], gap, elem)
+		switch {
+		case gap > 0:
+			a.Deps = append(a.Deps, Dependence{Kind: Output, Src: w1, Snk: w2, Distance: gap, Evidence: ev})
+			n++
+		case gap < 0:
+			a.Deps = append(a.Deps, Dependence{Kind: Output, Src: w2, Snk: w1, Distance: -gap, Evidence: ev})
+			n++
+		default:
+			if w1.Stmt == w2.Stmt {
+				continue
+			}
+			src, snk := w1, w2
+			if w2.Stmt < w1.Stmt {
+				src, snk = w2, w1
+			}
+			a.Deps = append(a.Deps, Dependence{Kind: Output, Src: src, Snk: snk, Distance: 0, Evidence: ev})
+			n++
+		}
+	}
+	a.recordPair(w1, w2, VerdictExact, d.ev, n)
 }
 
 // collectRefs enumerates all memory references of the loop body in textual
@@ -423,6 +514,22 @@ func collectRefs(loop *lang.Loop) []Ref {
 	return refs
 }
 
+// conservativeReason phrases the undecidability reason of a conservative
+// dependence for diagnostics.
+func conservativeReason(r Rule) string {
+	switch r {
+	case RuleNonAffine:
+		return "non-affine subscript"
+	case RuleSymbolMismatch:
+		return "symbolic subscript parts differ"
+	case RuleUnboundedStride:
+		return "differing strides over symbolic bounds"
+	case RuleDistanceSpread:
+		return "dependence distances too spread to enumerate"
+	}
+	return "subscript pair not analyzable"
+}
+
 // Diagnostics reports analysis warnings: one per reference pair whose
 // subscripts were not analyzable and therefore forced a conservative
 // distance-1 dependence. Each warning is positioned at the dependence
@@ -437,7 +544,7 @@ func (a *Analysis) Diagnostics() diag.List {
 		}
 		st := a.Loop.Body[d.Src.Stmt]
 		w := diag.Warningf("dep", st.Pos(),
-			"conservative dependence assumed (subscript pair not analyzable): %s", d).WithStmt(st.Label)
+			"conservative dependence assumed (%s): %s", conservativeReason(d.Evidence.Rule), d).WithStmt(st.Label)
 		key := w.Error()
 		if seen[key] {
 			continue

@@ -1,0 +1,336 @@
+package dep
+
+import (
+	"fmt"
+
+	"doacross/internal/lang"
+)
+
+// Verdict classifies the analyzer's decision for one reference pair.
+type Verdict uint8
+
+// Pair verdicts.
+const (
+	// VerdictExact: every dependence between the pair is emitted with an
+	// exact distance (or an exact fixed-location web for scalars and
+	// constant-subscript elements).
+	VerdictExact Verdict = iota
+	// VerdictIndependent: the pair provably never touches a common element;
+	// no dependence is emitted and the evidence carries the infeasibility
+	// certificate.
+	VerdictIndependent
+	// VerdictConservative: the pair is genuinely undecidable for the engine;
+	// the distance-1 both-direction web is assumed.
+	VerdictConservative
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictExact:
+		return "exact"
+	case VerdictIndependent:
+		return "independent"
+	case VerdictConservative:
+		return "conservative"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// Rule identifies the decision-procedure rule that produced a verdict — the
+// first component of every piece of evidence.
+type Rule uint8
+
+// Decision rules. The first group proves exact dependences, the second
+// proves independence, the third names why a pair stayed conservative.
+const (
+	// RuleAssumed marks baseline-mode decisions where no decision procedure
+	// ran (the seed analyzer's behavior, kept for audit comparison).
+	RuleAssumed Rule = iota
+
+	// RuleScalar: both references name the same scalar — one fixed location,
+	// exact distance-0/1 web.
+	RuleScalar
+	// RuleSameElement: both subscripts reduce to the same fixed element
+	// (equal constants and equal symbolic parts, no induction-variable
+	// term) — one fixed location, exact distance-0/1 web.
+	RuleSameElement
+	// RuleUniformStride: equal induction-variable coefficients and equal
+	// symbolic parts — the subscript difference is constant and yields one
+	// exact distance.
+	RuleUniformStride
+	// RuleDiophantine: differing strides inside constant loop bounds — the
+	// linear Diophantine equation was enumerated over the iteration box and
+	// every solution's distance emitted exactly.
+	RuleDiophantine
+
+	// RuleGCD: independence by non-divisibility — gcd(|ca|,|cb|) does not
+	// divide the constant subscript difference, so no iteration pair can
+	// collide (Evidence.Div, Evidence.Rem hold the certificate).
+	RuleGCD
+	// RuleDistinctElem: both subscripts are fixed elements with equal
+	// symbolic parts but different constants — provably disjoint.
+	RuleDistinctElem
+	// RuleBoundSep: a Banerjee-style bound separation — the only candidate
+	// distances fall outside the loop's constant iteration range
+	// (Evidence.Lo, Evidence.Hi hold the bounds used).
+	RuleBoundSep
+
+	// RuleNonAffine: a subscript is not affine in the induction variable and
+	// loop-invariant symbols (A[I*I], A[IX[I]], division, or a symbol
+	// written inside the loop body).
+	RuleNonAffine
+	// RuleSymbolMismatch: both subscripts are affine but their symbolic
+	// parts differ (A[J] vs A[K]), so the difference is not a constant.
+	RuleSymbolMismatch
+	// RuleUnboundedStride: differing strides with symbolic loop bounds —
+	// the Diophantine solution set cannot be enumerated.
+	RuleUnboundedStride
+	// RuleDistanceSpread: the enumerated solution set exists but spans more
+	// distinct distances than the engine will emit as individual arcs.
+	RuleDistanceSpread
+)
+
+// String names the rule.
+func (r Rule) String() string {
+	switch r {
+	case RuleAssumed:
+		return "assumed"
+	case RuleScalar:
+		return "scalar-location"
+	case RuleSameElement:
+		return "same-element"
+	case RuleUniformStride:
+		return "uniform-stride"
+	case RuleDiophantine:
+		return "diophantine"
+	case RuleGCD:
+		return "gcd"
+	case RuleDistinctElem:
+		return "distinct-elements"
+	case RuleBoundSep:
+		return "bound-separation"
+	case RuleNonAffine:
+		return "non-affine"
+	case RuleSymbolMismatch:
+		return "symbol-mismatch"
+	case RuleUnboundedStride:
+		return "unbounded-stride"
+	case RuleDistanceSpread:
+		return "distance-spread"
+	}
+	return fmt.Sprintf("Rule(%d)", int(r))
+}
+
+// Witness is a concrete iteration pair proving a dependence: the source
+// reference at iteration SrcIter and the sink reference at iteration SnkIter
+// touch the same element. For loops with symbolic bounds the witness is
+// normalized to a lower bound of 1; Elem is the element index with all
+// symbolic subscript terms evaluated as 0 (they cancel between the two
+// sides, so any valuation yields a valid witness).
+type Witness struct {
+	SrcIter, SnkIter int
+	Elem             int
+}
+
+// Evidence is the machine-checkable justification attached to a verdict.
+// Exactly which fields are meaningful depends on Rule:
+//
+//   - dependence rules (scalar-location, same-element, uniform-stride,
+//     diophantine): Witness is the iteration pair;
+//   - gcd: Div and Rem certify Rem = (Δoff mod Div) ≠ 0;
+//   - bound-separation: Lo and Hi are the constant loop bounds that exclude
+//     every candidate distance;
+//   - conservative rules: only Rule itself (the residue reason).
+//
+// The struct is flat (no pointers, no strings) so attaching it to every
+// Dependence costs a few words and no allocations.
+type Evidence struct {
+	Rule    Rule
+	Witness Witness
+	// Div, Rem form the GCD certificate: Div > 0, Rem = Δoff mod Div, Rem != 0.
+	Div, Rem int
+	// Lo, Hi are the constant loop bounds used by bound-separation and
+	// Diophantine enumeration.
+	Lo, Hi int
+}
+
+// PairDecision records the analyzer's verdict for one ordered reference pair
+// (A is always the write of the pair) — the per-decision provenance surfaced
+// in -dump artifacts and validated by the brute-force oracle.
+type PairDecision struct {
+	// A is the write reference, B the read (flow/anti pairs) or the second
+	// write (output pairs).
+	A, B     Ref
+	Verdict  Verdict
+	Evidence Evidence
+	// Deps is how many dependences the decision emitted (0 for independent).
+	Deps int
+}
+
+// String renders the decision for provenance dumps, e.g.
+// "S1[A w] x S3[A r]: exact (uniform-stride, witness i=1->3 elem -1)".
+func (p PairDecision) String() string {
+	mode := func(r Ref) string {
+		if r.Write {
+			return "w"
+		}
+		return "r"
+	}
+	head := fmt.Sprintf("S%d[%s %s] x S%d[%s %s]: %s (%s",
+		p.A.Stmt+1, p.A.Name(), mode(p.A), p.B.Stmt+1, p.B.Name(), mode(p.B),
+		p.Verdict, p.Evidence.Rule)
+	switch p.Evidence.Rule {
+	case RuleGCD:
+		return head + fmt.Sprintf(", gcd %d rem %d)", p.Evidence.Div, p.Evidence.Rem)
+	case RuleBoundSep:
+		return head + fmt.Sprintf(", bounds %d..%d)", p.Evidence.Lo, p.Evidence.Hi)
+	case RuleUniformStride, RuleDiophantine:
+		w := p.Evidence.Witness
+		return head + fmt.Sprintf(", witness i=%d->%d elem %d)", w.SrcIter, w.SnkIter, w.Elem)
+	}
+	return head + ")"
+}
+
+// Check re-verifies the decision's evidence against the loop from first
+// principles — subscripts are re-evaluated, certificates re-derived — and
+// returns an error describing the first inconsistency. It shares no
+// conclusions with the decision procedure: witnesses are checked by
+// evaluating both subscript expressions, GCD certificates by recomputing the
+// gcd and remainder, separations by re-enumerating the iteration box.
+func (p PairDecision) Check(loop *lang.Loop) error {
+	switch p.Evidence.Rule {
+	case RuleAssumed, RuleNonAffine, RuleSymbolMismatch, RuleUnboundedStride, RuleDistanceSpread:
+		if p.Verdict == VerdictIndependent {
+			return fmt.Errorf("independence verdict with residue rule %s", p.Evidence.Rule)
+		}
+		return nil
+	case RuleScalar:
+		if p.A.ScalarName == "" || p.A.ScalarName != p.B.ScalarName {
+			return fmt.Errorf("scalar-location rule on non-matching refs %q vs %q", p.A.ScalarName, p.B.ScalarName)
+		}
+		return nil
+	}
+	if p.A.Array == nil || p.B.Array == nil {
+		return fmt.Errorf("%s rule on scalar references", p.Evidence.Rule)
+	}
+	fa, oka := lang.AffineSym(p.A.Array.Index, loop.Var)
+	fb, okb := lang.AffineSym(p.B.Array.Index, loop.Var)
+	if !oka || !okb {
+		return fmt.Errorf("%s rule on non-affine subscripts", p.Evidence.Rule)
+	}
+	if !fa.SymsEqual(fb) {
+		return fmt.Errorf("%s rule with mismatched symbolic parts", p.Evidence.Rule)
+	}
+	evalAt := func(f lang.AffineForm, i int) int { return f.Coef*i + f.Off }
+	switch p.Evidence.Rule {
+	case RuleSameElement:
+		if fa.Coef != 0 || fb.Coef != 0 || fa.Off != fb.Off {
+			return fmt.Errorf("same-element rule on subscripts %s vs %s", p.A.Array.Index, p.B.Array.Index)
+		}
+		return nil
+	case RuleDistinctElem:
+		if fa.Coef != 0 || fb.Coef != 0 || fa.Off == fb.Off {
+			return fmt.Errorf("distinct-elements rule on subscripts %s vs %s", p.A.Array.Index, p.B.Array.Index)
+		}
+		return nil
+	case RuleGCD:
+		g := gcd(abs(fa.Coef), abs(fb.Coef))
+		if p.Evidence.Div != g || g == 0 {
+			return fmt.Errorf("gcd certificate divisor %d, recomputed %d", p.Evidence.Div, g)
+		}
+		rem := mod(fb.Off-fa.Off, g)
+		if rem != p.Evidence.Rem || rem == 0 {
+			return fmt.Errorf("gcd certificate remainder %d, recomputed %d", p.Evidence.Rem, rem)
+		}
+		return nil
+	case RuleBoundSep:
+		lo, hi := p.Evidence.Lo, p.Evidence.Hi
+		if clo, ok := lang.ConstInt(loop.Lo); !ok || clo != lo {
+			return fmt.Errorf("bound-separation lower bound %d does not match the loop", lo)
+		}
+		if chi, ok := lang.ConstInt(loop.Hi); !ok || chi != hi {
+			return fmt.Errorf("bound-separation upper bound %d does not match the loop", hi)
+		}
+		for ia := lo; ia <= hi; ia++ {
+			for ib := lo; ib <= hi; ib++ {
+				if evalAt(fa, ia) == evalAt(fb, ib) {
+					return fmt.Errorf("bound-separation refuted: iterations %d and %d share element %d", ia, ib, evalAt(fa, ia))
+				}
+			}
+		}
+		return nil
+	case RuleUniformStride, RuleDiophantine:
+		w := p.Evidence.Witness
+		// The witness is stored source→sink; map back to the (A,B) pair by
+		// matching the element on both orientations.
+		ea1, eb1 := evalAt(fa, w.SrcIter), evalAt(fb, w.SnkIter)
+		ea2, eb2 := evalAt(fa, w.SnkIter), evalAt(fb, w.SrcIter)
+		if !(ea1 == eb1 && ea1 == w.Elem) && !(ea2 == eb2 && ea2 == w.Elem) {
+			return fmt.Errorf("witness (%d,%d) does not touch a common element %d", w.SrcIter, w.SnkIter, w.Elem)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown rule %s", p.Evidence.Rule)
+}
+
+// mod is the non-negative remainder.
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// Counts tallies the pair verdicts of the analysis — the numbers behind the
+// doacross_dep_{exact,independent,conservative}_total pipeline metrics.
+func (a *Analysis) Counts() (exact, independent, conservative int) {
+	for _, p := range a.Pairs {
+		switch p.Verdict {
+		case VerdictExact:
+			exact++
+		case VerdictIndependent:
+			independent++
+		case VerdictConservative:
+			conservative++
+		}
+	}
+	return
+}
+
+// CountConservative returns how many dependences carry the conservative
+// flag — the audit's headline refinement metric.
+func (a *Analysis) CountConservative() int {
+	n := 0
+	for _, d := range a.Deps {
+		if d.Conservative {
+			n++
+		}
+	}
+	return n
+}
+
+// Independents returns the pair decisions proven independent, for linting
+// provably-redundant synchronization.
+func (a *Analysis) Independents() []PairDecision {
+	var out []PairDecision
+	for _, p := range a.Pairs {
+		if p.Verdict == VerdictIndependent {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CheckEvidence re-verifies every pair decision's evidence and returns the
+// first inconsistency, or nil. It is the analyzer's self-audit: each verdict
+// must be re-derivable from the loop text alone.
+func (a *Analysis) CheckEvidence() error {
+	for _, p := range a.Pairs {
+		if err := p.Check(a.Loop); err != nil {
+			return fmt.Errorf("dep: pair %s: %w", p, err)
+		}
+	}
+	return nil
+}

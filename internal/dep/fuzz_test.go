@@ -1,0 +1,46 @@
+package dep
+
+import (
+	"errors"
+	"testing"
+
+	"doacross/internal/lang"
+	"doacross/internal/loopgen"
+)
+
+// FuzzDepOracle cross-validates the analyzer — precise and baseline modes —
+// against the brute-force memory-trace oracle over generated loops of every
+// shape: affine, coupled-coefficient, symbolic-offset, non-affine and
+// guard-dependent. Any divergence (refuted independence, missed or phantom
+// exact dependence, evidence that fails its own re-check) is an analyzer bug
+// and fails the fuzz run.
+func FuzzDepOracle(f *testing.F) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		for shape := 0; shape < 6; shape++ {
+			f.Add(seed, uint8(shape), uint8(seed%5), seed%2 == 0, uint8(seed), seed*77+1)
+		}
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, shape, stmts uint8, constBounds bool, n uint8, storeSeed uint64) {
+		opt := loopgen.Options{
+			Shape:       loopgen.Shape(int(shape) % 6),
+			Stmts:       1 + int(stmts)%4,
+			ConstBounds: constBounds,
+		}
+		src := loopgen.Generate(seed, opt)
+		loop, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("generated source does not parse: %v\n%s", err, src)
+		}
+		trip := 4 + int(n)%12
+		for _, baseline := range []bool{false, true} {
+			a := AnalyzeOpts(loop, Options{Baseline: baseline})
+			err := a.ValidateOracle(trip, storeSeed|1)
+			if errors.Is(err, ErrUntraceable) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("baseline=%v: %v\n%s", baseline, err, src)
+			}
+		}
+	})
+}

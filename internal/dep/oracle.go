@@ -1,0 +1,262 @@
+package dep
+
+import (
+	"errors"
+	"fmt"
+
+	"doacross/internal/lang"
+)
+
+// ErrUntraceable reports that the oracle could not execute the loop (a
+// subscript evaluated to a non-finite value, or the bounds are empty), so no
+// verdict about the analysis can be drawn.
+var ErrUntraceable = errors.New("dep: loop not traceable")
+
+// oracleMaxTrip caps how many iterations the oracle enumerates. Tracing a
+// prefix is sound for everything the oracle asserts: a collision observed in
+// the prefix refutes independence outright, and the analyzer's dependence
+// set must cover the prefix's dependences regardless of what later
+// iterations add.
+const oracleMaxTrip = 24
+
+// ValidateOracle cross-checks the analysis against a brute-force memory
+// trace: it executes the loop sequentially over a small iteration space
+// (bounds from the loop, with N bound to n for symbolic bounds; values from
+// the seeded store), records the exact address every reference touches at
+// every iteration under if-converted semantics (guarded statements still
+// touch their locations — the merged store makes the accesses
+// unconditional), and diffs the observed dependence set against the
+// analyzer's verdicts:
+//
+//   - a pair proven Independent must show zero common-element collisions;
+//   - a pair solved with exact distances must emit precisely the observed
+//     (kind, direction, distance) arcs — nothing missing;
+//   - a Conservative or fixed-location-web pair must cover its observed
+//     collisions by the distance-0/1 web (always true by construction, but
+//     the pair decision must exist);
+//   - every piece of evidence must re-verify via PairDecision.Check.
+//
+// It returns nil when the analysis is consistent with the trace,
+// ErrUntraceable when the loop cannot be executed, and a descriptive error
+// for any disagreement — which is an analyzer bug, never a loop property.
+func (a *Analysis) ValidateOracle(n int, seed uint64) error {
+	loop := a.Loop
+	if err := a.CheckEvidence(); err != nil {
+		return err
+	}
+	store := loop.SeedStore(n, 8, seed)
+	lo, hi, err := loop.Bounds(store)
+	if err != nil || lo > hi {
+		return ErrUntraceable
+	}
+	if hi-lo+1 > oracleMaxTrip {
+		hi = lo + oracleMaxTrip - 1
+	}
+	refs := collectRefs(loop)
+
+	// Index the analysis: pair decisions and emitted deps by reference
+	// identity (statement index + in-statement ordinal).
+	type refKey struct{ stmt, pos int }
+	type pairKey struct{ a, b refKey }
+	key := func(r Ref) refKey { return refKey{r.Stmt, r.Pos} }
+	pairs := make(map[pairKey]*PairDecision, len(a.Pairs))
+	for i := range a.Pairs {
+		p := &a.Pairs[i]
+		pairs[pairKey{key(p.A), key(p.B)}] = p
+		pairs[pairKey{key(p.B), key(p.A)}] = p
+	}
+	type depKey struct {
+		src, snk refKey
+		kind     Kind
+		dist     int
+	}
+	emitted := make(map[depKey]bool, len(a.Deps))
+	for _, d := range a.Deps {
+		emitted[depKey{key(d.Src), key(d.Snk), d.Kind, d.Distance}] = true
+	}
+
+	// Trace: per location, the ordered list of (ref index, iteration)
+	// accesses. Within a statement all reads precede the write, matching the
+	// analyzer's same-iteration conventions (RHS evaluates before the LHS
+	// store); statements execute in textual order; each statement's value
+	// effect is applied before the next statement's addresses are evaluated,
+	// so subscripts depending on earlier scalar updates trace accurately.
+	type loc struct {
+		scalar bool
+		name   string
+		idx    int
+	}
+	type access struct {
+		ref  int
+		iter int
+	}
+	trace := make(map[loc][]access)
+	locate := func(r Ref, i int) (loc, error) {
+		if r.Array == nil {
+			return loc{scalar: true, name: r.ScalarName}, nil
+		}
+		idx, err := lang.EvalIndex(r.Array.Index, store, loop.Var, i)
+		if err != nil {
+			return loc{}, err
+		}
+		return loc{name: r.Array.Name, idx: idx}, nil
+	}
+	for i := lo; i <= hi; i++ {
+		for si, st := range loop.Body {
+			// Addresses first: reads, then the statement's write.
+			var writes []int
+			for ri := range refs {
+				if refs[ri].Stmt != si {
+					continue
+				}
+				if refs[ri].Write {
+					writes = append(writes, ri)
+					continue
+				}
+				l, err := locate(refs[ri], i)
+				if err != nil {
+					return ErrUntraceable
+				}
+				trace[l] = append(trace[l], access{ref: ri, iter: i})
+			}
+			for _, ri := range writes {
+				l, err := locate(refs[ri], i)
+				if err != nil {
+					return ErrUntraceable
+				}
+				trace[l] = append(trace[l], access{ref: ri, iter: i})
+			}
+			// Value effect (real guard semantics — only values, the
+			// addresses above were already recorded unconditionally).
+			if err := execStmt(st, store, loop.Var, i); err != nil {
+				return ErrUntraceable
+			}
+		}
+	}
+
+	// Diff every observed collision against the verdicts.
+	for l, accs := range trace {
+		for pi := 0; pi < len(accs); pi++ {
+			for qi := pi + 1; qi < len(accs); qi++ {
+				p, q := accs[pi], accs[qi]
+				rp, rq := refs[p.ref], refs[q.ref]
+				if !rp.Write && !rq.Write {
+					continue
+				}
+				if p.ref == q.ref && p.iter == q.iter {
+					continue
+				}
+				dist := q.iter - p.iter
+				var kind Kind
+				switch {
+				case rp.Write && rq.Write:
+					kind = Output
+				case rp.Write:
+					kind = Flow
+				default:
+					kind = Anti
+				}
+				pd := pairs[pairKey{key(rp), key(rq)}]
+				if pd == nil {
+					if p.ref == q.ref {
+						// A reference colliding with itself across iterations
+						// (same location, at most one write side) has no pair
+						// of its own; write self-collisions are the
+						// fixed-location case handled via other pairs.
+						continue
+					}
+					return fmt.Errorf("dep: no pair decision for observed %s %s[%v] S%d->S%d dist %d",
+						kind, l.name, l.idx, rp.Stmt+1, rq.Stmt+1, dist)
+				}
+				switch pd.Verdict {
+				case VerdictIndependent:
+					return fmt.Errorf("dep: independence refuted: pair %s observed %s collision at %s[%d] dist %d (iterations %d and %d)",
+						pd, kind, l.name, l.idx, dist, p.iter, q.iter)
+				case VerdictConservative:
+					// Covered transitively by the distance-1 both-direction
+					// web plus the distance-0 arc.
+					continue
+				}
+				switch pd.Evidence.Rule {
+				case RuleScalar, RuleSameElement:
+					// Fixed location: covered transitively by the exact
+					// distance-0/1 web.
+					continue
+				}
+				if !emitted[depKey{key(rp), key(rq), kind, dist}] {
+					return fmt.Errorf("dep: missed dependence: pair %s observed %s at %s[%d] dist %d (iterations %d and %d) not in exact dependence set",
+						pd, kind, l.name, l.idx, dist, p.iter, q.iter)
+				}
+			}
+		}
+	}
+
+	// The reverse diff: every exact-distance arc whose witness lies inside
+	// the traced range must have been observed.
+	observed := make(map[depKey]bool)
+	for _, accs := range trace {
+		for pi := 0; pi < len(accs); pi++ {
+			for qi := pi + 1; qi < len(accs); qi++ {
+				p, q := accs[pi], accs[qi]
+				rp, rq := refs[p.ref], refs[q.ref]
+				if !rp.Write && !rq.Write {
+					continue
+				}
+				var kind Kind
+				switch {
+				case rp.Write && rq.Write:
+					kind = Output
+				case rp.Write:
+					kind = Flow
+				default:
+					kind = Anti
+				}
+				observed[depKey{key(rp), key(rq), kind, q.iter - p.iter}] = true
+			}
+		}
+	}
+	for _, d := range a.Deps {
+		switch d.Evidence.Rule {
+		case RuleUniformStride, RuleDiophantine:
+		default:
+			continue
+		}
+		w := d.Evidence.Witness
+		if w.SrcIter < lo || w.SnkIter > hi || w.SrcIter > hi || w.SnkIter < lo {
+			continue
+		}
+		if !observed[depKey{key(d.Src), key(d.Snk), d.Kind, d.Distance}] {
+			return fmt.Errorf("dep: phantom dependence: %s (witness i=%d->%d) never observed in trace", d, w.SrcIter, w.SnkIter)
+		}
+	}
+	return nil
+}
+
+// execStmt applies one statement's value effect to the store with real
+// guard semantics (a false guard writes nothing).
+func execStmt(st *lang.Assign, store *lang.Store, iv string, i int) error {
+	if st.Cond != nil {
+		holds, err := st.Cond.Holds(store, iv, i)
+		if err != nil {
+			return err
+		}
+		if !holds {
+			return nil
+		}
+	}
+	val, err := lang.EvalExpr(st.RHS, store, iv, i)
+	if err != nil {
+		return err
+	}
+	switch lhs := st.LHS.(type) {
+	case *lang.Scalar:
+		store.SetScalar(lhs.Name, val)
+	case *lang.ArrayRef:
+		idx, err := lang.EvalIndex(lhs.Index, store, iv, i)
+		if err != nil {
+			return err
+		}
+		store.SetElem(lhs.Name, idx, val)
+	}
+	return nil
+}

@@ -1,0 +1,404 @@
+package dep
+
+import (
+	"strings"
+	"testing"
+
+	"doacross/internal/lang"
+)
+
+func analyzeSrc(t *testing.T, src string) *Analysis {
+	t.Helper()
+	return Analyze(lang.MustParse(src))
+}
+
+func pairFor(a *Analysis, nameA, nameB string, stmtA, stmtB int) *PairDecision {
+	for i := range a.Pairs {
+		p := &a.Pairs[i]
+		if p.A.Name() == nameA && p.B.Name() == nameB && p.A.Stmt == stmtA && p.B.Stmt == stmtB {
+			return p
+		}
+	}
+	return nil
+}
+
+// oracle runs the brute-force memory-trace cross-validation over a few
+// iteration-space sizes and seeds; any disagreement is an analyzer bug.
+func oracle(t *testing.T, a *Analysis) {
+	t.Helper()
+	for _, n := range []int{4, 7, 12} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			if err := a.ValidateOracle(n, seed); err != nil {
+				t.Fatalf("oracle (n=%d seed=%d): %v", n, seed, err)
+			}
+		}
+	}
+}
+
+// TestSymbolicSameElement: A[J] with loop-invariant J is one fixed location;
+// the seed analyzer assumed a conservative web, the precise engine proves
+// the exact scalar-style web.
+func TestSymbolicSameElement(t *testing.T) {
+	a := analyzeSrc(t, `
+DO I = 1, N
+  S1: A[J] = A[J] + B[I]
+ENDDO
+`)
+	if n := a.CountConservative(); n != 0 {
+		t.Fatalf("conservative deps = %d, want 0 (A[J] is a fixed location): %v", n, a.Deps)
+	}
+	// Reduction shape: carried flow S1->S1 dist 1 plus same-iteration anti.
+	if find(a.Deps, Flow, 0, 0, 1) == nil || find(a.Deps, Anti, 0, 0, 0) == nil {
+		t.Fatalf("missing exact reduction web, have %v", a.Deps)
+	}
+	p := pairFor(a, "A", "A", 0, 0)
+	if p == nil || p.Verdict != VerdictExact || p.Evidence.Rule != RuleSameElement {
+		t.Fatalf("pair decision = %+v, want exact same-element", p)
+	}
+	oracle(t, a)
+}
+
+// TestConstantElementWeb: A[3] vs A[3] across statements was the seed's
+// conservative blind spot (coefficient zero); precise proves the web exact.
+func TestConstantElementWeb(t *testing.T) {
+	a := analyzeSrc(t, `
+DO I = 1, N
+  S1: A[3] = B[I] + 1
+  S2: C[I] = A[3] * 2
+ENDDO
+`)
+	if n := a.CountConservative(); n != 0 {
+		t.Fatalf("conservative deps = %d, want 0: %v", n, a.Deps)
+	}
+	if find(a.Deps, Flow, 0, 1, 0) == nil || find(a.Deps, Anti, 1, 0, 1) == nil {
+		t.Fatalf("missing exact same-element web, have %v", a.Deps)
+	}
+	oracle(t, a)
+}
+
+// TestCoupledSymbolicDistance: A[I+J] vs A[I+J-2] — the symbolic terms
+// cancel, leaving an exact distance-2 flow dependence.
+func TestCoupledSymbolicDistance(t *testing.T) {
+	a := analyzeSrc(t, `
+DO I = 1, N
+  S1: A[I+J] = B[I]
+  S2: C[I] = A[I+J-2]
+ENDDO
+`)
+	if n := a.CountConservative(); n != 0 {
+		t.Fatalf("conservative deps = %d, want 0: %v", n, a.Deps)
+	}
+	d := find(a.Deps, Flow, 0, 1, 2)
+	if d == nil {
+		t.Fatalf("missing flow S1->S2 dist 2, have %v", a.Deps)
+	}
+	if d.Evidence.Rule != RuleUniformStride {
+		t.Fatalf("evidence rule = %s, want uniform-stride", d.Evidence.Rule)
+	}
+	w := d.Evidence.Witness
+	if w.SnkIter-w.SrcIter != 2 {
+		t.Fatalf("witness %+v does not span distance 2", w)
+	}
+	oracle(t, a)
+}
+
+// TestSymbolicIndependence: A[J+1] vs A[J-1] differ by a constant 2 with
+// stride 0 — provably distinct elements, no dependence at all.
+func TestSymbolicIndependence(t *testing.T) {
+	a := analyzeSrc(t, `
+DO I = 1, N
+  S1: A[J+1] = B[I]
+  S2: C[I] = A[J-1]
+ENDDO
+`)
+	if len(a.Deps) != 0 {
+		t.Fatalf("deps = %v, want none", a.Deps)
+	}
+	p := pairFor(a, "A", "A", 0, 1)
+	if p == nil || p.Verdict != VerdictIndependent || p.Evidence.Rule != RuleDistinctElem {
+		t.Fatalf("pair decision = %+v, want independent distinct-elements", p)
+	}
+	oracle(t, a)
+}
+
+// TestGCDIndependence: A[2*I] vs A[2*I+1] — even vs odd elements; the GCD
+// certificate proves independence where the seed only had the cheap disproof
+// for differing strides.
+func TestGCDIndependence(t *testing.T) {
+	a := analyzeSrc(t, `
+DO I = 1, N
+  S1: A[2*I] = B[I]
+  S2: C[I] = A[2*I+1]
+ENDDO
+`)
+	if len(a.Deps) != 0 {
+		t.Fatalf("deps = %v, want none", a.Deps)
+	}
+	p := pairFor(a, "A", "A", 0, 1)
+	if p == nil || p.Verdict != VerdictIndependent || p.Evidence.Rule != RuleGCD {
+		t.Fatalf("pair decision = %+v, want independent gcd", p)
+	}
+	if p.Evidence.Div != 2 || p.Evidence.Rem != 1 {
+		t.Fatalf("gcd certificate = div %d rem %d, want 2,1", p.Evidence.Div, p.Evidence.Rem)
+	}
+	oracle(t, a)
+}
+
+// TestDiophantineEnumeration: A[2*I] vs A[I+3] over constant bounds — the
+// seed assumed a conservative both-direction web; the precise engine
+// enumerates the collisions exactly and direction-prunes what is refutable.
+func TestDiophantineEnumeration(t *testing.T) {
+	a := analyzeSrc(t, `
+DO I = 1, 6
+  S1: A[2*I] = B[I]
+  S2: C[I] = A[I+3]
+ENDDO
+`)
+	if n := a.CountConservative(); n != 0 {
+		t.Fatalf("conservative deps = %d, want 0: %v", n, a.Deps)
+	}
+	// Collisions 2x = y+3 in [1,6]^2: (2,1),(3,3),(4,5) → gaps -1, 0, +1.
+	if find(a.Deps, Flow, 0, 1, 1) == nil {
+		t.Errorf("missing flow S1->S2 dist 1, have %v", a.Deps)
+	}
+	if find(a.Deps, Flow, 0, 1, 0) == nil {
+		t.Errorf("missing loop-independent flow S1->S2, have %v", a.Deps)
+	}
+	if find(a.Deps, Anti, 1, 0, 1) == nil {
+		t.Errorf("missing anti S2->S1 dist 1, have %v", a.Deps)
+	}
+	if len(a.Deps) != 3 {
+		t.Errorf("deps = %v, want exactly the three enumerated arcs", a.Deps)
+	}
+	p := pairFor(a, "A", "A", 0, 1)
+	if p == nil || p.Evidence.Rule != RuleDiophantine {
+		t.Fatalf("pair decision = %+v, want diophantine", p)
+	}
+	oracle(t, a)
+}
+
+// TestBoundSeparation: with constant bounds 1..4 a distance-6 dependence
+// cannot connect two in-range iterations — Banerjee-style separation proves
+// independence where the subscripts alone would admit a dependence.
+func TestBoundSeparation(t *testing.T) {
+	a := analyzeSrc(t, `
+DO I = 1, 4
+  S1: A[I] = B[I]
+  S2: C[I] = A[I-6]
+ENDDO
+`)
+	p := pairFor(a, "A", "A", 0, 1)
+	if p == nil || p.Verdict != VerdictIndependent || p.Evidence.Rule != RuleBoundSep {
+		t.Fatalf("pair decision = %+v, want independent bound-separation", p)
+	}
+	if find(a.Deps, Flow, 0, 1, 6) != nil {
+		t.Fatalf("distance-6 dependence emitted despite 4-iteration bounds: %v", a.Deps)
+	}
+	oracle(t, a)
+}
+
+// TestConservativeResidue: genuinely undecidable shapes stay conservative,
+// each with its reason.
+func TestConservativeResidue(t *testing.T) {
+	cases := []struct {
+		name, src string
+		rule      Rule
+	}{
+		{"indirect", "DO I = 1, N\n S1: A[IX[I]] = B[I]\n S2: C[I] = A[I]\nENDDO\n", RuleNonAffine},
+		{"quadratic", "DO I = 1, N\n S1: A[I*I] = B[I]\n S2: C[I] = A[I]\nENDDO\n", RuleNonAffine},
+		{"symbol-mismatch", "DO I = 1, N\n S1: A[I+J] = B[I]\n S2: C[I] = A[I+K]\nENDDO\n", RuleSymbolMismatch},
+		{"unbounded-stride", "DO I = 1, N\n S1: A[2*I] = B[I]\n S2: C[I] = A[I]\nENDDO\n", RuleUnboundedStride},
+		{"written-symbol", "DO I = 1, N\n S1: J = J + 1\n S2: A[J] = B[I]\n S3: C[I] = A[J]\nENDDO\n", RuleNonAffine},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := analyzeSrc(t, tc.src)
+			found := false
+			for _, d := range a.Deps {
+				if d.Conservative && d.Evidence.Rule == tc.rule {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no conservative dependence with rule %s; deps %v", tc.rule, a.Deps)
+			}
+			oracle(t, a)
+		})
+	}
+}
+
+// TestBaselineReproducesSeed: baseline mode must match the seed analyzer's
+// verdicts — conservative where the seed was conservative, exact where it
+// was exact — so the precision audit compares against the true seed.
+func TestBaselineReproducesSeed(t *testing.T) {
+	srcs := []string{
+		fig1Source,
+		"DO I = 1, N\n S1: A[J] = A[J] + B[I]\nENDDO\n",
+		"DO I = 1, 6\n S1: A[2*I] = B[I]\n S2: C[I] = A[I+3]\nENDDO\n",
+		"DO I = 1, N\n S1: A[3] = B[I]\n S2: C[I] = A[3]\nENDDO\n",
+	}
+	for _, src := range srcs {
+		base := AnalyzeOpts(lang.MustParse(src), Options{Baseline: true})
+		prec := Analyze(lang.MustParse(src))
+		// The baseline is never *more* precise than the engine.
+		if base.CountConservative() < prec.CountConservative() {
+			t.Errorf("%sbaseline conservative %d < precise %d", src, base.CountConservative(), prec.CountConservative())
+		}
+		if err := base.CheckEvidence(); err != nil {
+			t.Errorf("baseline evidence: %v", err)
+		}
+	}
+	// Spot-check the seed's signature behaviors.
+	base := AnalyzeOpts(lang.MustParse("DO I = 1, N\n S1: A[3] = B[I]\n S2: C[I] = A[3]\nENDDO\n"), Options{Baseline: true})
+	if base.CountConservative() == 0 {
+		t.Error("baseline must keep A[3] vs A[3] conservative like the seed")
+	}
+	base = AnalyzeOpts(lang.MustParse(fig1Source), Options{Baseline: true})
+	if base.CountConservative() != 0 {
+		t.Errorf("baseline fig1 must be fully exact, got %v", base.Deps)
+	}
+	if find(base.Deps, Flow, 2, 0, 2) == nil {
+		t.Errorf("baseline fig1 lost the distance-2 dependence: %v", base.Deps)
+	}
+}
+
+// TestFig1FamilyDirectionPruning is the satellite regression: Fig. 1 kernel
+// variants whose symmetric conservative pairs are now refuted in one
+// direction must emit deduplicated, direction-pruned exact arcs — and the
+// surviving schedule constraints must still cover the oracle's trace.
+func TestFig1FamilyDirectionPruning(t *testing.T) {
+	// Fig. 1 with constant bounds and a strided read: the seed emitted the
+	// symmetric conservative web for the (A[I], A[2*I-7]) pair; collisions
+	// 2y-7 = x in [1,6]^2 are (1,4),(3,5),(5,6) — all flow direction, the
+	// anti direction is refutable.
+	src := `
+DO I = 1, 6
+  S1: B[I] = A[2*I-7] + E[I+1]
+  S2: G[I-3] = A[I-1] * E[I+2]
+  S3: A[I] = B[I] + C[I+3]
+ENDDO
+`
+	a := analyzeSrc(t, src)
+	base := AnalyzeOpts(lang.MustParse(src), Options{Baseline: true})
+	if base.CountConservative() == 0 {
+		t.Fatal("seed baseline should be conservative on A[I] vs A[2*I-7]")
+	}
+	if n := a.CountConservative(); n != 0 {
+		t.Fatalf("precise engine left %d conservative deps: %v", n, a.Deps)
+	}
+	// Direction pruning: only flow S3->S1 arcs (distances 3, 2, 1 at the
+	// three collisions), no anti S1->S3 arc.
+	for _, d := range a.Deps {
+		if d.Kind == Anti && d.Src.Stmt == 0 && d.Snk.Stmt == 2 && d.Src.Name() == "A" {
+			t.Errorf("refutable anti direction not pruned: %v", d)
+		}
+	}
+	for _, dist := range []int{1, 2, 3} {
+		if find(a.Deps, Flow, 2, 0, dist) == nil {
+			t.Errorf("missing enumerated flow S3->S1 dist %d: %v", dist, a.Deps)
+		}
+	}
+	// Dedup: each (kind, src, snk, dist) at most once.
+	seen := map[string]bool{}
+	for _, d := range a.Deps {
+		k := d.String()
+		if seen[k] {
+			t.Errorf("duplicate dependence %v", d)
+		}
+		seen[k] = true
+	}
+	oracle(t, a)
+}
+
+// TestEvidenceCheckRejectsTampering: flipping any certificate field must
+// fail the machine check — the evidence is load-bearing, not decorative.
+func TestEvidenceCheckRejectsTampering(t *testing.T) {
+	a := analyzeSrc(t, `
+DO I = 1, N
+  S1: A[2*I] = B[I]
+  S2: C[I] = A[2*I+1]
+ENDDO
+`)
+	p := pairFor(a, "A", "A", 0, 1)
+	if p == nil {
+		t.Fatal("missing pair decision")
+	}
+	if err := p.Check(a.Loop); err != nil {
+		t.Fatalf("genuine evidence rejected: %v", err)
+	}
+	bad := *p
+	bad.Evidence.Rem = 0
+	if err := bad.Check(a.Loop); err == nil {
+		t.Error("tampered GCD certificate accepted")
+	}
+	a2 := analyzeSrc(t, "DO I = 1, N\n S1: A[I] = A[I-2]\nENDDO\n")
+	var ex *PairDecision
+	for i := range a2.Pairs {
+		if a2.Pairs[i].Verdict == VerdictExact && a2.Pairs[i].Evidence.Rule == RuleUniformStride {
+			ex = &a2.Pairs[i]
+		}
+	}
+	if ex == nil {
+		t.Fatal("missing uniform-stride decision")
+	}
+	bad2 := *ex
+	bad2.Evidence.Witness.SnkIter += 5
+	if err := bad2.Check(a2.Loop); err == nil {
+		t.Error("tampered witness accepted")
+	}
+}
+
+// TestOracleCatchesWrongVerdicts: hand-corrupting an analysis must be caught
+// by the trace diff — the oracle is a real refuter, not a rubber stamp.
+func TestOracleCatchesWrongVerdicts(t *testing.T) {
+	a := analyzeSrc(t, "DO I = 1, N\n S1: A[I] = B[I]\n S2: C[I] = A[I-2]\nENDDO\n")
+	// Corrupt: claim the pair independent and drop its dependences.
+	for i := range a.Pairs {
+		if a.Pairs[i].A.Name() == "A" && a.Pairs[i].B.Name() == "A" {
+			a.Pairs[i].Verdict = VerdictIndependent
+			a.Pairs[i].Evidence = Evidence{Rule: RuleDistinctElem}
+		}
+	}
+	err := a.ValidateOracle(6, 1)
+	if err == nil {
+		t.Fatal("oracle accepted a falsified independence verdict")
+	}
+	if !strings.Contains(err.Error(), "refuted") && !strings.Contains(err.Error(), "rule") {
+		t.Fatalf("unexpected oracle error: %v", err)
+	}
+
+	// Corrupt: shift an exact distance.
+	a2 := analyzeSrc(t, "DO I = 1, N\n S1: A[I] = B[I]\n S2: C[I] = A[I-2]\nENDDO\n")
+	for i := range a2.Deps {
+		if a2.Deps[i].Kind == Flow && a2.Deps[i].Distance == 2 {
+			a2.Deps[i].Distance = 3
+			a2.Deps[i].Evidence.Witness.SnkIter++
+		}
+	}
+	if err := a2.ValidateOracle(6, 1); err == nil {
+		t.Fatal("oracle accepted a falsified exact distance")
+	}
+}
+
+// TestCorpusOracle sweeps the kernel-style shapes the repo schedules through
+// the oracle, including guard-dependent and merge-load cases.
+func TestCorpusOracle(t *testing.T) {
+	srcs := []string{
+		fig1Source,
+		"DO I = 1, N\n S1: A[I] = A[I-1] + 1\nENDDO\n",
+		"DO I = 1, N\n S1: IF (A[I-1] > 0) A[I] = B[I]\nENDDO\n",
+		"DO I = 1, N\n S1: S = S + A[I]\nENDDO\n",
+		"DO I = 2, 9\n S1: A[2*I] = B[I]\n S2: B[I+1] = A[I] * 2\nENDDO\n",
+		"DO I = 1, N\n S1: A[I+J] = A[I+J-1] + C[J]\nENDDO\n",
+		"DO I = 1, N\n S1: IF (I > 3) A[J] = A[J] + B[I]\nENDDO\n",
+		"DO I = 1, 8\n S1: A[3*I-2] = B[I]\n S2: C[I] = A[2*I+1]\nENDDO\n",
+	}
+	for _, src := range srcs {
+		a := analyzeSrc(t, src)
+		oracle(t, a)
+		if err := a.CheckEvidence(); err != nil {
+			t.Errorf("%s: evidence: %v", src, err)
+		}
+	}
+}

@@ -19,12 +19,14 @@ const TrajectorySchemaVersion = 1
 type TrajectorySnapshot struct {
 	// Seq numbers entries in append order, from 1.
 	Seq int `json:"seq"`
-	// Hotpath, ExactGap and MachineUtil are the raw snapshot documents
-	// (BENCH_hotpath.json, BENCH_exact_gap.json, BENCH_machine_util.json);
-	// absent when the snapshot did not exist at append time.
-	Hotpath     json.RawMessage `json:"hotpath,omitempty"`
-	ExactGap    json.RawMessage `json:"exact_gap,omitempty"`
-	MachineUtil json.RawMessage `json:"machine_util,omitempty"`
+	// Hotpath, ExactGap, MachineUtil and DepPrecision are the raw snapshot
+	// documents (BENCH_hotpath.json, BENCH_exact_gap.json,
+	// BENCH_machine_util.json, BENCH_dep_precision.json); absent when the
+	// snapshot did not exist at append time.
+	Hotpath      json.RawMessage `json:"hotpath,omitempty"`
+	ExactGap     json.RawMessage `json:"exact_gap,omitempty"`
+	MachineUtil  json.RawMessage `json:"machine_util,omitempty"`
+	DepPrecision json.RawMessage `json:"dep_precision,omitempty"`
 }
 
 // Trajectory is the consolidated benchmark-trajectory artifact: an
@@ -61,7 +63,7 @@ func LoadTrajectory(path string) (*Trajectory, error) {
 // Append adds one snapshot point built from whichever documents are
 // non-nil, numbering it after the last entry. Documents must be valid JSON
 // (they are embedded verbatim).
-func (t *Trajectory) Append(hotpath, exactGap, machineUtil []byte) error {
+func (t *Trajectory) Append(hotpath, exactGap, machineUtil, depPrecision []byte) error {
 	snap := TrajectorySnapshot{Seq: len(t.Entries) + 1}
 	for _, d := range []struct {
 		name string
@@ -71,6 +73,7 @@ func (t *Trajectory) Append(hotpath, exactGap, machineUtil []byte) error {
 		{"hotpath", hotpath, &snap.Hotpath},
 		{"exact_gap", exactGap, &snap.ExactGap},
 		{"machine_util", machineUtil, &snap.MachineUtil},
+		{"dep_precision", depPrecision, &snap.DepPrecision},
 	} {
 		if d.raw == nil {
 			continue

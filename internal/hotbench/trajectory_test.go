@@ -26,10 +26,10 @@ func TestTrajectoryAppendSaveLoad(t *testing.T) {
 	}
 	hot := []byte(`{"rows":[{"bench":"b","ns_op":1}]}`)
 	util := []byte(`{"n":100}`)
-	if err := tr.Append(hot, nil, util); err != nil {
+	if err := tr.Append(hot, nil, util, []byte(`{"summary":{}}`)); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Append(nil, []byte(`{"rows":[]}`), nil); err != nil {
+	if err := tr.Append(nil, []byte(`{"rows":[]}`), nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := tr.Save(path); err != nil {
@@ -60,6 +60,9 @@ func TestTrajectoryAppendSaveLoad(t *testing.T) {
 	if !sameJSON(e1.Hotpath, hot) || !sameJSON(e1.MachineUtil, util) {
 		t.Errorf("snapshots changed structurally: %s / %s", e1.Hotpath, e1.MachineUtil)
 	}
+	if !sameJSON(e1.DepPrecision, []byte(`{"summary":{}}`)) {
+		t.Errorf("dep-precision snapshot changed structurally: %s", e1.DepPrecision)
+	}
 	if e1.ExactGap != nil {
 		t.Error("absent snapshot should stay nil")
 	}
@@ -67,7 +70,7 @@ func TestTrajectoryAppendSaveLoad(t *testing.T) {
 		t.Errorf("entry 2 = %+v", e2)
 	}
 	// A third append onto the reloaded document keeps numbering.
-	if err := back.Append(hot, nil, nil); err != nil {
+	if err := back.Append(hot, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if back.Entries[2].Seq != 3 {
@@ -77,7 +80,7 @@ func TestTrajectoryAppendSaveLoad(t *testing.T) {
 
 func TestTrajectoryRejectsInvalidSnapshot(t *testing.T) {
 	tr := &Trajectory{SchemaVersion: TrajectorySchemaVersion}
-	if err := tr.Append([]byte("{not json"), nil, nil); err == nil {
+	if err := tr.Append([]byte("{not json"), nil, nil, nil); err == nil {
 		t.Fatal("invalid JSON snapshot accepted")
 	}
 	if len(tr.Entries) != 0 {

@@ -1,0 +1,159 @@
+package lang
+
+import "sort"
+
+// SymTerm is one symbolic term of an affine subscript form: Coef * Name,
+// where Name is a scalar other than the induction variable. Whether the
+// symbol is actually loop-invariant is the caller's obligation to check
+// (the dependence analyzer rejects forms whose symbols are written in the
+// loop body).
+type SymTerm struct {
+	Name string
+	Coef int
+}
+
+// AffineForm is an array subscript reduced to the linear form
+//
+//	Coef*iv + Σ Syms[k].Coef*Syms[k].Name + Off
+//
+// with integer coefficients. Syms is sorted by name and contains no zero
+// coefficients, so two forms are structurally comparable term by term.
+type AffineForm struct {
+	Coef int
+	Off  int
+	Syms []SymTerm
+}
+
+// SymsEqual reports whether two forms have identical symbolic parts — the
+// precondition for the symbolic terms cancelling in a subscript difference.
+func (f AffineForm) SymsEqual(g AffineForm) bool {
+	if len(f.Syms) != len(g.Syms) {
+		return false
+	}
+	for i := range f.Syms {
+		if f.Syms[i] != g.Syms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasSyms reports whether the form carries any symbolic term.
+func (f AffineForm) HasSyms() bool { return len(f.Syms) > 0 }
+
+// AffineSym tries to reduce an array subscript to an AffineForm over the
+// induction variable and loop-invariant scalar symbols. It generalizes
+// AffineIndex: A[J+1], A[I+J-2] and A[2*I+3*J] all reduce, with J carried
+// symbolically. It reports ok=false for genuinely non-linear subscripts
+// (A[I*I], A[I*J], A[IX[I]], divisions, float constants).
+func AffineSym(e Expr, iv string) (AffineForm, bool) {
+	f, ok := affineSym(e, iv)
+	if !ok {
+		return AffineForm{}, false
+	}
+	f.normalize()
+	return f, true
+}
+
+func (f *AffineForm) normalize() {
+	if len(f.Syms) == 0 {
+		return
+	}
+	sort.Slice(f.Syms, func(i, j int) bool { return f.Syms[i].Name < f.Syms[j].Name })
+	// Merge duplicate names, drop zero coefficients.
+	out := f.Syms[:0]
+	for _, t := range f.Syms {
+		if n := len(out); n > 0 && out[n-1].Name == t.Name {
+			out[n-1].Coef += t.Coef
+			continue
+		}
+		out = append(out, t)
+	}
+	n := 0
+	for _, t := range out {
+		if t.Coef != 0 {
+			out[n] = t
+			n++
+		}
+	}
+	f.Syms = out[:n]
+}
+
+// isConst reports whether the form is a pure integer constant.
+func (f AffineForm) isConst() bool { return f.Coef == 0 && len(f.Syms) == 0 }
+
+func (f AffineForm) scale(k int) AffineForm {
+	out := AffineForm{Coef: f.Coef * k, Off: f.Off * k}
+	for _, t := range f.Syms {
+		out.Syms = append(out.Syms, SymTerm{Name: t.Name, Coef: t.Coef * k})
+	}
+	return out
+}
+
+func affineSym(e Expr, iv string) (AffineForm, bool) {
+	switch v := e.(type) {
+	case *Const:
+		if v.Value != float64(int64(v.Value)) {
+			return AffineForm{}, false
+		}
+		return AffineForm{Off: int(v.Value)}, true
+	case *Scalar:
+		if v.Name == iv {
+			return AffineForm{Coef: 1}, true
+		}
+		return AffineForm{Syms: []SymTerm{{Name: v.Name, Coef: 1}}}, true
+	case *Neg:
+		f, ok := affineSym(v.X, iv)
+		if !ok {
+			return AffineForm{}, false
+		}
+		return f.scale(-1), true
+	case *Binary:
+		l, lok := affineSym(v.L, iv)
+		r, rok := affineSym(v.R, iv)
+		if !lok || !rok {
+			return AffineForm{}, false
+		}
+		switch v.Op {
+		case OpAdd:
+			l.Coef += r.Coef
+			l.Off += r.Off
+			l.Syms = append(l.Syms, r.Syms...)
+			return l, true
+		case OpSub:
+			return affineSub(l, r), true
+		case OpMul:
+			// Only products with a pure constant side stay linear.
+			if l.isConst() {
+				return r.scale(l.Off), true
+			}
+			if r.isConst() {
+				return l.scale(r.Off), true
+			}
+			return AffineForm{}, false
+		case OpDiv:
+			return AffineForm{}, false
+		}
+	}
+	return AffineForm{}, false
+}
+
+func affineSub(l, r AffineForm) AffineForm {
+	l.Coef -= r.Coef
+	l.Off -= r.Off
+	for _, t := range r.Syms {
+		l.Syms = append(l.Syms, SymTerm{Name: t.Name, Coef: -t.Coef})
+	}
+	return l
+}
+
+// ConstInt evaluates an expression that is a compile-time integer constant
+// (literals, negation, constant arithmetic). It is how the dependence
+// analyzer decides whether loop bounds are statically known.
+func ConstInt(e Expr) (int, bool) {
+	f, ok := AffineSym(e, "")
+	if !ok || !f.isConst() {
+		return 0, false
+	}
+	return f.Off, true
+}

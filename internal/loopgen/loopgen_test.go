@@ -1,0 +1,60 @@
+package loopgen
+
+import (
+	"testing"
+
+	"doacross/internal/lang"
+)
+
+// TestGenerateParses: every shape parses at several seeds and sizes.
+func TestGenerateParses(t *testing.T) {
+	for _, shape := range Shapes() {
+		for seed := uint64(1); seed <= 25; seed++ {
+			for _, cb := range []bool{false, true} {
+				src := Generate(seed, Options{Shape: shape, Stmts: 1 + int(seed)%4, ConstBounds: cb})
+				if _, err := lang.Parse(src); err != nil {
+					t.Fatalf("shape %s seed %d const=%v: %v\n%s", shape, seed, cb, err, src)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministic: the same seed and options give the same source.
+func TestGenerateDeterministic(t *testing.T) {
+	opt := Options{Shape: Mixed, Stmts: 4}
+	a := Generate(42, opt)
+	b := Generate(42, opt)
+	if a != b {
+		t.Fatalf("generation is not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if Generate(43, opt) == a {
+		t.Fatal("different seeds produced identical sources")
+	}
+}
+
+// TestSuite: a suite has the requested size, covers all shapes, and parses.
+func TestSuite(t *testing.T) {
+	loops := Suite(7, 30)
+	if len(loops) != 30 {
+		t.Fatalf("got %d loops, want 30", len(loops))
+	}
+	for i, src := range loops {
+		if _, err := lang.Parse(src); err != nil {
+			t.Fatalf("loop %d: %v\n%s", i, err, src)
+		}
+	}
+}
+
+// TestParseShape round-trips every shape name and rejects junk.
+func TestParseShape(t *testing.T) {
+	for _, s := range Shapes() {
+		got, err := ParseShape(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseShape(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseShape("bogus"); err == nil {
+		t.Fatal("ParseShape accepted junk")
+	}
+}

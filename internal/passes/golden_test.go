@@ -18,7 +18,7 @@ func TestFig1GoldenArtifacts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pass := range []string{PassSyncInsert, PassCodegen, PassGraph} {
+	for _, pass := range []string{PassAnalyze, PassSyncInsert, PassCodegen, PassGraph} {
 		got, ok := ctx.Trace.Artifact(pass)
 		if !ok {
 			t.Fatalf("no %s artifact", pass)

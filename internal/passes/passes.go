@@ -133,12 +133,12 @@ func (ifConvertPass) Artifact(ctx *Context) string {
 
 // analyzePass runs the data-dependence analysis and surfaces its
 // conservative-assumption warnings as diagnostics.
-type analyzePass struct{}
+type analyzePass struct{ baseline bool }
 
 func (analyzePass) Name() string { return PassAnalyze }
 
-func (analyzePass) Run(ctx *Context) error {
-	ctx.Analysis = dep.Analyze(ctx.Loop)
+func (p analyzePass) Run(ctx *Context) error {
+	ctx.Analysis = dep.AnalyzeOpts(ctx.Loop, dep.Options{Baseline: p.baseline})
 	ctx.Diags = append(ctx.Diags, ctx.Analysis.Diagnostics()...)
 	return nil
 }
@@ -152,17 +152,25 @@ func (analyzePass) Artifact(ctx *Context) string {
 	if len(ctx.Analysis.Deps) == 0 {
 		sb.WriteString("no dependences (DOALL)\n")
 	}
+	if len(ctx.Analysis.Pairs) > 0 {
+		exact, indep, cons := ctx.Analysis.Counts()
+		fmt.Fprintf(&sb, "-- decisions: %d exact, %d independent, %d conservative\n",
+			exact, indep, cons)
+		for i := range ctx.Analysis.Pairs {
+			fmt.Fprintf(&sb, "%s\n", &ctx.Analysis.Pairs[i])
+		}
+	}
 	return sb.String()
 }
 
 // migratePass applies source-level synchronization migration (statement
 // reordering) and re-analyzes the reordered loop, replacing the
 // Program.Migrate + CompileLoop recompile wrapper.
-type migratePass struct{}
+type migratePass struct{ baseline bool }
 
 func (migratePass) Name() string { return PassMigrate }
 
-func (migratePass) Run(ctx *Context) error {
+func (p migratePass) Run(ctx *Context) error {
 	r, err := migrate.Migrate(ctx.Analysis)
 	if err != nil {
 		if _, ok := diag.As(err); ok {
@@ -172,7 +180,7 @@ func (migratePass) Run(ctx *Context) error {
 	}
 	ctx.Migration = r
 	ctx.Loop = r.Loop
-	ctx.Analysis = dep.Analyze(r.Loop)
+	ctx.Analysis = dep.AnalyzeOpts(r.Loop, dep.Options{Baseline: p.baseline})
 	return nil
 }
 

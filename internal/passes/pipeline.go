@@ -35,6 +35,12 @@ type Options struct {
 	// FlowOnly limits synchronization insertion to loop-carried flow
 	// dependences (syncop.Options.FlowOnly).
 	FlowOnly bool
+	// BaselineDeps runs the dependence analysis in baseline mode
+	// (dep.Options.Baseline): the seed analyzer's syntactic matching, without
+	// the precise GCD/Banerjee/enumeration decision procedure. Audits compile
+	// a loop both ways and diff the results; production compiles leave it
+	// false.
+	BaselineDeps bool
 	// Verify appends the static verification pass: re-derive the dependence
 	// edges independently of the data-flow graph, audit the graph against
 	// them, and lint the loop's synchronization (internal/check). Lint
@@ -186,9 +192,9 @@ func New(opts Options) *Pipeline {
 	if !opts.NoIfConvert {
 		ps = append(ps, ifConvertPass{})
 	}
-	ps = append(ps, analyzePass{})
+	ps = append(ps, analyzePass{baseline: opts.BaselineDeps})
 	if opts.Migrate {
-		ps = append(ps, migratePass{})
+		ps = append(ps, migratePass{baseline: opts.BaselineDeps})
 	}
 	ps = append(ps,
 		syncInsertPass{flowOnly: opts.FlowOnly},

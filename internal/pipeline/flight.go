@@ -75,7 +75,10 @@ type flight struct {
 	val  any
 	err  error
 
-	ctx    context.Context
+	// The flight owns its detached context: it must outlive the leader
+	// (followers keep the computation alive, extending the deadline), so it
+	// cannot be threaded through any single caller's chain.
+	ctx    context.Context //schedvet:allow flight-scoped context by design
 	cancel context.CancelFunc
 
 	mu        sync.Mutex

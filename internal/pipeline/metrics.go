@@ -100,6 +100,11 @@ type Metrics struct {
 	// (internal/check) accepted respectively rejected before serving, and
 	// synchronization-linter findings recorded at compile time.
 	verified, rejected, lintFindings atomic.Int64
+	// Dependence-analysis decision counters across fresh compilations: pair
+	// verdicts proven exact (distances enumerated with witnesses), proven
+	// independent (GCD / bound-separation certificate), and assumed
+	// conservative (undecidable residue).
+	depExact, depIndependent, depConservative atomic.Int64
 	// Liveness gauges: requests currently inside a worker and requests not
 	// yet handed to one, maintained by the batch pipeline.
 	inFlight, queueDepth atomic.Int64
@@ -207,6 +212,15 @@ func (m *Metrics) Rejected() { m.rejected.Add(1) }
 // compilation (cache hits share the original compilation's findings and are
 // not recounted).
 func (m *Metrics) LintFindings(n int64) { m.lintFindings.Add(n) }
+
+// ObserveDeps records the dependence-analysis verdict counts of one fresh
+// compilation (cache hits share the original compilation's analysis and are
+// not recounted).
+func (m *Metrics) ObserveDeps(exact, independent, conservative int64) {
+	m.depExact.Add(exact)
+	m.depIndependent.Add(independent)
+	m.depConservative.Add(conservative)
+}
 
 // WorkerStart marks a request entering a worker; WorkerDone its exit.
 func (m *Metrics) WorkerStart() { m.inFlight.Add(1) }
@@ -365,6 +379,9 @@ type Stats struct {
 	// LintFindings counts synchronization-linter findings across fresh
 	// compilations.
 	Verified, Rejected, LintFindings int64
+	// Dependence-analysis verdicts across fresh compilations: reference pairs
+	// proven exact, proven independent, and assumed conservative.
+	DepExact, DepIndependent, DepConservative int64
 	// InFlight and QueueDepth are point-in-time gauges: requests inside a
 	// worker and requests enqueued but not yet picked up.
 	InFlight, QueueDepth int64
@@ -427,6 +444,9 @@ func (m *Metrics) Stats() Stats {
 	out.Verified = m.verified.Load()
 	out.Rejected = m.rejected.Load()
 	out.LintFindings = m.lintFindings.Load()
+	out.DepExact = m.depExact.Load()
+	out.DepIndependent = m.depIndependent.Load()
+	out.DepConservative = m.depConservative.Load()
 	out.InFlight = m.inFlight.Load()
 	out.QueueDepth = m.queueDepth.Load()
 	out.SignalsSent = m.signals.Load()
@@ -507,6 +527,10 @@ func (s Stats) String() string {
 	if s.Verified+s.Rejected+s.LintFindings > 0 {
 		fmt.Fprintf(&sb, "verify: %d schedule sets verified, %d rejected, %d lint findings\n",
 			s.Verified, s.Rejected, s.LintFindings)
+	}
+	if s.DepExact+s.DepIndependent+s.DepConservative > 0 {
+		fmt.Fprintf(&sb, "deps: %d exact, %d independent, %d conservative\n",
+			s.DepExact, s.DepIndependent, s.DepConservative)
 	}
 	if s.SignalsSent+s.WaitStallCycles+s.LBDArcs+s.LFDArcs > 0 {
 		fmt.Fprintf(&sb, "sync: %d signals sent, %d wait-stall cycles, arcs %d LBD / %d LFD\n",

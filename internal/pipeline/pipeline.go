@@ -741,6 +741,8 @@ func runOne(ctx context.Context, idx int, req Request, machines []dlx.Config, op
 			lint = append(check.Lint(pctx.Loop), check.LintSync(pctx.Sync)...)
 		}
 		metrics.LintFindings(int64(len(lint)))
+		de, di, dc := pctx.Analysis.Counts()
+		metrics.ObserveDeps(int64(de), int64(di), int64(dc))
 		compiled = &compileEntry{
 			loop: pctx.Loop, analysis: pctx.Analysis, syncLoop: pctx.Sync,
 			prog: pctx.Code, graph: pctx.Graph, trace: pctx.Trace, diags: pctx.Diags,

@@ -82,6 +82,9 @@ func (s Stats) WritePrometheus(w io.Writer) {
 	counter("doacross_schedules_verified_total", "Schedule sets accepted by the independent post-schedule verifier.", s.Verified)
 	counter("doacross_schedules_rejected_total", "Schedule sets the independent post-schedule verifier refused to serve.", s.Rejected)
 	counter("doacross_lint_findings_total", "Synchronization-linter findings across fresh compilations.", s.LintFindings)
+	counter("doacross_dep_exact_total", "Dependence pairs proven exact (distances enumerated with witnesses) across fresh compilations.", s.DepExact)
+	counter("doacross_dep_independent_total", "Dependence pairs proven independent (GCD or bound-separation certificate) across fresh compilations.", s.DepIndependent)
+	counter("doacross_dep_conservative_total", "Dependence pairs assumed conservative (undecidable residue) across fresh compilations.", s.DepConservative)
 	counter("doacross_sim_signals_sent_total", "Send_Signal issues across served simulations (paper-level sync traffic).", s.SignalsSent)
 	counter("doacross_sim_wait_stall_cycles_total", "Cycles lost to Wait_Signal stalls across served simulations.", s.WaitStallCycles)
 	counter("doacross_sched_lbd_arcs_total", "Synchronization arcs left lexically backward by served schedules.", s.LBDArcs)

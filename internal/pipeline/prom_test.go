@@ -26,6 +26,7 @@ func TestPrometheusGolden(t *testing.T) {
 	m.Verified()
 	m.Rejected()
 	m.LintFindings(5)
+	m.ObserveDeps(6, 2, 1)
 	m.ObserveSim(10, 20, 3, 4)
 	m.WorkerStart()
 	m.QueueAdd(2)
@@ -76,6 +77,15 @@ doacross_schedules_rejected_total 1
 # HELP doacross_lint_findings_total Synchronization-linter findings across fresh compilations.
 # TYPE doacross_lint_findings_total counter
 doacross_lint_findings_total 5
+# HELP doacross_dep_exact_total Dependence pairs proven exact (distances enumerated with witnesses) across fresh compilations.
+# TYPE doacross_dep_exact_total counter
+doacross_dep_exact_total 6
+# HELP doacross_dep_independent_total Dependence pairs proven independent (GCD or bound-separation certificate) across fresh compilations.
+# TYPE doacross_dep_independent_total counter
+doacross_dep_independent_total 2
+# HELP doacross_dep_conservative_total Dependence pairs assumed conservative (undecidable residue) across fresh compilations.
+# TYPE doacross_dep_conservative_total counter
+doacross_dep_conservative_total 1
 # HELP doacross_sim_signals_sent_total Send_Signal issues across served simulations (paper-level sync traffic).
 # TYPE doacross_sim_signals_sent_total counter
 doacross_sim_signals_sent_total 10

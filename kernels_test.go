@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"doacross/internal/lang"
 )
 
 func abs(x int) int {
@@ -85,6 +87,13 @@ var kernelExpectations = map[string]struct {
 	"twophase":   {doall: false, lbd: 1, lfd: 0}, // first loop
 	"clip":       {doall: false, lbd: -1, lfd: -1},
 	"interleave": {doall: false, lbd: 2, lfd: 0},
+	// PR 10 precision-showcase kernels: the precise engine proves boundsep
+	// independent (bound separation over its constant 8-iteration range),
+	// symoff an exact forward distance-3 flow (symbolic offsets cancel), and
+	// fixedcell an exact same-element web.
+	"boundsep":  {doall: true, lbd: 0, lfd: 0},
+	"symoff":    {doall: false, lbd: 0, lfd: 1},
+	"fixedcell": {doall: false, lbd: 2, lfd: 0},
 }
 
 func TestKernelsDependenceStructure(t *testing.T) {
@@ -171,13 +180,21 @@ func TestKernelsParallelExecutionCorrect(t *testing.T) {
 				t.Fatal(err)
 			}
 			// Loops execute one after another on the shared store, each as a
-			// DOACROSS over n processors.
+			// DOACROSS over n processors. Constant-bound loops run their own
+			// iteration range — the sequential reference does too, and any
+			// bound-separation refinement is only proven inside it.
 			for _, prog := range progs {
 				s, err := prog.ScheduleSync(Machine4Issue(1))
 				if err != nil {
 					t.Fatal(err)
 				}
-				if _, err := Execute(s, got, SimOptions{Lo: 1, Hi: n}); err != nil {
+				lo, hi := 1, n
+				if clo, ok := lang.ConstInt(prog.Loop.Lo); ok {
+					if chi, ok := lang.ConstInt(prog.Loop.Hi); ok {
+						lo, hi = clo, chi
+					}
+				}
+				if _, err := Execute(s, got, SimOptions{Lo: lo, Hi: hi}); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -199,6 +216,9 @@ func TestKernelsAssemble(t *testing.T) {
 			}
 			ref := prog.SeedStore(n, 7)
 			ref.SetScalar("M", -1e6)
+			// Symbolic subscript offsets must stay inside the flat memory
+			// arena's window (the symbolic simulator has no such bound).
+			ref.SetScalar("K", 2)
 			// Indirection arrays must hold in-window subscripts for the flat
 			// memory arena (the symbolic simulator has no such bound).
 			if _, ok := ref.Arrays["IX"]; ok {
